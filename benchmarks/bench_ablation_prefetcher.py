@@ -1,0 +1,41 @@
+"""Ablation: does the COL/RM crossover track the prefetcher stream limit?
+
+Paper Figure 5 attributes COL's degradation beyond four columns to the
+prefetcher "efficiently support[ing] up to four parallel sequential
+accesses". Sweeping the stream limit tests that mechanism directly: a
+smaller table should pull the crossover earlier, a bigger one later.
+
+Run: pytest benchmarks/bench_ablation_prefetcher.py --benchmark-only
+"""
+
+from repro.bench import run_prefetcher_ablation
+
+NROWS = 80_000
+LIMITS = (2, 4, 8)
+
+
+def _crossover(exp) -> int:
+    ratios = exp.ratio("column", "rm")
+    for i, c in enumerate(ratios):
+        if c >= 1.0:
+            return i + 1
+    return len(ratios) + 1
+
+
+def test_prefetcher_stream_limit(benchmark, save_result):
+    results = benchmark.pedantic(
+        lambda: run_prefetcher_ablation(nrows=NROWS, stream_limits=LIMITS),
+        rounds=1,
+        iterations=1,
+    )
+    crossings = {limit: _crossover(exp) for limit, exp in results.items()}
+    text = ["COL/RM crossover projectivity by prefetcher stream limit:"]
+    for limit in LIMITS:
+        text.append(f"  max_streams={limit:2d} -> crossover at k={crossings[limit]}")
+    for limit, exp in results.items():
+        text.append("")
+        text.append(exp.to_table())
+    save_result("ablation_prefetcher", "\n".join(text))
+
+    assert crossings[2] <= crossings[4] <= crossings[8]
+    assert crossings[2] < crossings[8]

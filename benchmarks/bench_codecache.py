@@ -1,0 +1,60 @@
+"""Ablation: code-fragment reuse with and without the fabric (§III-B).
+
+An ad-hoc dashboard workload fires structurally similar queries over
+varying column subsets. On the row layout every subset compiles its own
+fragment (offsets are baked in); through the fabric the packed layout
+makes them one fragment. The bench reports hit rates and total
+compilation cycles for both.
+
+Run: pytest benchmarks/bench_codecache.py --benchmark-only
+"""
+
+from repro.bench.harness import Experiment
+from repro.db.plan import bind
+from repro.db.plan.codecache import CodeFragmentCache
+from repro.db.sql import parse
+from repro.workloads.synthetic import make_wide_table
+
+N_QUERIES = 120
+
+
+def _workload(catalog):
+    """Ad-hoc two-column sums with one range predicate, columns rotating."""
+    for i in range(N_QUERIES):
+        a = i % 14
+        b = (i + 1) % 14
+        c = (i + 5) % 16
+        yield bind(
+            parse(f"SELECT sum(c{a} + c{b}) AS s FROM wide WHERE c{c} < 42"),
+            catalog,
+        )
+
+
+def _run() -> Experiment:
+    catalog, _ = make_wide_table(nrows=64)
+    row_cache = CodeFragmentCache(capacity=32)
+    eph_cache = CodeFragmentCache(capacity=32)
+    for bound in _workload(catalog):
+        row_cache.lookup(bound, "row")
+        eph_cache.lookup(bound, "ephemeral")
+    exp = Experiment(
+        name="codecache-fabric-vs-row",
+        x_label="layout",
+        y_label="rate / cycles",
+        notes=f"{N_QUERIES} ad-hoc queries, cache capacity 32",
+    )
+    for label, cache in (("row", row_cache), ("ephemeral", eph_cache)):
+        exp.add_point(label, "hit_rate", cache.stats.hit_rate)
+        exp.add_point(label, "compile_cycles", cache.stats.compile_cycles)
+        exp.add_point(label, "resident_fragments", cache.resident)
+    return exp
+
+
+def test_codecache_reuse(benchmark, save_result):
+    exp = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result("ablation_codecache", exp.to_table())
+    hit = dict(zip(exp.x_values, exp.series["hit_rate"].values))
+    compile_cycles = dict(zip(exp.x_values, exp.series["compile_cycles"].values))
+    assert hit["ephemeral"] > 0.9
+    assert hit["row"] < 0.5
+    assert compile_cycles["ephemeral"] < compile_cycles["row"] / 5

@@ -1,0 +1,78 @@
+"""Compression x fabric bench (§III-D): ratios and scattered-access cost.
+
+Measures, per codec: the compression ratio on three TPC-H-ish column
+shapes, and the *bytes a range decode must touch* — the executable form
+of the paper's compatibility analysis (delta/dictionary/Huffman decode a
+column-group range locally; RLE and LZ force a full decompression).
+
+Run: pytest benchmarks/bench_compression.py --benchmark-only
+"""
+
+import numpy as np
+
+from repro.bench.harness import Experiment
+from repro.db.compression import all_codecs
+from repro.workloads.tpch import generate_lineitem
+
+RANGE = (40_000, 41_000)
+NROWS = 80_000
+
+
+def _columns():
+    _, table = generate_lineitem(NROWS)
+    return {
+        "l_discount (tiny domain)": table.column("l_discount"),
+        "l_orderkey (sorted)": table.column("l_orderkey"),
+        "l_extendedprice (wide)": table.column("l_extendedprice"),
+    }
+
+
+def _range_touch_bytes(codec, enc) -> int:
+    """Payload bytes a range decode inspects: positional for dictionary,
+    block-local for the blocked codecs, the whole payload otherwise."""
+    if not codec.fabric_compatible:
+        return enc.nbytes
+    if codec.name == "dictionary":
+        import numpy as np
+
+        width = np.dtype(enc.meta["code_dtype"]).itemsize
+        return (RANGE[1] - RANGE[0]) * width + len(enc.meta["domain"])
+    bs = enc.meta["block_size"]
+    offsets = enc.meta["block_offsets"]
+    first, last = RANGE[0] // bs, (RANGE[1] - 1) // bs
+    end = offsets[last + 1] if last + 1 < len(offsets) else enc.nbytes
+    return end - offsets[first]
+
+
+def _run() -> Experiment:
+    exp = Experiment(
+        name="compression-x-fabric",
+        x_label="codec",
+        y_label="ratio / bytes",
+        notes=f"lineitem columns, {NROWS} rows; range={RANGE}",
+    )
+    columns = _columns()
+    for name, codec in all_codecs().items():
+        for col_label, values in columns.items():
+            enc = codec.encode(values)
+            ratio = enc.ratio(values.astype(np.int64).nbytes)
+            exp.add_point(name, f"ratio:{col_label}", ratio)
+            # Correctness of the range decode, always.
+            got = codec.decode_range(enc, *RANGE)
+            assert np.array_equal(got, values.astype(np.int64)[RANGE[0] : RANGE[1]])
+        enc = codec.encode(columns["l_discount (tiny domain)"])
+        exp.add_point(name, "range_touch_bytes", _range_touch_bytes(codec, enc))
+    return exp
+
+
+def test_compression_fabric_compatibility(benchmark, save_result):
+    exp = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result("compression", exp.to_table())
+    touch = dict(zip(exp.x_values, exp.series["range_touch_bytes"].values))
+    # Fabric-compatible codecs touch a small, range-proportional slice;
+    # RLE/LZ touch everything.
+    assert touch["dictionary"] < touch["rle"]
+    assert touch["delta"] < touch["lz77"]
+    assert touch["huffman"] < touch["rle"]
+    ratios = dict(zip(exp.x_values, exp.series["ratio:l_discount (tiny domain)"].values))
+    assert ratios["dictionary"] > 4  # tiny domains compress hard

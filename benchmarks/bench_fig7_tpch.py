@@ -1,0 +1,48 @@
+"""Figures 7a/7b: TPC-H Q1 and Q6 execution time vs data size.
+
+Regenerates both size sweeps (proportionally scaled — see DESIGN.md) and
+asserts the published shape: Q1 compute-bound and similar across engines,
+Q6 movement-bound with RM fastest at every size.
+
+Run: pytest benchmarks/bench_fig7_tpch.py --benchmark-only
+"""
+
+import pytest
+
+from repro.bench import run_fig7
+
+SCALE = 1 / 16
+SIZES = (2, 4, 8, 16, 32, 64, 128)
+
+
+def test_fig7a_q1(benchmark, save_result):
+    exp = benchmark.pedantic(
+        lambda: run_fig7(query="Q1", target_mbs=SIZES, scale=SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig7a_tpch_q1", exp.to_table())
+    row_vs_rm = exp.ratio("row", "rm")
+    col_vs_rm = exp.ratio("column", "rm")
+    assert all(r >= 1.0 for r in row_vs_rm)
+    assert all(c >= 0.98 for c in col_vs_rm)
+    # "the execution time is similar for all layouts": within ~1.5x.
+    assert max(row_vs_rm) < 1.55 and max(col_vs_rm) < 1.55
+
+
+def test_fig7b_q6(benchmark, save_result):
+    exp = benchmark.pedantic(
+        lambda: run_fig7(query="Q6", target_mbs=SIZES, scale=SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig7b_tpch_q6", exp.to_table())
+    row_vs_rm = exp.ratio("row", "rm")
+    col_vs_rm = exp.ratio("column", "rm")
+    # "RM accelerates the execution time by offering the optimal layout".
+    assert all(r > 1.3 for r in row_vs_rm)
+    assert all(c >= 0.99 for c in col_vs_rm)
+    # Time scales linearly with data size for every engine.
+    for name in ("row", "column", "rm"):
+        series = exp.series[name].values
+        assert series[-1] / series[0] == pytest.approx(64, rel=0.25)

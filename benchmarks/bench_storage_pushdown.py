@@ -1,0 +1,62 @@
+"""Relational Storage bench (§IV-D): host traffic and latency with and
+without in-storage transformation.
+
+Three strategies over an SSD-resident lineitem table answering a Q6-style
+question: legacy full scan, in-device projection+selection, in-device
+aggregation. The fabric's storage instance must cut host bytes by an
+order of magnitude and win on latency.
+
+Run: pytest benchmarks/bench_storage_pushdown.py --benchmark-only
+"""
+
+from repro.bench.harness import Experiment
+from repro.core.selection import CompareOp, FabricAggregate, FabricFilter, FabricPredicate
+from repro.storage import RelationalStorage, SsdTable
+from repro.workloads.tpch import generate_lineitem
+
+NROWS = 150_000
+
+
+def _run() -> Experiment:
+    _, table = generate_lineitem(NROWS)
+    ssd = SsdTable(table)
+    rs = RelationalStorage(ssd)
+    selection = FabricFilter.of(
+        FabricPredicate("l_quantity", CompareOp.LT, 2400),
+        FabricPredicate("l_discount", CompareOp.GE, 5),
+        FabricPredicate("l_discount", CompareOp.LE, 7),
+    )
+    geometry = table.schema.geometry(["l_extendedprice", "l_discount"])
+    base = table.schema.full_geometry()
+
+    exp = Experiment(
+        name="storage-pushdown",
+        x_label="strategy",
+        y_label="microseconds / bytes",
+        notes=f"lineitem {NROWS} rows on simulated SmartSSD",
+    )
+    _, legacy = ssd.scan_rows()
+    exp.add_point("legacy-scan", "us", legacy.total_us)
+    exp.add_point("legacy-scan", "host_bytes", legacy.host_bytes)
+
+    group = rs.configure(table.frame, geometry, base_geometry=base, fabric_filter=selection)
+    exp.add_point("rs-project-select", "us", group.report.total_us)
+    exp.add_point("rs-project-select", "host_bytes", group.report.host_bytes)
+
+    _, agg_report = rs.aggregate(
+        base, FabricAggregate("l_extendedprice", "count"), fabric_filter=selection
+    )
+    exp.add_point("rs-aggregate", "us", agg_report.total_us)
+    exp.add_point("rs-aggregate", "host_bytes", agg_report.host_bytes)
+    return exp
+
+
+def test_storage_pushdown(benchmark, save_result):
+    exp = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result("storage_pushdown", exp.to_table())
+    us = dict(zip(exp.x_values, exp.series["us"].values))
+    host = dict(zip(exp.x_values, exp.series["host_bytes"].values))
+    assert us["rs-project-select"] < us["legacy-scan"]
+    assert us["rs-aggregate"] <= us["rs-project-select"]
+    assert host["rs-project-select"] < host["legacy-scan"] / 10
+    assert host["rs-aggregate"] == 8

@@ -1,0 +1,60 @@
+"""The tiered fabric bench (§VII Q3): compressed columns at rest, rows in
+memory, ephemeral groups at the CPU.
+
+Measures the cold-load path (device pages, decompression, link traffic)
+against an uncompressed row image on flash, then the warm ephemeral
+access on top — the full storage+memory composition the paper sketches.
+
+Run: pytest benchmarks/bench_tiered.py --benchmark-only
+"""
+
+from repro.bench.harness import Experiment
+from repro.storage import ColumnArchive, TieredFabric
+from repro.workloads.tpch import generate_lineitem
+
+NROWS = 60_000
+
+
+def _run() -> Experiment:
+    _, lineitem = generate_lineitem(NROWS)
+    archive = ColumnArchive.from_table(lineitem)
+    tiered = TieredFabric(archive)
+    warm, report = tiered.materialize_rows()
+    group = tiered.ephemeral(warm, ["l_extendedprice", "l_discount"])
+
+    exp = Experiment(
+        name="tiered-fabric",
+        x_label="metric",
+        y_label="value",
+        notes=f"lineitem {NROWS} rows; archive ratio "
+        f"{archive.compression_ratio:.2f}",
+    )
+    exp.add_point("cold_load", "pages_read", report.pages_read)
+    exp.add_point("cold_load", "baseline_pages", report.baseline_pages)
+    exp.add_point("cold_load", "total_us", report.total_us)
+    exp.add_point("cold_load", "baseline_us", report.baseline_us)
+    exp.add_point("warm_access", "packed_bytes", group.report.out_bytes)
+    exp.add_point("warm_access", "produce_cycles", group.report.produce_cycles)
+    return exp, archive, warm, lineitem
+
+
+def test_tiered_fabric(benchmark, save_result):
+    exp, archive, warm, lineitem = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result("tiered_fabric", exp.to_table())
+    import numpy as np
+
+    # Correctness through both tiers.
+    assert warm.nrows == lineitem.nrows
+    assert np.array_equal(
+        warm.column("l_discount"), lineitem.column("l_discount")
+    )
+    # Compression must reduce device reads; the cold load never loses.
+    pages = dict(zip(["pages_read", "baseline_pages"],
+                     [exp.series["pages_read"].values[0],
+                      exp.series["baseline_pages"].values[0]]))
+    assert pages["pages_read"] < pages["baseline_pages"]
+    assert (
+        exp.series["total_us"].values[0]
+        <= exp.series["baseline_us"].values[0] * 1.001
+    )
+    assert archive.compression_ratio > 1.2

@@ -1,0 +1,24 @@
+"""Benchmark plumbing: every figure bench writes its reproduced table to
+``benchmarks/results/`` so EXPERIMENTS.md can cite the measured numbers.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    def _save(name: str, text: str) -> None:
+        with open(os.path.join(results_dir, f"{name}.txt"), "w") as f:
+            f.write(text + "\n")
+
+    return _save

@@ -1,0 +1,83 @@
+"""HTAP with MVCC: fresh analytics over one copy of the data (§III-C).
+
+Shows the paper's central HTAP argument in action:
+
+1. an OLTP stream inserts and updates orders under snapshot isolation
+   (write-write conflicts abort, first committer wins);
+2. analytic queries run concurrently at a snapshot — through the fabric
+   they see *all committed data instantly*, because the timestamp
+   visibility check happens in hardware over the single row-oriented
+   copy;
+3. the column-store comparator pays for its second copy: every analytic
+   round must first convert the freshly ingested rows (freshness lag +
+   conversion cycles), the bookkeeping the fabric removes.
+
+Run:  python examples/htap_mvcc.py
+"""
+
+from repro import TransactionManager
+from repro.db import Catalog
+from repro.errors import WriteConflictError
+from repro.workloads.htap import HtapDriver, orders_schema
+
+
+def conflict_demo():
+    print("=== snapshot isolation: first committer wins ===")
+    catalog = Catalog()
+    table = catalog.create_table(orders_schema("demo_orders"))
+    manager = TransactionManager()
+
+    setup = manager.begin()
+    slot = setup.insert(
+        table, {"o_id": 1, "o_customer": 7, "o_amount": 99.50, "o_status": 0}
+    )
+    manager.commit(setup)
+
+    t1 = manager.begin()
+    t2 = manager.begin()
+    t1.update(table, slot, {"o_status": 1})
+    manager.commit(t1)
+    print("t1 committed: order 1 -> paid")
+    try:
+        t2.update(table, slot, {"o_status": 2})
+    except WriteConflictError as exc:
+        print(f"t2 aborted automatically: {exc}")
+    print(f"manager stats: {manager.stats}\n")
+
+
+def htap_demo():
+    print("=== mixed HTAP workload, all three engines ===")
+    driver = HtapDriver(initial_rows=5_000)
+    stats = driver.run_mixed(rounds=4, txns_per_round=100)
+
+    print(f"transactions : {stats.commits} committed, {stats.aborts} aborted")
+    print(f"writes       : {stats.inserts} inserts, {stats.updates} updates")
+    print(f"analytics    : {stats.analytic_runs} rounds of "
+          f"{driver.ANALYTIC_SQL!r}")
+    print()
+    print("freshness lag at each analytic round (rows the column-store")
+    print("replica had not yet converted; row/rm always see fresh data):")
+    print(f"  column-store: {stats.freshness_lag}")
+    print(f"  fabric (rm) : {[0] * len(stats.freshness_lag)}")
+    print()
+    print("cumulative simulated cycles per engine (queries only):")
+    for name, cycles in sorted(stats.engine_cycles.items()):
+        print(f"  {name:8} {cycles:14,.0f}")
+    print(
+        f"  column-store layout conversions on top: "
+        f"{stats.conversion_cycles:,.0f} cycles"
+    )
+    print()
+    # The fabric's point, quantified: the column engine's true analytic
+    # cost includes keeping its second copy current.
+    col_total = stats.engine_cycles["column"] + stats.conversion_cycles
+    print(
+        f"column-store total (queries + conversion): {col_total:,.0f} vs "
+        f"rm {stats.engine_cycles['rm']:,.0f} "
+        f"({col_total / stats.engine_cycles['rm']:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    conflict_demo()
+    htap_demo()

@@ -1,0 +1,7 @@
+"""Setup shim so editable installs work on offline machines without the
+``wheel`` package (``python setup.py develop``). Metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""Relational Fabric reproduction (ICDE 2023): transparent near-data
+row-to-column transformation, with the full simulated stack around it.
+
+Layers (bottom up):
+
+* :mod:`repro.hw` — caches, prefetcher, DRAM, AXI bus, CPU cost model,
+  the Relational Memory engine model, platform presets;
+* :mod:`repro.core` — the paper's contribution: data geometries, the
+  packer, ephemeral variables, the fabric API, MVCC visibility filtering,
+  pushed-down selection/aggregation;
+* :mod:`repro.db` — relational substrate: schemas, row tables, SQL,
+  planning/optimization, the three engines (ROW/COL/RM), MVCC
+  transactions, B+-tree indexing, compression, the design advisor;
+* :mod:`repro.storage` — flash device, SSD read path, Relational Storage;
+* :mod:`repro.workloads` — synthetic wide tables, TPC-H lineitem, HTAP;
+* :mod:`repro.bench` — the harness regenerating every paper figure.
+
+Quickstart::
+
+    from repro import RelationalMemory
+    cg = RelationalMemory().configure(table.frame, table.schema.geometry(["a", "b"]))
+    totals = cg.column("a") + cg.column("b")
+"""
+
+from repro.core import (
+    CostLedger,
+    DataGeometry,
+    EphemeralColumnGroup,
+    FabricFilter,
+    FabricPredicate,
+    FieldSlice,
+    RelationalFabric,
+    RelationalMemory,
+    Visibility,
+    configure,
+)
+from repro.db import Catalog, Column, Table, TableSchema
+from repro.db.engines import (
+    ColumnStoreEngine,
+    ExecutionResult,
+    RelationalMemoryEngine,
+    RowStoreEngine,
+    all_engines,
+)
+from repro.db.mvcc import Transaction, TransactionManager
+from repro.hw import PlatformConfig, ZYNQ_ULTRASCALE, default_platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStoreEngine",
+    "CostLedger",
+    "DataGeometry",
+    "EphemeralColumnGroup",
+    "ExecutionResult",
+    "FabricFilter",
+    "FabricPredicate",
+    "FieldSlice",
+    "PlatformConfig",
+    "RelationalFabric",
+    "RelationalMemory",
+    "RelationalMemoryEngine",
+    "RowStoreEngine",
+    "Table",
+    "TableSchema",
+    "Transaction",
+    "TransactionManager",
+    "Visibility",
+    "ZYNQ_ULTRASCALE",
+    "all_engines",
+    "configure",
+    "default_platform",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Benchmark harness: experiment containers and per-figure runners."""
+
+from repro.bench.chart import line_chart
+from repro.bench.harness import Experiment, Grid, Series
+from repro.bench.report import collect_sections, render_markdown, write_report
+from repro.bench.figures import (
+    FIG7_TARGET_MB,
+    run_buffer_ablation,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_prefetcher_ablation,
+    run_rm_clock_ablation,
+)
+
+__all__ = [
+    "Experiment",
+    "collect_sections",
+    "line_chart",
+    "render_markdown",
+    "write_report",
+    "FIG7_TARGET_MB",
+    "Grid",
+    "Series",
+    "run_buffer_ablation",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_prefetcher_ablation",
+    "run_rm_clock_ablation",
+]

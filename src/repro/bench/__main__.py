@@ -1,0 +1,112 @@
+"""Command-line front end: regenerate paper figures from a terminal.
+
+Usage::
+
+    python -m repro.bench fig5 [--nrows N]
+    python -m repro.bench fig6 [--nrows N]
+    python -m repro.bench fig7 [--scale 1/16]
+    python -m repro.bench ablations
+    python -m repro.bench all [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.chart import line_chart
+from repro.bench.figures import (
+    run_buffer_ablation,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_prefetcher_ablation,
+    run_rm_clock_ablation,
+)
+
+
+def _fig5(args) -> None:
+    exp = run_fig5(nrows=args.nrows)
+    print(exp.to_table())
+    print()
+    print(line_chart(exp, labels=["row", "column", "rm"]))
+
+
+def _fig6(args) -> None:
+    vs_row, vs_col = run_fig6(nrows=args.nrows)
+    print(vs_row.to_table())
+    print()
+    print(vs_col.to_table())
+
+
+def _fig7(args) -> None:
+    for query in ("Q1", "Q6"):
+        exp = run_fig7(query=query, scale=args.scale)
+        print(exp.to_table())
+        print()
+        print(line_chart(exp, labels=["row", "column", "rm"], logscale=True))
+        print()
+
+
+def _ablations(args) -> None:
+    for limit, exp in run_prefetcher_ablation(nrows=args.nrows).items():
+        ratios = exp.ratio("column", "rm")
+        crossing = next(
+            (i + 1 for i, c in enumerate(ratios) if c >= 1.0), len(ratios) + 1
+        )
+        print(f"prefetcher max_streams={limit}: COL/RM crossover at k={crossing}")
+    print()
+    print(run_rm_clock_ablation(nrows=args.nrows).to_table())
+    print()
+    print(run_buffer_ablation(nrows=2 * args.nrows).to_table())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the Relational Fabric paper's figures.",
+    )
+    parser.add_argument(
+        "target",
+        choices=["fig5", "fig6", "fig7", "ablations", "all", "report"],
+        help="which experiment to run (or 'report' to consolidate results)",
+    )
+    parser.add_argument("--nrows", type=int, default=100_000)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1 / 16,
+        help="fraction of the paper's Figure 7 data sizes",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller inputs for 'all'"
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.nrows = min(args.nrows, 30_000)
+        args.scale = min(args.scale, 1 / 64)
+
+    if args.target in ("fig5", "all"):
+        _fig5(args)
+        print()
+    if args.target in ("fig6", "all"):
+        _fig6(args)
+        print()
+    if args.target in ("fig7", "all"):
+        _fig7(args)
+    if args.target in ("ablations", "all"):
+        _ablations(args)
+    if args.target == "report":
+        import os
+
+        from repro.bench.report import write_report
+
+        results = os.path.join("benchmarks", "results")
+        out = write_report(results, os.path.join(results, "REPORT.md"))
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Terminal-friendly ASCII charts for experiment series.
+
+The harness prints tables for precision; these charts exist so a human
+running ``python -m repro.bench`` can *see* the crossovers the paper
+plots — a poor man's Figure 5 in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import Experiment
+
+_MARKS = "*o+x#@%&"
+
+
+def line_chart(
+    exp: Experiment,
+    labels: Optional[Sequence[str]] = None,
+    width: int = 64,
+    height: int = 16,
+    logscale: bool = False,
+) -> str:
+    """Render selected series of ``exp`` as an ASCII scatter/line chart."""
+    import math
+
+    labels = list(labels) if labels is not None else list(exp.series)
+    labels = [l for l in labels if l in exp.series]
+    if not labels or not exp.x_values:
+        return "(no data)"
+
+    points: Dict[str, List[float]] = {}
+    lo, hi = float("inf"), float("-inf")
+    for label in labels:
+        values = exp.series[label].values
+        transformed = [
+            math.log10(v) if logscale and v > 0 else v for v in values
+        ]
+        points[label] = transformed
+        lo = min(lo, min(transformed))
+        hi = max(hi, max(transformed))
+    if hi == lo:
+        hi = lo + 1.0
+
+    n = len(exp.x_values)
+    grid = [[" "] * width for _ in range(height)]
+    for si, label in enumerate(labels):
+        mark = _MARKS[si % len(_MARKS)]
+        for i, v in enumerate(points[label]):
+            if i >= n:
+                break
+            x = int(i / max(1, n - 1) * (width - 1))
+            y = height - 1 - int((v - lo) / (hi - lo) * (height - 1))
+            grid[y][x] = mark
+
+    axis_hi = f"{10**hi:.3g}" if logscale else f"{hi:.3g}"
+    axis_lo = f"{10**lo:.3g}" if logscale else f"{lo:.3g}"
+    lines = [f"{exp.name}  ({exp.y_label}{', log scale' if logscale else ''})"]
+    for row_idx, row in enumerate(grid):
+        prefix = axis_hi if row_idx == 0 else (axis_lo if row_idx == height - 1 else "")
+        lines.append(f"{prefix:>10} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 12
+        + f"{exp.x_values[0]}  ...  {exp.x_values[-1]}   ({exp.x_label})"
+    )
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {label}" for i, label in enumerate(labels)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Relational Fabric core: geometries, the packer, ephemeral variables,
+fabric interfaces, MVCC visibility filtering, and pushed-down selection."""
+
+from repro.core.ephemeral import EphemeralColumnGroup, Visibility
+from repro.core.fabric import RelationalFabric, RelationalMemory, configure
+from repro.core.geometry import DataGeometry, FieldSlice, full_row_geometry
+from repro.core.ledger import CostLedger
+from repro.core.mvcc_filter import LIVE_TS, NEVER_TS, latest_mask, visible_mask
+from repro.core.packer import (
+    decode_field,
+    decode_frame_field,
+    pack,
+    unpack,
+)
+from repro.core.tensor import MatrixSlice, TensorFabric, matrix_geometry
+from repro.core.selection import (
+    CompareOp,
+    FabricAggregate,
+    FabricFilter,
+    FabricPredicate,
+)
+
+__all__ = [
+    "CompareOp",
+    "CostLedger",
+    "DataGeometry",
+    "EphemeralColumnGroup",
+    "FabricAggregate",
+    "FabricFilter",
+    "FabricPredicate",
+    "FieldSlice",
+    "LIVE_TS",
+    "MatrixSlice",
+    "TensorFabric",
+    "matrix_geometry",
+    "NEVER_TS",
+    "RelationalFabric",
+    "RelationalMemory",
+    "Visibility",
+    "configure",
+    "decode_field",
+    "decode_frame_field",
+    "full_row_geometry",
+    "latest_mask",
+    "pack",
+    "unpack",
+    "visible_mask",
+]

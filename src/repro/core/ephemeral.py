@@ -1,0 +1,167 @@
+"""Ephemeral variables: non-materialized aliases of column groups.
+
+The paper's key API (Section II): an ephemeral variable names a subset of
+columns of a row-major table; it is "never instantiated in main memory.
+Instead, upon accessing such a variable, the underlying machinery is set
+in motion and generates an on-the-fly projection of the requested columns
+according to the format that maximizes data locality."
+
+In this reproduction the *simulated memory image* (the row frame) is
+indeed never altered — an :class:`EphemeralColumnGroup` computes the
+packed byte stream on access (the Python-side array standing in for the
+lines the fabric pushes toward the cache) and records the hardware cost
+report of producing it. Re-reading after the base data or the snapshot
+changed just means calling :meth:`refresh`, exactly like re-touching the
+variable on the prototype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.geometry import DataGeometry
+from repro.core.mvcc_filter import visible_mask
+from repro.core.packer import decode_field, pack
+from repro.core.selection import FabricFilter
+from repro.errors import GeometryError
+from repro.hw.engine import RelationalMemoryEngineModel, RmTransformReport
+
+
+@dataclass(frozen=True)
+class Visibility:
+    """MVCC visibility inputs: per-row timestamps plus the snapshot."""
+
+    begin_ts: np.ndarray
+    end_ts: np.ndarray
+    snapshot_ts: int
+
+
+class EphemeralColumnGroup:
+    """A read-only, densely packed alias of a column group.
+
+    Created through :meth:`repro.core.fabric.RelationalMemory.configure`;
+    not meant to be constructed directly.
+    """
+
+    def __init__(
+        self,
+        frame: np.ndarray,
+        geometry: DataGeometry,
+        engine: RelationalMemoryEngineModel,
+        fabric_filter: Optional[FabricFilter] = None,
+        visibility: Optional[Visibility] = None,
+    ):
+        self._frame = frame
+        self.geometry = geometry
+        self._engine = engine
+        self._filter = fabric_filter
+        self._visibility = visibility
+        self._packed: Optional[np.ndarray] = None
+        self._report: Optional[RmTransformReport] = None
+        self._refreshes = 0
+
+    # ------------------------------------------------------------------
+    # Transformation machinery.
+    # ------------------------------------------------------------------
+    def refresh(self) -> "EphemeralColumnGroup":
+        """(Re)run the on-the-fly transformation against the base frame."""
+        mask = self._current_mask()
+        qualifying = None if mask is None else int(np.count_nonzero(mask))
+        self._packed = pack(self._frame, self.geometry, row_mask=mask)
+        self._report = self._engine.transform(
+            nrows=self._frame.shape[0],
+            row_stride=self.geometry.row_stride,
+            out_bytes_per_row=self.geometry.packed_width,
+            qualifying_rows=qualifying,
+            mvcc_filter=self._visibility is not None,
+            fabric_predicates=len(self._filter) if self._filter else 0,
+        )
+        self._refreshes += 1
+        return self
+
+    def _current_mask(self) -> Optional[np.ndarray]:
+        mask: Optional[np.ndarray] = None
+        if self._visibility is not None:
+            v = self._visibility
+            mask = visible_mask(v.begin_ts, v.end_ts, v.snapshot_ts)
+        if self._filter is not None:
+            fmask = self._filter.evaluate(self._frame, self._base_geometry())
+            mask = fmask if mask is None else (mask & fmask)
+        return mask
+
+    def _base_geometry(self) -> DataGeometry:
+        # Predicates may reference fields outside the projected group; the
+        # filter is evaluated against the base layout, which shares the
+        # row stride. Field lookup happens via the filter's own fields, so
+        # the projected geometry suffices when they coincide; otherwise the
+        # caller passes a filter whose fields exist in the base geometry
+        # attached at configure time.
+        return self._filter_geometry
+
+    @property
+    def packed(self) -> np.ndarray:
+        """The packed byte image (``(n, packed_width)`` uint8)."""
+        if self._packed is None:
+            self.refresh()
+        return self._packed
+
+    @property
+    def report(self) -> RmTransformReport:
+        """Hardware cost report of the most recent transformation."""
+        if self._report is None:
+            self.refresh()
+        return self._report
+
+    @property
+    def refreshes(self) -> int:
+        return self._refreshes
+
+    # ------------------------------------------------------------------
+    # Read API — what the CPU sees.
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of (visible, qualifying) rows in the group."""
+        return self.packed.shape[0]
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def packed_width(self) -> int:
+        return self.geometry.packed_width
+
+    def column(self, name: str) -> np.ndarray:
+        """One field of the group as a typed numpy array."""
+        return decode_field(self.packed, self.geometry, name)
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        """All fields, decoded."""
+        return {f.name: self.column(f.name) for f in self.geometry.fields}
+
+    def __getitem__(self, i: int) -> Dict[str, object]:
+        """Row access, like indexing the ephemeral struct array in Fig. 3."""
+        if not 0 <= i < self.length:
+            raise IndexError(i)
+        row = {}
+        cursor = 0
+        packed = self.packed
+        for f in self.geometry.fields:
+            raw = packed[i, cursor : cursor + f.width]
+            if f.dtype is None:
+                row[f.name] = bytes(raw)
+            else:
+                row[f.name] = np.ascontiguousarray(raw).view(np.dtype(f.dtype))[0]
+            cursor += f.width
+        return row
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        for i in range(self.length):
+            yield self[i]
+
+    # Wired by the fabric at configure time (filter fields may live
+    # outside the projected geometry).
+    _filter_geometry: DataGeometry = None

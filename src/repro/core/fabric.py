@@ -1,0 +1,90 @@
+"""The Relational Fabric interface and its in-memory instance.
+
+``configure()`` is the paper's API (Figure 3, line 25): hand the fabric a
+base table and the geometry of the columns you want, get back an
+ephemeral variable whose reads behave as if the packed layout already
+existed in memory.
+
+Two instances exist in this reproduction:
+
+* :class:`RelationalMemory` (here) — the fabric between CPU and DRAM;
+* :class:`repro.storage.smartssd.RelationalStorage` — the fabric inside a
+  computational SSD, sharing this interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.core.ephemeral import EphemeralColumnGroup, Visibility
+from repro.core.geometry import DataGeometry
+from repro.core.selection import FabricFilter
+from repro.errors import GeometryError
+from repro.hw.config import PlatformConfig, default_platform
+from repro.hw.engine import RelationalMemoryEngineModel
+
+
+class RelationalFabric(ABC):
+    """Anything that can serve ephemeral column groups over row data."""
+
+    @abstractmethod
+    def configure(
+        self,
+        frame: np.ndarray,
+        geometry: DataGeometry,
+        base_geometry: Optional[DataGeometry] = None,
+        fabric_filter: Optional[FabricFilter] = None,
+        visibility: Optional[Visibility] = None,
+    ) -> EphemeralColumnGroup:
+        """Create an ephemeral variable over ``frame`` with ``geometry``."""
+
+
+class RelationalMemory(RelationalFabric):
+    """The in-memory fabric instance (paper Sections II and IV-A).
+
+    One engine model is shared across all ephemeral variables configured
+    through the same ``RelationalMemory``, mirroring the single hardware
+    engine multiplexed across queries.
+    """
+
+    def __init__(self, platform: Optional[PlatformConfig] = None):
+        self.platform = platform or default_platform()
+        self.engine = RelationalMemoryEngineModel(self.platform)
+
+    def configure(
+        self,
+        frame: np.ndarray,
+        geometry: DataGeometry,
+        base_geometry: Optional[DataGeometry] = None,
+        fabric_filter: Optional[FabricFilter] = None,
+        visibility: Optional[Visibility] = None,
+    ) -> EphemeralColumnGroup:
+        if fabric_filter is not None and base_geometry is None:
+            # Predicates must be resolvable; default to the projected
+            # geometry and fail early if a field is missing.
+            base_geometry = geometry
+            for name in fabric_filter.fields():
+                geometry.field(name)  # raises GeometryError when absent
+        group = EphemeralColumnGroup(
+            frame=frame,
+            geometry=geometry,
+            engine=self.engine,
+            fabric_filter=fabric_filter,
+            visibility=visibility,
+        )
+        group._filter_geometry = base_geometry or geometry
+        return group
+
+
+def configure(
+    frame: np.ndarray,
+    geometry: DataGeometry,
+    platform: Optional[PlatformConfig] = None,
+    **kwargs,
+) -> EphemeralColumnGroup:
+    """Module-level convenience mirroring the C API in the paper's Fig. 3:
+    ``cg = configure(the_table, QUERY)``."""
+    return RelationalMemory(platform).configure(frame, geometry, **kwargs)

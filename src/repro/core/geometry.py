@@ -1,0 +1,134 @@
+"""Data geometries: byte-exact descriptors of arbitrary column groups.
+
+A *data geometry* (paper Section II, "accessing arbitrary data
+geometries") names any subset of bytes of a row-major relational frame:
+which byte ranges of each row are wanted and how wide a row is. The
+Relational Fabric hardware is programmed with exactly this information —
+"fine-grained information on the exact byte-wise location of data items"
+(Section IV-A) — so the geometry is the contract between the software
+stack and the fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class FieldSlice:
+    """One column's byte range within a row, plus how to decode it.
+
+    ``dtype`` is a numpy dtype string (e.g. ``"<i8"``) when the field is a
+    fixed-width scalar, or ``None`` for opaque bytes (CHAR payloads).
+    """
+
+    name: str
+    offset: int
+    width: int
+    dtype: Optional[str] = None
+
+    def __post_init__(self):
+        if self.offset < 0:
+            raise GeometryError(f"field {self.name!r}: negative offset {self.offset}")
+        if self.width <= 0:
+            raise GeometryError(f"field {self.name!r}: non-positive width {self.width}")
+        if self.dtype is not None and np.dtype(self.dtype).itemsize != self.width:
+            raise GeometryError(
+                f"field {self.name!r}: dtype {self.dtype} itemsize "
+                f"{np.dtype(self.dtype).itemsize} != width {self.width}"
+            )
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.width
+
+
+@dataclass(frozen=True)
+class DataGeometry:
+    """An ordered group of non-overlapping field slices over one row layout.
+
+    The packed output row places the fields back to back in declaration
+    order; :meth:`packed_offset_of` gives each field's position there.
+    """
+
+    row_stride: int
+    fields: Tuple[FieldSlice, ...]
+
+    def __post_init__(self):
+        if self.row_stride <= 0:
+            raise GeometryError(f"non-positive row stride {self.row_stride}")
+        if not self.fields:
+            raise GeometryError("a geometry needs at least one field")
+        seen = set()
+        for f in self.fields:
+            if f.end > self.row_stride:
+                raise GeometryError(
+                    f"field {f.name!r} [{f.offset}, {f.end}) exceeds row "
+                    f"stride {self.row_stride}"
+                )
+            if f.name in seen:
+                raise GeometryError(f"duplicate field name {f.name!r}")
+            seen.add(f.name)
+        for a, b in zip(
+            sorted(self.fields, key=lambda f: f.offset),
+            sorted(self.fields, key=lambda f: f.offset)[1:],
+        ):
+            if b.offset < a.end:
+                raise GeometryError(
+                    f"fields {a.name!r} and {b.name!r} overlap "
+                    f"([{a.offset},{a.end}) vs [{b.offset},{b.end}))"
+                )
+
+    @property
+    def packed_width(self) -> int:
+        """Bytes per row of the packed (transformed) layout."""
+        return sum(f.width for f in self.fields)
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def field(self, name: str) -> FieldSlice:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise GeometryError(f"no field named {name!r} in geometry")
+
+    def packed_offset_of(self, name: str) -> int:
+        """Byte offset of ``name`` within the packed output row."""
+        offset = 0
+        for f in self.fields:
+            if f.name == name:
+                return offset
+            offset += f.width
+        raise GeometryError(f"no field named {name!r} in geometry")
+
+    def packed_field(self, name: str) -> FieldSlice:
+        """The field slice relocated to its packed-layout position."""
+        f = self.field(name)
+        return FieldSlice(f.name, self.packed_offset_of(name), f.width, f.dtype)
+
+    def subset(self, names: Iterable[str]) -> "DataGeometry":
+        """A new geometry over the same rows keeping only ``names``."""
+        wanted = list(names)
+        return DataGeometry(
+            row_stride=self.row_stride,
+            fields=tuple(self.field(n) for n in wanted),
+        )
+
+    def selectivity_of_bytes(self) -> float:
+        """Fraction of each row the geometry ships (the data-movement win)."""
+        return self.packed_width / self.row_stride
+
+
+def full_row_geometry(row_stride: int, name: str = "row") -> DataGeometry:
+    """The degenerate geometry selecting every byte (row-wise access)."""
+    return DataGeometry(
+        row_stride=row_stride,
+        fields=(FieldSlice(name=name, offset=0, width=row_stride),),
+    )

@@ -1,0 +1,59 @@
+"""Cycle ledger: where did a query's simulated time go?
+
+Every engine run fills one :class:`CostLedger` with named buckets so the
+benchmark harness and the examples can report not just totals but the
+*decomposition* the paper argues about (data movement vs compute vs
+fabric overheads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CostLedger:
+    """Accumulates CPU cycles into named buckets plus traffic counters."""
+
+    buckets: Dict[str, float] = field(default_factory=dict)
+    dram_bytes: float = 0.0
+
+    # Canonical bucket names used across the engines.
+    CPU = "cpu"
+    MEMORY = "memory"
+    FABRIC = "fabric_produce"
+    STALL = "fabric_stall"
+    CONFIGURE = "fabric_configure"
+    RECONSTRUCT = "tuple_reconstruction"
+
+    def charge(self, bucket: str, cycles: float) -> None:
+        if cycles < 0:
+            raise ValueError(f"negative charge {cycles} to {bucket!r}")
+        self.buckets[bucket] = self.buckets.get(bucket, 0.0) + cycles
+
+    def charge_traffic(self, nbytes: float) -> None:
+        self.dram_bytes += nbytes
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.buckets.values())
+
+    def get(self, bucket: str) -> float:
+        return self.buckets.get(bucket, 0.0)
+
+    def merge(self, other: "CostLedger") -> None:
+        for name, cycles in other.buckets.items():
+            self.charge(name, cycles)
+        self.dram_bytes += other.dram_bytes
+
+    def breakdown(self) -> Dict[str, float]:
+        """Bucket → fraction of the total, for reports."""
+        total = self.total_cycles
+        if total == 0:
+            return {}
+        return {name: cycles / total for name, cycles in sorted(self.buckets.items())}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v:.0f}" for k, v in sorted(self.buckets.items()))
+        return f"CostLedger({inner}, dram_bytes={self.dram_bytes:.0f})"

@@ -1,0 +1,96 @@
+"""The row→packed-line dataflow of the fabric, bit-exact.
+
+This is the *functional* half of the hardware: given a row-major frame
+and a :class:`~repro.core.geometry.DataGeometry`, produce the densely
+packed byte image the CPU would observe through an ephemeral variable.
+The *timing* half lives in :mod:`repro.hw.engine`; keeping them separate
+lets tests verify byte-exactness independently of cost calibration.
+
+Frames are ``numpy`` arrays of shape ``(nrows, row_stride)`` and dtype
+``uint8`` — the simulated main-memory image of a row-oriented table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.geometry import DataGeometry
+from repro.errors import GeometryError
+
+
+def check_frame(frame: np.ndarray, geometry: DataGeometry) -> None:
+    """Validate that ``frame`` is a row image matching ``geometry``."""
+    if frame.ndim != 2:
+        raise GeometryError(f"frame must be 2-D (rows × bytes), got {frame.ndim}-D")
+    if frame.dtype != np.uint8:
+        raise GeometryError(f"frame dtype must be uint8, got {frame.dtype}")
+    if frame.shape[1] != geometry.row_stride:
+        raise GeometryError(
+            f"frame row width {frame.shape[1]} != geometry stride {geometry.row_stride}"
+        )
+
+
+def pack(
+    frame: np.ndarray,
+    geometry: DataGeometry,
+    row_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Transform rows to the packed column-group layout.
+
+    Returns a C-contiguous ``(n_selected, packed_width)`` uint8 array —
+    the byte stream the fabric pushes toward the CPU cache. With
+    ``row_mask`` (boolean, one entry per row) only qualifying rows are
+    emitted, modelling selection or MVCC visibility pushed into the
+    fabric.
+    """
+    check_frame(frame, geometry)
+    src = frame if row_mask is None else frame[row_mask]
+    parts = [src[:, f.offset : f.end] for f in geometry.fields]
+    if len(parts) == 1:
+        return np.ascontiguousarray(parts[0])
+    return np.ascontiguousarray(np.concatenate(parts, axis=1))
+
+
+def unpack(
+    packed: np.ndarray,
+    geometry: DataGeometry,
+    fill: int = 0,
+) -> np.ndarray:
+    """Inverse of :func:`pack` for verification: scatter packed bytes back
+    into a full-stride frame, filling untouched bytes with ``fill``.
+    """
+    if packed.ndim != 2 or packed.shape[1] != geometry.packed_width:
+        raise GeometryError(
+            f"packed image must be (n, {geometry.packed_width}), got {packed.shape}"
+        )
+    out = np.full((packed.shape[0], geometry.row_stride), fill, dtype=np.uint8)
+    cursor = 0
+    for f in geometry.fields:
+        out[:, f.offset : f.end] = packed[:, cursor : cursor + f.width]
+        cursor += f.width
+    return out
+
+
+def decode_field(packed: np.ndarray, geometry: DataGeometry, name: str) -> np.ndarray:
+    """Decode one field of a packed image into a typed numpy array.
+
+    Opaque (``dtype=None``) fields come back as ``(n, width)`` uint8.
+    """
+    f = geometry.packed_field(name)
+    raw = np.ascontiguousarray(packed[:, f.offset : f.end])
+    if f.dtype is None:
+        return raw
+    return raw.view(np.dtype(f.dtype)).reshape(-1)
+
+
+def decode_frame_field(frame: np.ndarray, geometry: DataGeometry, name: str) -> np.ndarray:
+    """Decode one field straight out of a row-major frame (the strided
+    access path used by the row- and column-store baselines)."""
+    check_frame(frame, geometry)
+    f = geometry.field(name)
+    raw = np.ascontiguousarray(frame[:, f.offset : f.end])
+    if f.dtype is None:
+        return raw
+    return raw.view(np.dtype(f.dtype)).reshape(-1)

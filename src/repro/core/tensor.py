@@ -1,0 +1,160 @@
+"""Ephemeral slices of matrices and tensors (paper §VII, Q1).
+
+"data transformation has great potential for other data-intensive
+applications over multi-dimensional data (matrix/tensor slicing and
+vectorized operations on matrix/tensor slices)" — the same hardware that
+turns rows into column groups turns row-major matrices into dense
+submatrices: a matrix row is just a wide tuple whose "columns" are
+element ranges.
+
+:func:`slice_matrix` builds the geometry for an arbitrary
+``[row_lo:row_hi, col_lo:col_hi]`` window, runs the packer for the bytes
+and the engine model for the cost, and returns both. The data-movement
+win is identical in kind to the relational one: a legacy fetch drags
+whole matrix rows through the caches; the fabric ships only the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.geometry import DataGeometry, FieldSlice
+from repro.core.packer import pack
+from repro.errors import GeometryError
+from repro.hw.config import PlatformConfig, default_platform
+from repro.hw.engine import RelationalMemoryEngineModel, RmTransformReport
+
+
+def matrix_geometry(
+    ncols: int, itemsize: int, col_lo: int, col_hi: int
+) -> DataGeometry:
+    """Geometry selecting columns ``[col_lo, col_hi)`` of a row-major
+    matrix with ``ncols`` elements of ``itemsize`` bytes per row."""
+    if not 0 <= col_lo < col_hi <= ncols:
+        raise GeometryError(
+            f"column window [{col_lo}, {col_hi}) outside matrix of {ncols} columns"
+        )
+    return DataGeometry(
+        row_stride=ncols * itemsize,
+        fields=(
+            FieldSlice(
+                name="window",
+                offset=col_lo * itemsize,
+                width=(col_hi - col_lo) * itemsize,
+            ),
+        ),
+    )
+
+
+@dataclass
+class MatrixSlice:
+    """A dense submatrix served by the fabric, with its cost report."""
+
+    values: np.ndarray
+    report: RmTransformReport
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.values.shape
+
+    @property
+    def bytes_shipped(self) -> int:
+        return self.report.out_bytes
+
+    def legacy_bytes(self, full_row_bytes: int) -> int:
+        """Bytes a row-granular legacy fetch of the same rows would move."""
+        return self.values.shape[0] * full_row_bytes
+
+
+class TensorFabric:
+    """The fabric specialized for multi-dimensional slicing."""
+
+    def __init__(self, platform: Optional[PlatformConfig] = None):
+        self.platform = platform or default_platform()
+        self.engine = RelationalMemoryEngineModel(self.platform)
+
+    def slice_matrix(
+        self,
+        matrix: np.ndarray,
+        rows: Tuple[int, int],
+        cols: Tuple[int, int],
+    ) -> MatrixSlice:
+        """Dense copy of ``matrix[rows[0]:rows[1], cols[0]:cols[1]]``
+        with fabric cost accounting.
+
+        ``matrix`` must be 2-D, C-contiguous, of a fixed-width dtype.
+        """
+        if matrix.ndim != 2:
+            raise GeometryError(f"need a 2-D matrix, got {matrix.ndim}-D")
+        if not matrix.flags["C_CONTIGUOUS"]:
+            raise GeometryError("matrix must be row-major (C-contiguous)")
+        row_lo, row_hi = rows
+        if not 0 <= row_lo <= row_hi <= matrix.shape[0]:
+            raise GeometryError(f"row window {rows} outside {matrix.shape}")
+        itemsize = matrix.dtype.itemsize
+        geometry = matrix_geometry(matrix.shape[1], itemsize, cols[0], cols[1])
+
+        frame = matrix[row_lo:row_hi].view(np.uint8).reshape(
+            row_hi - row_lo, matrix.shape[1] * itemsize
+        )
+        packed = pack(frame, geometry)
+        values = (
+            np.ascontiguousarray(packed)
+            .view(matrix.dtype)
+            .reshape(row_hi - row_lo, cols[1] - cols[0])
+        )
+        report = self.engine.transform(
+            nrows=row_hi - row_lo,
+            row_stride=geometry.row_stride,
+            out_bytes_per_row=geometry.packed_width,
+        )
+        return MatrixSlice(values=values, report=report)
+
+    def slice_tensor_3d(
+        self,
+        tensor: np.ndarray,
+        planes: Tuple[int, int],
+        rows: Tuple[int, int],
+        cols: Tuple[int, int],
+    ) -> MatrixSlice:
+        """3-D window: a row-major tensor is a matrix of (plane*row)
+        super-rows; the plane and row windows select super-rows, the
+        column window is the per-super-row geometry."""
+        if tensor.ndim != 3:
+            raise GeometryError(f"need a 3-D tensor, got {tensor.ndim}-D")
+        p_lo, p_hi = planes
+        r_lo, r_hi = rows
+        if not (0 <= p_lo <= p_hi <= tensor.shape[0]):
+            raise GeometryError(f"plane window {planes} outside {tensor.shape}")
+        # Slice each selected plane's row window; the fabric treats the
+        # selected super-rows as one streamed request.
+        parts = []
+        total_report = None
+        for p in range(p_lo, p_hi):
+            part = self.slice_matrix(tensor[p], (r_lo, r_hi), cols)
+            parts.append(part.values)
+            total_report = (
+                part.report
+                if total_report is None
+                else _merge_reports(total_report, part.report)
+            )
+        if not parts:
+            raise GeometryError("empty plane window")
+        values = np.stack(parts)
+        return MatrixSlice(values=values, report=total_report)
+
+
+def _merge_reports(a: RmTransformReport, b: RmTransformReport) -> RmTransformReport:
+    return RmTransformReport(
+        nrows=a.nrows + b.nrows,
+        out_bytes=a.out_bytes + b.out_bytes,
+        out_lines=a.out_lines + b.out_lines,
+        produce_cycles=a.produce_cycles + b.produce_cycles,
+        refill_stall_cycles=a.refill_stall_cycles + b.refill_stall_cycles,
+        configure_cycles=a.configure_cycles,  # one configuration
+        dram_bytes_touched=a.dram_bytes_touched + b.dram_bytes_touched,
+        refills=a.refills + b.refills,
+    )

@@ -1,0 +1,42 @@
+"""Database substrate: types, schemas, row tables, SQL, planning, the
+three engines, MVCC transactions, indexing, compression, and the physical
+design advisor."""
+
+from repro.db.catalog import Catalog
+from repro.db.schema import Column, TableSchema
+from repro.db.table import Table
+from repro.db.types import (
+    BOOL,
+    CHAR,
+    DATE,
+    DECIMAL,
+    FLOAT32,
+    FLOAT64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    TIMESTAMP,
+    DataType,
+    parse_type,
+)
+
+__all__ = [
+    "BOOL",
+    "CHAR",
+    "Catalog",
+    "Column",
+    "DATE",
+    "DECIMAL",
+    "DataType",
+    "FLOAT32",
+    "FLOAT64",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "TIMESTAMP",
+    "Table",
+    "TableSchema",
+    "parse_type",
+]

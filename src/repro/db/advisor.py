@@ -1,0 +1,176 @@
+"""Physical-design advisor: classical vertical partitioning vs the fabric.
+
+Paper Section III-A: legacy systems use workload knowledge to pick
+vertical partitions ("collocate columns that are frequently accessed
+together"); the fabric makes the whole decision moot because any column
+group is available on the fly.
+
+This module makes the comparison executable:
+
+* :func:`advise_partitions` runs a classical affinity-driven greedy
+  partitioner (attribute-affinity matrix + merge-while-it-helps), the
+  textbook approach;
+* :func:`fabric_cost` prices the same workload under ephemeral column
+  groups (no partitions, no design step);
+* :class:`AdvisorReport` carries both, so the benches can show where
+  static partitioning lands between the row layout and the fabric.
+
+Costs are bytes-moved per workload execution — the currency vertical
+partitioning actually optimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.db.schema import TableSchema
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One query for design purposes: the columns it touches, how often."""
+
+    columns: Tuple[str, ...]
+    frequency: float = 1.0
+
+
+def affinity_matrix(
+    schema: TableSchema, workload: Sequence[WorkloadQuery]
+) -> Dict[Tuple[str, str], float]:
+    """Pairwise co-access frequency of columns (the classic AA matrix)."""
+    out: Dict[Tuple[str, str], float] = {}
+    for query in workload:
+        for a, b in combinations(sorted(set(query.columns)), 2):
+            out[(a, b)] = out.get((a, b), 0.0) + query.frequency
+    return out
+
+
+def partition_cost(
+    schema: TableSchema,
+    partitions: Sequence[FrozenSet[str]],
+    workload: Sequence[WorkloadQuery],
+    nrows: int,
+) -> float:
+    """Bytes moved by the workload under a given static partitioning.
+
+    A query reads every partition containing at least one column it needs
+    — in full, because the partition is the stored unit. Queries touching
+    multiple partitions pay a per-row stitch surcharge (tuple
+    reconstruction across fragments), the classical penalty that keeps
+    partitionings from going fully columnar.
+    """
+    width = {c.name: c.dtype.width for c in schema.user_columns}
+    part_width = {p: sum(width[c] for c in p) for p in partitions}
+    total = 0.0
+    for query in workload:
+        needed = set(query.columns)
+        touched = [p for p in partitions if p & needed]
+        bytes_read = sum(part_width[p] for p in touched) * nrows
+        stitch = 8 * nrows * max(0, len(touched) - 1)  # row-id joins
+        total += query.frequency * (bytes_read + stitch)
+    return total
+
+
+def fabric_cost(
+    schema: TableSchema, workload: Sequence[WorkloadQuery], nrows: int
+) -> float:
+    """Bytes moved with ephemeral column groups: exactly what each query
+    references, no reconstruction, no design decision."""
+    width = {c.name: c.dtype.width for c in schema.user_columns}
+    return sum(
+        q.frequency * nrows * sum(width[c] for c in set(q.columns))
+        for q in workload
+    )
+
+
+@dataclass
+class AdvisorReport:
+    """Outcome of the physical-design comparison."""
+
+    partitions: List[FrozenSet[str]]
+    partitioned_cost: float
+    row_layout_cost: float
+    column_layout_cost: float
+    fabric_cost: float
+    steps: List[str] = field(default_factory=list)
+
+    @property
+    def fabric_speedup_vs_best_static(self) -> float:
+        best = min(self.partitioned_cost, self.row_layout_cost, self.column_layout_cost)
+        return best / self.fabric_cost if self.fabric_cost else float("inf")
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            "{" + ",".join(sorted(p)) + "}" for p in self.partitions
+        )
+        return (
+            f"best static partitioning: {parts}\n"
+            f"  bytes/workload: partitioned={self.partitioned_cost:.3g} "
+            f"row={self.row_layout_cost:.3g} "
+            f"column={self.column_layout_cost:.3g} fabric={self.fabric_cost:.3g}\n"
+            f"  fabric vs best static: {self.fabric_speedup_vs_best_static:.2f}x"
+        )
+
+
+def advise_partitions(
+    schema: TableSchema,
+    workload: Sequence[WorkloadQuery],
+    nrows: int,
+) -> AdvisorReport:
+    """Greedy agglomerative vertical partitioner.
+
+    Start from one partition per column; repeatedly merge the pair of
+    partitions with the highest affinity whose merge does not increase
+    the workload cost; stop when no merge helps. This is the textbook
+    hill-climbing simplification of bond-energy-style algorithms — good
+    enough to show what a static design can and cannot achieve.
+    """
+    columns = [c.name for c in schema.user_columns]
+    partitions: List[FrozenSet[str]] = [frozenset({c}) for c in columns]
+    affinity = affinity_matrix(schema, workload)
+    steps: List[str] = []
+
+    def pair_affinity(p: FrozenSet[str], q: FrozenSet[str]) -> float:
+        return sum(
+            affinity.get((min(a, b), max(a, b)), 0.0) for a in p for b in q
+        )
+
+    current = partition_cost(schema, partitions, workload, nrows)
+    improved = True
+    while improved and len(partitions) > 1:
+        improved = False
+        candidates = sorted(
+            combinations(range(len(partitions)), 2),
+            key=lambda ij: -pair_affinity(partitions[ij[0]], partitions[ij[1]]),
+        )
+        for i, j in candidates:
+            merged = partitions[i] | partitions[j]
+            trial = [p for k, p in enumerate(partitions) if k not in (i, j)]
+            trial.append(merged)
+            cost = partition_cost(schema, trial, workload, nrows)
+            if cost <= current:
+                steps.append(
+                    f"merge {sorted(partitions[i])} + {sorted(partitions[j])} "
+                    f"-> cost {cost:.3g}"
+                )
+                partitions = trial
+                current = cost
+                improved = True
+                break
+
+    row_cost = partition_cost(
+        schema, [frozenset(columns)], workload, nrows
+    )
+    col_cost = partition_cost(
+        schema, [frozenset({c}) for c in columns], workload, nrows
+    )
+    return AdvisorReport(
+        partitions=partitions,
+        partitioned_cost=current,
+        row_layout_cost=row_cost,
+        column_layout_cost=col_cost,
+        fabric_cost=fabric_cost(schema, workload, nrows),
+        steps=steps,
+    )

@@ -1,0 +1,57 @@
+"""Column compression codecs with fabric-compatibility contracts (§III-D)."""
+
+from typing import Dict
+
+import numpy as np
+
+from repro.db.compression.base import Codec, CompressedColumn, as_int_array
+from repro.db.compression.delta import DeltaCodec
+from repro.db.compression.dictionary import DictionaryCodec
+from repro.db.compression.huffman import HuffmanCodec
+from repro.db.compression.lz import Lz77Codec
+from repro.db.compression.rle import RleCodec
+
+__all__ = [
+    "Codec",
+    "CompressedColumn",
+    "DeltaCodec",
+    "DictionaryCodec",
+    "HuffmanCodec",
+    "Lz77Codec",
+    "RleCodec",
+    "all_codecs",
+    "as_int_array",
+    "best_codec",
+    "decode",
+]
+
+
+def all_codecs() -> Dict[str, Codec]:
+    """Fresh instances of every codec, keyed by name."""
+    codecs = (DictionaryCodec(), DeltaCodec(), RleCodec(), HuffmanCodec(), Lz77Codec())
+    return {c.name: c for c in codecs}
+
+
+def best_codec(values: np.ndarray, fabric_only: bool = False) -> Codec:
+    """Pick the codec with the best compression ratio for ``values``.
+
+    With ``fabric_only`` the choice is restricted to schemes that support
+    scattered column-group access — the constraint a fabric-based system
+    lives under (§III-D).
+    """
+    values = as_int_array(values)
+    raw = values.nbytes
+    best = None
+    best_ratio = -1.0
+    for codec in all_codecs().values():
+        if fabric_only and not codec.fabric_compatible:
+            continue
+        ratio = codec.encode(values).ratio(raw)
+        if ratio > best_ratio:
+            best, best_ratio = codec, ratio
+    return best
+
+
+def decode(column: CompressedColumn) -> np.ndarray:
+    """Decode with whichever codec produced ``column``."""
+    return all_codecs()[column.codec].decode(column)

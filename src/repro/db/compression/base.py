@@ -1,0 +1,88 @@
+"""Compression codec interface and fabric-compatibility contract.
+
+Paper Section III-D sorts compression schemes by whether they work under
+on-the-fly vertical partitioning:
+
+* delta, dictionary and Huffman coding "are easily supported ... they can
+  be used in row-oriented data, and hence they can benefit any groups of
+  columns requested by ephemeral columns" — each column's bytes decode
+  independently of its neighbours;
+* the run-length family "cannot be used out of the box" — decoding is
+  positionally data-dependent;
+* the LZ family is not a natural fit because "they require fully
+  decompressing your data before you can access separate columns".
+
+Every codec here declares :attr:`Codec.fabric_compatible` accordingly,
+and the property is *tested*, not asserted: the suite checks that
+compatible codecs can decode a row range without touching the rest of
+the payload (see ``tests/test_compression.py``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+
+@dataclass
+class CompressedColumn:
+    """An encoded column: opaque payload plus codec metadata."""
+
+    codec: str
+    payload: bytes
+    meta: Dict[str, Any] = field(default_factory=dict)
+    n_values: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+    def ratio(self, raw_bytes: int) -> float:
+        """Compression ratio (raw / compressed); > 1 means it shrank."""
+        return raw_bytes / self.nbytes if self.nbytes else float("inf")
+
+
+class Codec(ABC):
+    """One compression scheme for a column of int64 values."""
+
+    name: str = "abstract"
+    #: True when an arbitrary value range decodes without touching the
+    #: rest of the payload — the property the fabric needs (§III-D).
+    fabric_compatible: bool = False
+
+    @abstractmethod
+    def encode(self, values: np.ndarray) -> CompressedColumn:
+        """Compress a 1-D integer array."""
+
+    @abstractmethod
+    def decode(self, column: CompressedColumn) -> np.ndarray:
+        """Recover the full value array."""
+
+    def decode_range(self, column: CompressedColumn, start: int, stop: int) -> np.ndarray:
+        """Decode values ``[start, stop)``.
+
+        Fabric-compatible codecs override this with an implementation
+        whose work is proportional to ``stop - start``; the default falls
+        back to a full decode (what an incompatible codec forces).
+        """
+        return self.decode(column)[start:stop]
+
+    def _check(self, column: CompressedColumn) -> None:
+        if column.codec != self.name:
+            raise CompressionError(
+                f"payload was encoded by {column.codec!r}, not {self.name!r}"
+            )
+
+
+def as_int_array(values: np.ndarray) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise CompressionError(f"codecs take 1-D arrays, got shape {arr.shape}")
+    if arr.dtype.kind not in "iu":
+        raise CompressionError(f"codecs take integer arrays, got {arr.dtype}")
+    return arr.astype(np.int64, copy=False)

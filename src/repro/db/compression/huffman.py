@@ -1,0 +1,191 @@
+"""Canonical Huffman coding over the byte representation of a column.
+
+Blocked like the delta codec so row ranges decode independently
+(fabric-compatible per §III-D — the paper groups Huffman with dictionary
+and delta as "easily supported"). Each block carries its own code-length
+table; codes are canonical so the table is just 256 lengths.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.db.compression.base import Codec, CompressedColumn, as_int_array
+from repro.errors import CompressionError
+
+
+def _code_lengths(freqs: Dict[int, int]) -> Dict[int, int]:
+    """Huffman code length per symbol (package-merge-free: plain tree)."""
+    if len(freqs) == 1:
+        return {next(iter(freqs)): 1}
+    heap: List[Tuple[int, int, object]] = []
+    for i, (sym, f) in enumerate(sorted(freqs.items())):
+        heap.append((f, i, sym))
+    heapq.heapify(heap)
+    counter = len(heap)
+    while len(heap) > 1:
+        fa, _, a = heapq.heappop(heap)
+        fb, _, b = heapq.heappop(heap)
+        heapq.heappush(heap, (fa + fb, counter, (a, b)))
+        counter += 1
+    lengths: Dict[int, int] = {}
+
+    def walk(node, depth):
+        if isinstance(node, tuple):
+            walk(node[0], depth + 1)
+            walk(node[1], depth + 1)
+        else:
+            lengths[node] = max(1, depth)
+
+    walk(heap[0][2], 0)
+    return lengths
+
+
+def _canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
+    """Symbol → (code, length), canonical order (length, then symbol)."""
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    prev_len = ordered[0][1]
+    for sym, length in ordered:
+        code <<= length - prev_len
+        codes[sym] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+class _BitWriter:
+    def __init__(self):
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, code: int, length: int) -> None:
+        self._acc = (self._acc << length) | code
+        self._nbits += length
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._out.append((self._acc >> self._nbits) & 0xFF)
+        self._acc &= (1 << self._nbits) - 1
+
+    def finish(self) -> bytes:
+        if self._nbits:
+            self._out.append((self._acc << (8 - self._nbits)) & 0xFF)
+        return bytes(self._out)
+
+
+class _BitReader:
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+        self._acc = 0
+        self._nbits = 0
+
+    def read_bit(self) -> int:
+        if self._nbits == 0:
+            self._acc = self._data[self._pos]
+            self._pos += 1
+            self._nbits = 8
+        self._nbits -= 1
+        return (self._acc >> self._nbits) & 1
+
+
+class HuffmanCodec(Codec):
+    """Blocked canonical Huffman over little-endian int64 bytes."""
+
+    name = "huffman"
+    fabric_compatible = True
+
+    _HEADER = struct.Struct("<IH")  # body byte length, value count
+
+    def __init__(self, block_size: int = 4096):
+        if not 1 <= block_size <= 65535:
+            raise CompressionError("block size must be in [1, 65535]")
+        self.block_size = block_size
+
+    def encode(self, values: np.ndarray) -> CompressedColumn:
+        values = as_int_array(values)
+        chunks: List[bytes] = []
+        offsets: List[int] = []
+        cursor = 0
+        for start in range(0, len(values), self.block_size):
+            block = values[start : start + self.block_size]
+            raw = block.astype("<i8").tobytes()
+            freqs: Dict[int, int] = {}
+            for byte in raw:
+                freqs[byte] = freqs.get(byte, 0) + 1
+            lengths = _code_lengths(freqs)
+            codes = _canonical_codes(lengths)
+            writer = _BitWriter()
+            for byte in raw:
+                code, length = codes[byte]
+                writer.write(code, length)
+            body = writer.finish()
+            table = bytes(lengths.get(sym, 0) for sym in range(256))
+            chunk = self._HEADER.pack(len(body), len(block)) + table + body
+            offsets.append(cursor)
+            chunks.append(chunk)
+            cursor += len(chunk)
+        return CompressedColumn(
+            codec=self.name,
+            payload=b"".join(chunks),
+            meta={"block_size": self.block_size, "block_offsets": offsets},
+            n_values=len(values),
+        )
+
+    def _decode_block(self, payload: bytes, offset: int) -> np.ndarray:
+        body_len, count = self._HEADER.unpack_from(payload, offset)
+        table_start = offset + self._HEADER.size
+        lengths = {
+            sym: payload[table_start + sym]
+            for sym in range(256)
+            if payload[table_start + sym]
+        }
+        codes = _canonical_codes(lengths)
+        # code → symbol at each length for canonical decoding.
+        by_code = {(c, l): sym for sym, (c, l) in codes.items()}
+        body = payload[table_start + 256 : table_start + 256 + body_len]
+        reader = _BitReader(body)
+        out = bytearray()
+        needed = count * 8
+        code = 0
+        length = 0
+        while len(out) < needed:
+            code = (code << 1) | reader.read_bit()
+            length += 1
+            sym = by_code.get((code, length))
+            if sym is not None:
+                out.append(sym)
+                code = 0
+                length = 0
+        return np.frombuffer(bytes(out), dtype="<i8").astype(np.int64)
+
+    def decode(self, column: CompressedColumn) -> np.ndarray:
+        self._check(column)
+        blocks = [
+            self._decode_block(column.payload, off)
+            for off in column.meta["block_offsets"]
+        ]
+        if not blocks:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(blocks)
+
+    def decode_range(self, column: CompressedColumn, start: int, stop: int) -> np.ndarray:
+        self._check(column)
+        bs = column.meta["block_size"]
+        offsets = column.meta["block_offsets"]
+        first, last = start // bs, max(start, stop - 1) // bs
+        parts = [
+            self._decode_block(column.payload, offsets[b])
+            for b in range(first, min(last, len(offsets) - 1) + 1)
+        ]
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        joined = np.concatenate(parts)
+        lo = start - first * bs
+        return joined[lo : lo + (stop - start)]

@@ -1,0 +1,119 @@
+"""LZ77-family compression over the raw column bytes.
+
+NOT fabric-compatible (§III-D: the LZ family "require[s] fully
+decompressing your data before you can access separate columns"): back-
+references reach arbitrarily far back, so nothing short of a full decode
+recovers a row range. A genuine (small-window) LZ77 with greedy matching
+— the point is faithful *behaviour*, not competitive speed.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+import numpy as np
+
+from repro.db.compression.base import Codec, CompressedColumn, as_int_array
+from repro.errors import CompressionError
+
+_MIN_MATCH = 4
+#: Longest encodable match: the control byte stores length - _MIN_MATCH
+#: in 7 bits.
+_MAX_MATCH = 127 + _MIN_MATCH
+_WINDOW = 1 << 16
+
+
+class Lz77Codec(Codec):
+    """Byte-oriented LZ77: literal runs and (distance, length) matches.
+
+    Token format: control byte ``n``; ``n < 128`` → ``n+1`` literal bytes
+    follow; ``n >= 128`` → match of length ``n - 128 + _MIN_MATCH`` at a
+    little-endian uint16 distance that follows.
+    """
+
+    name = "lz77"
+    fabric_compatible = False
+
+    def encode(self, values: np.ndarray) -> CompressedColumn:
+        values = as_int_array(values)
+        data = values.astype("<i8").tobytes()
+        out = bytearray()
+        table: Dict[bytes, List[int]] = {}
+        i = 0
+        literals = bytearray()
+
+        def flush_literals():
+            nonlocal literals
+            pos = 0
+            while pos < len(literals):
+                run = literals[pos : pos + 128]
+                out.append(len(run) - 1)
+                out.extend(run)
+                pos += len(run)
+            literals = bytearray()
+
+        n = len(data)
+        while i < n:
+            best_len = 0
+            best_dist = 0
+            if i + _MIN_MATCH <= n:
+                key = data[i : i + _MIN_MATCH]
+                for j in table.get(key, ()):  # newest candidates last
+                    if i - j > _WINDOW - 1:
+                        continue
+                    length = _MIN_MATCH
+                    while (
+                        length < _MAX_MATCH
+                        and i + length < n
+                        and data[j + length] == data[i + length]
+                    ):
+                        length += 1
+                    if length > best_len:
+                        best_len = length
+                        best_dist = i - j
+            if best_len >= _MIN_MATCH:
+                flush_literals()
+                out.append(128 + best_len - _MIN_MATCH)
+                out.extend(struct.pack("<H", best_dist))
+                end = i + best_len
+                while i < end:
+                    if i + _MIN_MATCH <= n:
+                        table.setdefault(data[i : i + _MIN_MATCH], []).append(i)
+                    i += 1
+            else:
+                literals.append(data[i])
+                if i + _MIN_MATCH <= n:
+                    table.setdefault(data[i : i + _MIN_MATCH], []).append(i)
+                i += 1
+        flush_literals()
+        return CompressedColumn(
+            codec=self.name, payload=bytes(out), n_values=len(values)
+        )
+
+    def decode(self, column: CompressedColumn) -> np.ndarray:
+        self._check(column)
+        data = column.payload
+        out = bytearray()
+        i = 0
+        while i < len(data):
+            control = data[i]
+            i += 1
+            if control < 128:
+                count = control + 1
+                out.extend(data[i : i + count])
+                i += count
+            else:
+                length = control - 128 + _MIN_MATCH
+                (dist,) = struct.unpack_from("<H", data, i)
+                i += 2
+                if dist == 0 or dist > len(out):
+                    raise CompressionError("corrupt LZ77 stream: bad distance")
+                for _ in range(length):  # may self-overlap, byte at a time
+                    out.append(out[-dist])
+        expected = column.n_values * 8
+        if len(out) != expected:
+            raise CompressionError(
+                f"corrupt LZ77 stream: {len(out)} bytes, expected {expected}"
+            )
+        return np.frombuffer(bytes(out), dtype="<i8").astype(np.int64)

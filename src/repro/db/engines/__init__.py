@@ -1,0 +1,25 @@
+"""The three engines under test: ROW (Volcano row store), COL
+(column-at-a-time column store) and RM (ephemeral scans via the fabric)."""
+
+from repro.db.engines.base import Engine, ExecutionResult
+from repro.db.engines.colstore import ColumnarReplica, ColumnStoreEngine
+from repro.db.engines.rmstore import RelationalMemoryEngine
+from repro.db.engines.rowstore import RowStoreEngine
+
+__all__ = [
+    "ColumnStoreEngine",
+    "ColumnarReplica",
+    "Engine",
+    "ExecutionResult",
+    "RelationalMemoryEngine",
+    "RowStoreEngine",
+]
+
+
+def all_engines(catalog, platform=None, **kw):
+    """The standard trio, keyed by name — what every figure sweeps."""
+    return {
+        "row": RowStoreEngine(catalog, platform, **kw),
+        "column": ColumnStoreEngine(catalog, platform, **kw),
+        "rm": RelationalMemoryEngine(catalog, platform, **kw),
+    }

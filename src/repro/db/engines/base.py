@@ -1,0 +1,216 @@
+"""Engine framework: shared execution flow + per-engine cost recipes.
+
+Every engine answers queries through the same vectorized evaluator (so
+results are identical by construction) but *accounts cycles* according to
+its execution model:
+
+* :class:`~repro.db.engines.rowstore.RowStoreEngine` — Volcano
+  tuple-at-a-time over the row image (full rows stream through caches);
+* :class:`~repro.db.engines.colstore.ColumnStoreEngine` —
+  column-at-a-time over a materialized columnar replica (one stream per
+  column, intermediates, tuple reconstruction);
+* :class:`~repro.db.engines.rmstore.RelationalMemoryEngine` — a scalar
+  kernel over an ephemeral column group packed by the fabric.
+
+The per-operator recipes live in subclasses' ``_charge_access``; common
+post-scan work (joins, grouping, sorting) is charged identically here,
+because those costs do not depend on the access path.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.ledger import CostLedger
+from repro.core.mvcc_filter import visible_mask
+from repro.db.catalog import Catalog
+from repro.db.plan.binder import BoundQuery, bind
+from repro.db.plan.logical import explain
+from repro.db.exec.result import QueryResult
+from repro.db.exec.vector import apply_where, run_vector
+from repro.db.sql.parser import parse
+from repro.errors import ExecutionError
+from repro.hw.analytic import AnalyticMemoryModel, MemoryModel, TraceMemoryModel
+from repro.hw.config import PlatformConfig, default_platform
+from repro.hw.cpu import CpuCostModel
+
+
+@dataclass
+class ExecutionResult:
+    """A query answer plus the full simulated cost picture."""
+
+    engine: str
+    result: QueryResult
+    ledger: CostLedger
+    plan: str
+    #: Rows visible to the query (post-MVCC), rows qualifying the WHERE.
+    visible_rows: int = 0
+    qualifying_rows: int = 0
+
+    @property
+    def cycles(self) -> float:
+        return self.ledger.total_cycles
+
+    def seconds(self, cpu: CpuCostModel) -> float:
+        return cpu.seconds(self.cycles)
+
+
+class Engine(ABC):
+    """Base engine: parse/bind, fetch columns, charge costs, evaluate."""
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        platform: Optional[PlatformConfig] = None,
+        memory_model: str = "analytic",
+        threads: int = 1,
+    ):
+        self.catalog = catalog
+        self.platform = platform or default_platform()
+        self.cpu = CpuCostModel(self.platform.cpu)
+        if threads < 1:
+            raise ExecutionError(f"threads must be >= 1, got {threads}")
+        #: Intra-query parallelism (the testbed has four cores). Compute
+        #: and exposed-latency work scale with threads; prefetch-covered
+        #: streaming saturates the DDR channel at
+        #: ``dram.bandwidth_saturation_cores``.
+        self.threads = threads
+        if memory_model == "analytic":
+            self.memory: MemoryModel = AnalyticMemoryModel(self.platform)
+        elif memory_model == "trace":
+            self.memory = TraceMemoryModel(self.platform)
+        else:
+            raise ExecutionError(f"unknown memory model {memory_model!r}")
+
+    # ------------------------------------------------------------------
+    # Parallel scan charging, shared by every engine's access path.
+    # ------------------------------------------------------------------
+    def _charge_scan(self, ledger: CostLedger, mem, **cpu_buckets: float) -> float:
+        """Charge one scan stage: named CPU components plus a MemCost.
+
+        Per-thread: CPU work and exposed misses divide by ``threads``
+        (independent across cores); covered streaming divides only until
+        the channel saturates. The covered stream overlaps with compute:
+        the stage costs ``max(covered, cpu) + exposed``. Returns the
+        stage's total cycles.
+        """
+        n = self.threads
+        sat = min(n, self.platform.dram.bandwidth_saturation_cores)
+        cpu_total = 0.0
+        for bucket, cycles in cpu_buckets.items():
+            scaled = cycles / n
+            ledger.charge(bucket, scaled)
+            cpu_total += scaled
+        covered = mem.covered / sat
+        exposed = mem.exposed / n
+        mem_charge = exposed + max(0.0, covered - cpu_total)
+        ledger.charge(CostLedger.MEMORY, mem_charge)
+        return cpu_total + mem_charge
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: Union[str, BoundQuery],
+        snapshot_ts: Optional[int] = None,
+    ) -> ExecutionResult:
+        """Run one query and return its answer and cost ledger.
+
+        ``snapshot_ts`` enables MVCC visibility on tables that carry
+        timestamp columns; it is ignored (with all rows visible) on
+        plain tables.
+        """
+        bound = self.bind(query) if isinstance(query, str) else query
+        ledger = CostLedger()
+        columns, visible, mask = self._fetch(bound, snapshot_ts, ledger)
+        qualifying = visible if mask is None else int(np.count_nonzero(mask))
+        self._charge_post_scan(bound, visible, qualifying, ledger)
+        result = run_vector(bound, columns, mask=mask)
+        return ExecutionResult(
+            engine=self.name,
+            result=result,
+            ledger=ledger,
+            plan=explain(bound, access_path=self.access_path),
+            visible_rows=visible,
+            qualifying_rows=qualifying,
+        )
+
+    def bind(self, sql: str) -> BoundQuery:
+        return bind(parse(sql), self.catalog)
+
+    @property
+    def access_path(self) -> str:
+        return "scan"
+
+    # ------------------------------------------------------------------
+    # Engine-specific access path.
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _fetch(
+        self,
+        bound: BoundQuery,
+        snapshot_ts: Optional[int],
+        ledger: CostLedger,
+    ) -> Tuple[Dict[str, np.ndarray], int, Optional[np.ndarray]]:
+        """Deliver the referenced base columns (restricted to visible
+        rows), charging the access-path costs. Returns ``(columns,
+        visible_row_count, where_mask_or_None)``."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers.
+    # ------------------------------------------------------------------
+    def _visibility(
+        self, bound: BoundQuery, snapshot_ts: Optional[int]
+    ) -> Optional[np.ndarray]:
+        table = bound.table
+        if snapshot_ts is None or not table.schema.mvcc:
+            return None
+        return visible_mask(table.begin_ts, table.end_ts, snapshot_ts)
+
+    def _decoded_columns(
+        self, bound: BoundQuery, vis: Optional[np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        table = bound.table
+        out = {}
+        for name in bound.referenced_columns:
+            values = table.column_values(name)
+            out[name] = values if vis is None else values[vis]
+        return out
+
+    def _charge_post_scan(
+        self, bound: BoundQuery, visible: int, qualifying: int, ledger: CostLedger
+    ) -> None:
+        """Join/group/sort costs, identical across access paths.
+
+        These parallelize across threads (partitioned hash tables, local
+        accumulators merged at the end).
+        """
+        cpu = self.cpu
+        n = self.threads
+        if bound.join is not None:
+            build_n = bound.join.table.nrows
+            ledger.charge(CostLedger.CPU, cpu.hash_probes(build_n + qualifying) / n)
+            probe = self.memory.random(
+                qualifying, build_n * 16  # key + payload pointer per entry
+            )
+            ledger.charge(CostLedger.MEMORY, probe.total / n)
+        if bound.group_by or bound.has_aggregates:
+            ledger.charge(CostLedger.CPU, cpu.hash_probes(qualifying) / n)
+            ledger.charge(
+                CostLedger.CPU,
+                cpu.aggregate_updates(qualifying * bound.aggregate_count) / n,
+            )
+        n_out = qualifying if not (bound.group_by or bound.has_aggregates) else 0
+        if bound.distinct and n_out > 0:
+            ledger.charge(CostLedger.CPU, cpu.hash_probes(n_out) / n)
+        if bound.order_by and n_out > 1:
+            comparisons = n_out * math.log2(n_out) * len(bound.order_by)
+            ledger.charge(CostLedger.CPU, cpu.predicates(int(comparisons)) / n)

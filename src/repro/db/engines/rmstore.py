@@ -1,0 +1,374 @@
+"""The Relational Memory engine: queries over ephemeral column groups.
+
+The access path of the paper's RM (Section V): the fabric packs exactly
+the referenced columns into dense lines; the CPU runs the scalar kernel
+of Figure 3 over the ephemeral struct (default ``consumption="scalar"``),
+a vectorized loop over the packed stream (``consumption="vector"``), or
+picks whichever the cost model prefers per query
+(``consumption="auto"`` — the Section III-B "hybrid query engine that
+can alternate between row-at-a-time and column-at-a-time while working
+on the same base data").
+
+Optional fabric pushdown (Section IV-B, off by default to match the
+prototype): simple ``column <op> constant`` conjuncts are evaluated by
+comparators in the fabric so only qualifying rows are emitted, and with
+``aggregate_pushdown=True`` a qualifying single-aggregate query is
+reduced entirely in the fabric — the ephemeral variable then contains
+"only the required data or the aggregation result". MVCC visibility
+(Section III-C) is always evaluated in the fabric when a snapshot is
+given.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.ephemeral import Visibility
+from repro.core.fabric import RelationalMemory
+from repro.core.ledger import CostLedger
+from repro.core.selection import CompareOp, FabricFilter, FabricPredicate
+from repro.db.engines.base import Engine
+from repro.db.catalog import Catalog
+from repro.db.expr import ColumnRef, Compare, Expr, Literal
+from repro.db.plan.binder import BoundQuery
+from repro.db.exec.vector import apply_where
+from repro.errors import ExecutionError
+from repro.hw.config import PlatformConfig
+
+_PUSHABLE_OPS = {
+    "<": CompareOp.LT,
+    "<=": CompareOp.LE,
+    ">": CompareOp.GT,
+    ">=": CompareOp.GE,
+    "=": CompareOp.EQ,
+    "<>": CompareOp.NE,
+}
+
+
+class RelationalMemoryEngine(Engine):
+    """Scans through ephemeral column groups served by the fabric."""
+
+    name = "rm"
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        platform: Optional[PlatformConfig] = None,
+        consumption: str = "scalar",
+        pushdown: bool = False,
+        aggregate_pushdown: bool = False,
+        **kw,
+    ):
+        super().__init__(catalog, platform, **kw)
+        if consumption not in ("scalar", "vector", "auto"):
+            raise ExecutionError(f"unknown consumption mode {consumption!r}")
+        self.consumption = consumption
+        self.pushdown = pushdown
+        self.aggregate_pushdown = aggregate_pushdown
+        self.fabric = RelationalMemory(self.platform)
+        #: Queries answered entirely in the fabric (aggregation pushdown).
+        self.fabric_answered = 0
+
+    @property
+    def access_path(self) -> str:
+        return "ephemeral-scan"
+
+    # ------------------------------------------------------------------
+    # Aggregation pushdown (§IV-B): answer entirely in the fabric.
+    # ------------------------------------------------------------------
+    def execute(self, query, snapshot_ts=None):
+        bound = self.bind(query) if isinstance(query, str) else query
+        if self.aggregate_pushdown:
+            fast = self._try_fabric_aggregate(bound, snapshot_ts)
+            if fast is not None:
+                self.fabric_answered += 1
+                return fast
+        return super().execute(bound, snapshot_ts)
+
+    _FABRIC_AGGS = ("sum", "min", "max", "count")
+
+    def _try_fabric_aggregate(self, bound: BoundQuery, snapshot_ts):
+        """Return an ExecutionResult if the whole query reduces in the
+        fabric (single simple aggregate, fully pushable predicate), else
+        None to fall back to the ephemeral-scan path."""
+        import numpy as np
+
+        from repro.core.mvcc_filter import visible_mask
+        from repro.core.selection import FabricAggregate
+        from repro.db.engines.base import ExecutionResult
+        from repro.db.plan.logical import explain
+        from repro.db.exec.result import QueryResult
+
+        if (
+            bound.group_by
+            or bound.join is not None
+            or len(bound.outputs) != 1
+            or bound.outputs[0].kind not in self._FABRIC_AGGS
+        ):
+            return None
+        output = bound.outputs[0]
+        schema = bound.table.schema
+        agg_column = None
+        if output.expr is not None:
+            if not isinstance(output.expr, ColumnRef):
+                return None
+            agg_column = output.expr.name
+            if schema.column(agg_column).dtype.np_dtype is None:
+                return None
+        elif output.kind != "count":
+            return None
+
+        residual: List[Expr] = []
+        pushed: List[FabricPredicate] = []
+        if bound.where is not None:
+            pushed, residual = self._pushable(bound)
+            if residual:
+                return None
+
+        table = bound.table
+        frame = table.frame
+        base_geometry = schema.full_geometry()
+        mask = None
+        if snapshot_ts is not None and schema.mvcc:
+            mask = visible_mask(table.begin_ts, table.end_ts, snapshot_ts)
+        if pushed:
+            fmask = FabricFilter(predicates=tuple(pushed)).evaluate(
+                frame, base_geometry
+            )
+            mask = fmask if mask is None else (mask & fmask)
+
+        if mask is not None and output.kind in ("min", "max"):
+            if not np.any(mask):
+                # min/max of an empty set has no hardware encoding the
+                # software semantics expect; fall back to the scan path.
+                return None
+        field = agg_column if agg_column is not None else schema.column_names[0]
+        raw = FabricAggregate(field=field, kind=output.kind).evaluate(
+            frame, base_geometry, mask=mask
+        )
+        value = self._decode_aggregate(schema, agg_column, output.kind, raw)
+        dtype = np.int64 if output.kind == "count" else np.float64
+        result = QueryResult(
+            names=(output.name,),
+            columns={output.name: np.array([value], dtype=dtype)},
+        )
+
+        # Cost: the fabric scans the referenced fields of every row and
+        # emits only the accumulator; the CPU reads one value.
+        touched = schema.bytes_of(
+            [c for c in bound.referenced_columns]
+        )
+        report = self.fabric.engine.transform(
+            nrows=table.nrows,
+            row_stride=schema.row_stride,
+            out_bytes_per_row=max(1, touched),
+            qualifying_rows=0,
+            mvcc_filter=mask is not None and schema.mvcc,
+            fabric_predicates=len(pushed),
+        )
+        ledger = CostLedger()
+        ledger.charge(CostLedger.CONFIGURE, report.configure_cycles)
+        ledger.charge(CostLedger.FABRIC, report.produce_cycles)
+        ledger.charge(CostLedger.CPU, 2 * self.platform.cpu.volcano_tuple_cycles)
+        ledger.charge_traffic(report.dram_bytes_touched)
+        visible = table.nrows if mask is None else int(np.count_nonzero(mask))
+        return ExecutionResult(
+            engine=self.name,
+            result=result,
+            ledger=ledger,
+            plan=explain(bound, access_path="fabric-aggregate"),
+            visible_rows=visible,
+            qualifying_rows=visible,
+        )
+
+    @staticmethod
+    def _decode_aggregate(schema, agg_column, kind, raw):
+        if kind == "count" or agg_column is None:
+            return int(raw)
+        dtype = schema.column(agg_column).dtype
+        if raw is None:
+            return 0.0
+        if dtype.scale:
+            return float(raw) / 10**dtype.scale
+        return float(raw)
+
+    # ------------------------------------------------------------------
+    # Pushdown analysis.
+    # ------------------------------------------------------------------
+    def _pushable(self, bound: BoundQuery) -> Tuple[List[FabricPredicate], List[Expr]]:
+        """Split WHERE conjuncts into fabric comparators and CPU residue."""
+        pushed: List[FabricPredicate] = []
+        residual: List[Expr] = []
+        schema = bound.table.schema
+        for conj in bound.where_conjuncts:
+            pred = None
+            if isinstance(conj, Compare) and conj.op in _PUSHABLE_OPS:
+                col, lit, flipped = self._column_vs_literal(conj)
+                if col is not None and schema.has_column(col):
+                    dtype = schema.column(col).dtype
+                    if dtype.np_dtype is not None:
+                        raw = lit
+                        if dtype.scale:
+                            raw = int(round(float(lit) * 10**dtype.scale))
+                        op = _PUSHABLE_OPS[conj.op]
+                        if flipped:
+                            op = _flip(op)
+                        pred = FabricPredicate(field=col, op=op, constant=raw)
+            if pred is not None:
+                pushed.append(pred)
+            else:
+                residual.append(conj)
+        return pushed, residual
+
+    @staticmethod
+    def _column_vs_literal(cmp: Compare):
+        if isinstance(cmp.left, ColumnRef) and isinstance(cmp.right, Literal):
+            return cmp.left.name, cmp.right.value, False
+        if isinstance(cmp.right, ColumnRef) and isinstance(cmp.left, Literal):
+            return cmp.right.name, cmp.left.value, True
+        return None, None, False
+
+    # ------------------------------------------------------------------
+    # Access path.
+    # ------------------------------------------------------------------
+    def _fetch(
+        self,
+        bound: BoundQuery,
+        snapshot_ts: Optional[int],
+        ledger: CostLedger,
+    ) -> Tuple[Dict[str, np.ndarray], int, Optional[np.ndarray]]:
+        table = bound.table
+        schema = table.schema
+        cpu = self.cpu
+
+        geometry = schema.geometry(bound.referenced_columns)
+        visibility = None
+        if snapshot_ts is not None and schema.mvcc:
+            visibility = Visibility(
+                begin_ts=table.begin_ts,
+                end_ts=table.end_ts,
+                snapshot_ts=snapshot_ts,
+            )
+
+        fabric_filter = None
+        residual_ops = bound.where_op_count
+        if self.pushdown and bound.where is not None:
+            pushed, residual = self._pushable(bound)
+            if pushed:
+                fabric_filter = FabricFilter(predicates=tuple(pushed))
+                from repro.db.expr import op_count
+
+                residual_ops = sum(op_count(r) for r in residual)
+
+        group = self.fabric.configure(
+            table.frame,
+            geometry,
+            base_geometry=schema.full_geometry(),
+            fabric_filter=fabric_filter,
+            visibility=visibility,
+        )
+        group.refresh()
+        report = group.report
+        emitted = group.length
+
+        columns = self._decode_group(bound, group)
+        mask = apply_where(bound, columns)
+        qualifying = emitted if mask is None else int(np.count_nonzero(mask))
+
+        # ---------------- consume-side costs ----------------
+        packed_bytes = emitted * geometry.packed_width
+        mem = self.memory.sequential(packed_bytes)
+        cpu_cycles = self._consume_cpu(
+            bound, emitted, qualifying, residual_ops, fabric_filter is not None
+        )
+
+        # The packed stream is prefetch-covered and overlaps the kernel;
+        # the fabric's production pipeline overlaps the whole consume side.
+        # (The fabric engine itself is a single shared unit: its produce
+        # rate does not scale with CPU threads.)
+        consume = self._charge_scan(ledger, mem, cpu=cpu_cycles)
+        exposed_fabric = max(0.0, report.produce_cycles - consume)
+
+        ledger.charge(CostLedger.FABRIC, exposed_fabric)
+        ledger.charge(CostLedger.STALL, report.refill_stall_cycles)
+        ledger.charge(CostLedger.CONFIGURE, report.configure_cycles)
+        ledger.charge_traffic(report.dram_bytes_touched)
+        return columns, emitted, mask
+
+    def _consume_cpu(
+        self,
+        bound: BoundQuery,
+        emitted: int,
+        qualifying: int,
+        residual_ops: int,
+        pushed: bool,
+    ) -> float:
+        if self.consumption == "auto":
+            # The hybrid engine of §III-B: run whichever consumption style
+            # the cost model says is cheaper for this query.
+            scalar = self._consume_cpu_mode(
+                "scalar", bound, emitted, qualifying, residual_ops, pushed
+            )
+            vector = self._consume_cpu_mode(
+                "vector", bound, emitted, qualifying, residual_ops, pushed
+            )
+            self.last_consumption = "scalar" if scalar <= vector else "vector"
+            return min(scalar, vector)
+        self.last_consumption = self.consumption
+        return self._consume_cpu_mode(
+            self.consumption, bound, emitted, qualifying, residual_ops, pushed
+        )
+
+    #: Consumption style picked by the most recent query ("auto" mode).
+    last_consumption: str = "scalar"
+
+    def _consume_cpu_mode(
+        self,
+        mode: str,
+        bound: BoundQuery,
+        emitted: int,
+        qualifying: int,
+        residual_ops: int,
+        pushed: bool,
+    ) -> float:
+        cpu = self.cpu
+        cfg = self.platform.cpu
+        n_sel = len(bound.selection_columns)
+        n_proj_only = len(
+            [c for c in bound.projection_columns if c not in bound.selection_columns]
+        )
+        if mode == "scalar":
+            cycles = emitted * cfg.ephemeral_tuple_cycles
+            cycles += emitted * n_sel * cfg.packed_field_cycles
+            cycles += qualifying * n_proj_only * cfg.packed_field_cycles
+            if residual_ops:
+                sel = qualifying / emitted if emitted else 0.0
+                cycles += cpu.predicates(emitted * residual_ops)
+                cycles += cpu.branch_misses(emitted, sel)
+            cycles += qualifying * bound.output_op_count * cfg.scalar_op_cycles
+            return cycles
+        # Vectorized consumption over the packed stream: no per-tuple
+        # interpretation, no reconstruction (values arrive side by side),
+        # intermediates as in the column engine.
+        cycles = cpu.vector_ops(emitted * residual_ops)
+        cycles += cpu.vector_ops(qualifying * bound.output_op_count)
+        n_conjuncts = len(bound.where_conjuncts) if not pushed else 1
+        if residual_ops:
+            cycles += cpu.intermediates(emitted * n_conjuncts)
+        if bound.output_op_count > 1:
+            cycles += cpu.intermediates(qualifying * (bound.output_op_count - 1))
+        return cycles
+
+    def _decode_group(self, bound: BoundQuery, group) -> Dict[str, np.ndarray]:
+        schema = bound.table.schema
+        out: Dict[str, np.ndarray] = {}
+        for name in bound.referenced_columns:
+            raw = group.column(name)
+            dtype = schema.column(name).dtype
+            if dtype.np_dtype is None:
+                out[name] = np.ascontiguousarray(raw).view(f"S{dtype.width}").reshape(-1)
+            else:
+                out[name] = dtype.decode_array(raw)
+        return out

@@ -1,0 +1,184 @@
+"""The row-store baseline: Volcano-style tuple-at-a-time processing.
+
+This is the paper's ROW comparator (Section V: "an in-memory row-store
+following the volcano-style processing model (tuple-at-a-time)"). Every
+row streams through the cache hierarchy in full — the legacy fetch path
+of Figure 1 — and each tuple pays the interpreted ``next()`` chain.
+
+The full-row stream is prefetch-covered, so it overlaps with the
+interpretation work: the scan stage costs ``max(stream, cpu)``. For wide
+rows and narrow queries the stream dominates (data movement bound); for
+compute-heavy queries (TPC-H Q1) the interpreter dominates and all
+engines converge — both regimes the paper discusses.
+
+With ``use_indexes=True`` the engine also executes the index role the
+paper leaves to B+-trees (§III-A: "indexes will mostly be useful for
+workloads with point queries and updates"): an equality conjunct on an
+indexed column probes the tree and fetches only the matching rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.ledger import CostLedger
+from repro.db.engines.base import Engine
+from repro.db.expr import ColumnRef, Compare, Literal
+from repro.db.plan.binder import BoundQuery
+from repro.db.exec.vector import apply_where
+
+
+class RowStoreEngine(Engine):
+    """Tuple-at-a-time scans over the row-major base image."""
+
+    name = "row"
+
+    def __init__(self, catalog, platform=None, use_indexes: bool = False, **kw):
+        super().__init__(catalog, platform, **kw)
+        self.use_indexes = use_indexes
+        #: Queries answered through an index probe instead of a scan.
+        self.index_answered = 0
+        self._last_access_path = "scan"
+
+    @property
+    def access_path(self) -> str:
+        return self._last_access_path
+
+    # ------------------------------------------------------------------
+    # Index probe path (§III-A point queries).
+    # ------------------------------------------------------------------
+    def _indexed_equality(self, bound: BoundQuery):
+        """Return (index, column, constant) for the first equality
+        conjunct over an indexed column, or None."""
+        table_name = bound.table.schema.name
+        for conj in bound.where_conjuncts:
+            if not (isinstance(conj, Compare) and conj.op == "="):
+                continue
+            if isinstance(conj.left, ColumnRef) and isinstance(conj.right, Literal):
+                col, lit = conj.left.name, conj.right.value
+            elif isinstance(conj.right, ColumnRef) and isinstance(conj.left, Literal):
+                col, lit = conj.right.name, conj.left.value
+            else:
+                continue
+            index = self.catalog.index_on(table_name, col)
+            if index is not None:
+                dtype = bound.table.schema.column(col).dtype
+                key = lit
+                if dtype.scale and isinstance(lit, (int, float)):
+                    key = lit  # index built over query-facing values
+                return index, col, key
+        return None
+
+    def _fetch_via_index(
+        self,
+        bound: BoundQuery,
+        snapshot_ts: Optional[int],
+        ledger: CostLedger,
+        probe,
+    ) -> Tuple[Dict[str, np.ndarray], int, Optional[np.ndarray]]:
+        import math
+
+        index, column, key = probe
+        table = bound.table
+        slots = np.asarray(sorted(index.search(key)), dtype=np.int64)
+
+        vis = self._visibility(bound, snapshot_ts)
+        if vis is not None and len(slots):
+            slots = slots[vis[slots]]
+
+        cpu = self.cpu
+        # Tree descent: one random access per level, plus the leaf walk.
+        levels = max(1, getattr(index, "height", 1))
+        ledger.charge(
+            CostLedger.MEMORY,
+            self.memory.random(levels, table.nrows * 16).total,
+        )
+        ledger.charge(CostLedger.CPU, cpu.function_calls(levels * 8))
+        # Fetch the full row of every match (point reads).
+        fetch = self.memory.random(
+            max(1, len(slots)), table.nrows * table.schema.row_stride
+        )
+        ledger.charge(CostLedger.MEMORY, fetch.total)
+        ledger.charge_traffic(len(slots) * 64)
+        ledger.charge(CostLedger.CPU, cpu.volcano_tuples(len(slots)))
+        # Residual predicate evaluation on the fetched tuples only.
+        ledger.charge(
+            CostLedger.CPU, cpu.predicates(len(slots) * bound.where_op_count)
+        )
+
+        columns = {}
+        for name in bound.referenced_columns:
+            values = table.column_values(name)
+            columns[name] = values[slots]
+        mask = apply_where(bound, columns)
+        self._last_access_path = "index-probe"
+        self.index_answered += 1
+        return columns, len(slots), mask
+
+    def _fetch(
+        self,
+        bound: BoundQuery,
+        snapshot_ts: Optional[int],
+        ledger: CostLedger,
+    ) -> Tuple[Dict[str, np.ndarray], int, Optional[np.ndarray]]:
+        if self.use_indexes and bound.where is not None:
+            probe = self._indexed_equality(bound)
+            if probe is not None:
+                return self._fetch_via_index(bound, snapshot_ts, ledger, probe)
+        self._last_access_path = "scan"
+        return self._fetch_scan(bound, snapshot_ts, ledger)
+
+    def _fetch_scan(
+        self,
+        bound: BoundQuery,
+        snapshot_ts: Optional[int],
+        ledger: CostLedger,
+    ) -> Tuple[Dict[str, np.ndarray], int, Optional[np.ndarray]]:
+        table = bound.table
+        n_slots = table.nrows
+        cpu = self.cpu
+
+        # Memory: the full row image streams through the caches — the
+        # projectivity of the query does not reduce traffic one byte.
+        mem = self.memory.sequential(n_slots * table.schema.row_stride)
+        ledger.charge_traffic(n_slots * table.schema.row_stride)
+
+        # CPU: the Volcano interpretation loop over every slot.
+        cpu_cycles = cpu.volcano_tuples(n_slots)
+
+        vis = self._visibility(bound, snapshot_ts)
+        if vis is not None:
+            # Timestamp visibility is evaluated on the CPU: two extracted
+            # fields and two comparisons per slot.
+            cpu_cycles += cpu.field_extracts(2 * n_slots)
+            cpu_cycles += cpu.predicates(2 * n_slots)
+        visible = n_slots if vis is None else int(np.count_nonzero(vis))
+
+        columns = self._decoded_columns(bound, vis)
+        mask = apply_where(bound, columns)
+        qualifying = visible if mask is None else int(np.count_nonzero(mask))
+
+        # Selection: extract the predicate's fields and evaluate it for
+        # every visible tuple; one data-dependent branch per tuple.
+        n_sel = len(bound.selection_columns)
+        if bound.where is not None:
+            sel = qualifying / visible if visible else 0.0
+            cpu_cycles += cpu.field_extracts(visible * n_sel)
+            cpu_cycles += cpu.predicates(visible * bound.where_op_count)
+            cpu_cycles += cpu.branch_misses(visible, sel)
+
+        # Projection arithmetic only runs for qualifying tuples.
+        proj_only = [
+            c for c in bound.projection_columns if c not in bound.selection_columns
+        ]
+        cpu_cycles += cpu.field_extracts(qualifying * len(proj_only))
+        cpu_cycles += (
+            qualifying * bound.output_op_count * self.platform.cpu.scalar_op_cycles
+        )
+
+        # The covered stream overlaps with interpretation; exposed latency
+        # (none for a pure row scan) would not.
+        self._charge_scan(ledger, mem, cpu=cpu_cycles)
+        return columns, visible, mask

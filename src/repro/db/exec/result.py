@@ -1,0 +1,85 @@
+"""Query results: ordered named columns with row-wise conveniences."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+
+@dataclass
+class QueryResult:
+    """Columnar query output, ordered as the select list."""
+
+    names: Tuple[str, ...]
+    columns: Dict[str, np.ndarray]
+
+    def __post_init__(self):
+        lengths = {len(self.columns[n]) for n in self.names}
+        if len(lengths) > 1:
+            raise ExecutionError(f"ragged result: lengths {sorted(lengths)}")
+
+    @property
+    def nrows(self) -> int:
+        if not self.names:
+            return 0
+        return len(self.columns[self.names[0]])
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self.columns:
+            raise ExecutionError(f"result has no column {name!r}")
+        return self.columns[name]
+
+    def rows(self) -> List[Tuple[Any, ...]]:
+        """Rows as Python tuples (bytes decoded to str for readability)."""
+        out = []
+        cols = [self.columns[n] for n in self.names]
+        for i in range(self.nrows):
+            row = []
+            for col in cols:
+                v = col[i]
+                if isinstance(v, (bytes, np.bytes_)):
+                    v = bytes(v).rstrip(b"\x00").decode(errors="replace")
+                elif isinstance(v, np.integer):
+                    v = int(v)
+                elif isinstance(v, np.floating):
+                    v = float(v)
+                row.append(v)
+            out.append(tuple(row))
+        return out
+
+    def scalar(self) -> Any:
+        """The single value of a 1×1 result."""
+        if self.nrows != 1 or len(self.names) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, have {self.nrows}x{len(self.names)}"
+            )
+        return self.rows()[0][0]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.names, row)) for row in self.rows()]
+
+
+def results_equal(a: QueryResult, b: QueryResult, tol: float = 1e-6) -> bool:
+    """Order-sensitive comparison with float tolerance (tests use this to
+    check that every engine computes identical answers)."""
+    if a.names != b.names or a.nrows != b.nrows:
+        return False
+    for name in a.names:
+        ca, cb = a.columns[name], b.columns[name]
+        if ca.dtype.kind == "f" or cb.dtype.kind == "f":
+            if not np.allclose(
+                ca.astype(np.float64),
+                cb.astype(np.float64),
+                rtol=tol,
+                atol=tol,
+                equal_nan=True,  # avg() over an empty group is NaN on both sides
+            ):
+                return False
+        else:
+            if not np.array_equal(ca, cb):
+                return False
+    return True

@@ -1,0 +1,253 @@
+"""Vectorized plan evaluation shared by every engine's answer path.
+
+Engines differ in *how data reaches the CPU* (full rows, column copies,
+or packed ephemeral lines) and in their cost recipes, but all of them
+produce answers through this evaluator so results are bit-identical by
+construction. The Volcano interpreter in :mod:`repro.db.exec.volcano` is
+the independent reference used by tests to validate this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.db.expr import ColumnRef
+from repro.db.plan.binder import BoundOutput, BoundQuery
+from repro.db.exec.result import QueryResult
+from repro.errors import ExecutionError
+
+
+def apply_where(
+    query: BoundQuery, columns: Dict[str, np.ndarray]
+) -> Optional[np.ndarray]:
+    """Evaluate the WHERE clause; returns the boolean mask or None."""
+    if query.where is None:
+        return None
+    mask = query.where.eval_vector(columns)
+    if np.isscalar(mask):
+        n = len(next(iter(columns.values()))) if columns else 0
+        mask = np.full(n, bool(mask))
+    return mask
+
+
+_AUTO = object()
+
+
+def run_vector(
+    query: BoundQuery, columns: Dict[str, np.ndarray], mask: object = _AUTO
+) -> QueryResult:
+    """Execute ``query`` over the given base columns.
+
+    ``columns`` holds one query-facing array per referenced column of the
+    main table (already restricted to visible rows). Join-side columns
+    are fetched from the bound join table on demand. Engines that already
+    evaluated the WHERE clause (to charge its cost) pass the boolean
+    ``mask`` to avoid re-evaluation; ``None`` means "no filtering".
+    """
+    if mask is _AUTO:
+        mask = apply_where(query, columns)
+    if mask is not None:
+        columns = {name: arr[mask] for name, arr in columns.items()}
+
+    if query.join is not None:
+        columns = _hash_join(query, columns)
+
+    if query.has_aggregates or query.group_by:
+        names, out = _aggregate(query, columns)
+    else:
+        names, out = _project(query, columns)
+        # SQL permits ordering by base columns that are not selected;
+        # carry them as hidden sort keys (projection is 1:1 with rows).
+        for hidden in _hidden_sort_columns(query, names, columns):
+            out[hidden] = columns[hidden]
+
+    if query.having is not None:
+        hmask = query.having.eval_vector(out)
+        if np.isscalar(hmask):
+            n = len(out[names[0]]) if names else 0
+            hmask = np.full(n, bool(hmask))
+        out = {name: arr[hmask] for name, arr in out.items()}
+
+    if query.distinct:
+        out = _distinct(names, out)
+
+    if query.order_by:
+        order = _sort_index(query, out)
+        out = {name: arr[order] for name, arr in out.items()}
+    if query.limit is not None:
+        out = {name: arr[: query.limit] for name, arr in out.items()}
+    out = {name: out[name] for name in names}  # drop hidden sort keys
+    return QueryResult(names=names, columns=out)
+
+
+# ----------------------------------------------------------------------
+# Join.
+# ----------------------------------------------------------------------
+def _hash_join(query: BoundQuery, columns: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    join = query.join
+    left_keys = columns[join.left_col]
+    right_table = join.table
+    right_keys = right_table.column_values(join.right_col)
+
+    buckets: Dict[object, List[int]] = {}
+    for idx, key in enumerate(right_keys.tolist()):
+        buckets.setdefault(key, []).append(idx)
+
+    left_idx: List[int] = []
+    right_idx: List[int] = []
+    for i, key in enumerate(left_keys.tolist()):
+        for j in buckets.get(key, ()):
+            left_idx.append(i)
+            right_idx.append(j)
+    li = np.asarray(left_idx, dtype=np.int64)
+    ri = np.asarray(right_idx, dtype=np.int64)
+
+    out = {name: arr[li] for name, arr in columns.items()}
+    needed = _right_columns_needed(query)
+    for name in needed:
+        out[name] = right_table.column_values(name)[ri]
+    return out
+
+
+def _right_columns_needed(query: BoundQuery) -> Tuple[str, ...]:
+    right_schema = query.join.table.schema
+    wanted = set()
+    for o in query.outputs:
+        if o.expr is not None:
+            wanted |= {c for c in o.expr.columns() if right_schema.has_column(c)}
+    for o in query.order_by:
+        wanted |= {c for c in o.expr.columns() if right_schema.has_column(c)}
+    return tuple(sorted(wanted))
+
+
+# ----------------------------------------------------------------------
+# Projection and aggregation.
+# ----------------------------------------------------------------------
+def _project(query: BoundQuery, columns: Dict[str, np.ndarray]):
+    names = tuple(o.name for o in query.outputs)
+    out: Dict[str, np.ndarray] = {}
+    for o in query.outputs:
+        value = o.expr.eval_vector(columns)
+        if np.isscalar(value):
+            n = len(next(iter(columns.values()))) if columns else 0
+            value = np.full(n, value)
+        out[o.name] = np.asarray(value)
+    return names, out
+
+
+def _group_index(query: BoundQuery, columns: Dict[str, np.ndarray]):
+    """Return (group key arrays in group order, inverse index, n_groups)."""
+    keys = [columns[name] for name in query.group_by]
+    if len(keys) == 1:
+        uniq, inverse = np.unique(keys[0], return_inverse=True)
+        return [uniq], inverse, len(uniq)
+    # Multi-key: unique over a structured view.
+    packed = np.rec.fromarrays(keys)
+    uniq, inverse = np.unique(packed, return_inverse=True)
+    return [np.asarray(uniq[f]) for f in uniq.dtype.names], inverse, len(uniq)
+
+
+def _aggregate(query: BoundQuery, columns: Dict[str, np.ndarray]):
+    names = tuple(o.name for o in query.outputs)
+    n = len(next(iter(columns.values()))) if columns else 0
+
+    if query.group_by:
+        key_arrays, inverse, n_groups = _group_index(query, columns)
+        key_of = dict(zip(query.group_by, key_arrays))
+    else:
+        inverse = np.zeros(n, dtype=np.int64)
+        n_groups = 1
+        key_of = {}
+
+    out: Dict[str, np.ndarray] = {}
+    for o in query.outputs:
+        if o.kind == "expr":
+            assert isinstance(o.expr, ColumnRef)  # enforced by the binder
+            out[o.name] = key_of[o.expr.name]
+            continue
+        out[o.name] = _compute_aggregate(o, columns, inverse, n_groups, n)
+    # An empty input with no GROUP BY still yields one row (SQL semantics
+    # for global aggregates).
+    return names, out
+
+
+def _compute_aggregate(
+    output: BoundOutput,
+    columns: Dict[str, np.ndarray],
+    inverse: np.ndarray,
+    n_groups: int,
+    n: int,
+) -> np.ndarray:
+    if output.kind == "count":
+        return np.bincount(inverse, minlength=n_groups).astype(np.int64)
+    values = np.asarray(output.expr.eval_vector(columns), dtype=np.float64)
+    if values.ndim == 0:
+        # Constant aggregate argument (e.g. sum(42)): broadcast per row.
+        values = np.full(n, float(values))
+    if output.kind == "sum":
+        return np.bincount(inverse, weights=values, minlength=n_groups)
+    if output.kind == "avg":
+        sums = np.bincount(inverse, weights=values, minlength=n_groups)
+        counts = np.bincount(inverse, minlength=n_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    if output.kind == "min":
+        acc = np.full(n_groups, np.inf)
+        np.minimum.at(acc, inverse, values)
+        return acc
+    if output.kind == "max":
+        acc = np.full(n_groups, -np.inf)
+        np.maximum.at(acc, inverse, values)
+        return acc
+    raise ExecutionError(f"unknown aggregate {output.kind!r}")
+
+
+def _hidden_sort_columns(query, names, columns) -> Tuple[str, ...]:
+    """Base columns the ORDER BY needs that the SELECT list did not keep.
+
+    With DISTINCT they cannot be carried (deduplication would change),
+    which matches SQL: ``SELECT DISTINCT`` may only order by selected
+    expressions.
+    """
+    if not query.order_by or query.distinct:
+        return ()
+    hidden = []
+    name_set = set(names)
+    for item in query.order_by:
+        for col in item.expr.columns():
+            if col not in name_set and col in columns and col not in hidden:
+                hidden.append(col)
+    return tuple(hidden)
+
+
+def _distinct(names, out: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Row-wise deduplication; rows come back in lexicographic order of
+    the output columns (np.unique semantics, matched by the Volcano
+    reference)."""
+    if not names:
+        return out
+    if len(names) == 1:
+        uniq = np.unique(out[names[0]])
+        return {names[0]: uniq}
+    packed = np.rec.fromarrays([out[n] for n in names], names=list(names))
+    uniq = np.unique(packed)
+    return {n: np.asarray(uniq[n]) for n in names}
+
+
+# ----------------------------------------------------------------------
+# Ordering.
+# ----------------------------------------------------------------------
+def _sort_index(query: BoundQuery, out: Dict[str, np.ndarray]) -> np.ndarray:
+    """Stable multi-key sort honoring per-key direction."""
+    keys = []
+    for item in reversed(query.order_by):
+        values = item.expr.eval_vector(out)
+        values = np.asarray(values)
+        if item.descending:
+            # Rank-based negation works for any dtype, including bytes.
+            _, ranks = np.unique(values, return_inverse=True)
+            values = -ranks
+        keys.append(values)
+    return np.lexsort(keys)

@@ -1,0 +1,258 @@
+"""Expression trees with row-at-a-time and vectorized evaluators.
+
+One AST serves the whole stack: the SQL parser produces it, the binder
+resolves column references, the Volcano reference executor evaluates it
+per row, the vectorized executor evaluates it over numpy columns, and
+the engines' cost recipes ask :func:`op_count` how many primitive
+operations one evaluation costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Mapping, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+Value = Union[int, float, str, bytes]
+
+
+class Expr:
+    """Base class; subclasses are frozen dataclasses."""
+
+    def columns(self) -> FrozenSet[str]:
+        """Every column name referenced below this node."""
+        raise NotImplementedError
+
+    def eval_row(self, row: Mapping[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def eval_vector(self, cols: Mapping[str, np.ndarray]) -> Any:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def eval_row(self, row: Mapping[str, Any]) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise ExecutionError(f"row has no column {self.name!r}")
+
+    def eval_vector(self, cols: Mapping[str, np.ndarray]) -> Any:
+        try:
+            return cols[self.name]
+        except KeyError:
+            raise ExecutionError(f"batch has no column {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Value
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def eval_row(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def eval_vector(self, cols: Mapping[str, np.ndarray]) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+_COMPARE = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Arithmetic: ``left <op> right`` with op in ``+ - * /``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _ARITH:
+            raise ExecutionError(f"unknown arithmetic operator {self.op!r}")
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def eval_row(self, row: Mapping[str, Any]) -> Any:
+        return _ARITH[self.op](self.left.eval_row(row), self.right.eval_row(row))
+
+    def eval_vector(self, cols: Mapping[str, np.ndarray]) -> Any:
+        return _ARITH[self.op](self.left.eval_vector(cols), self.right.eval_vector(cols))
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """Comparison producing a boolean: ``left <op> right``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _COMPARE:
+            raise ExecutionError(f"unknown comparison operator {self.op!r}")
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def eval_row(self, row: Mapping[str, Any]) -> Any:
+        return _COMPARE[self.op](self.left.eval_row(row), self.right.eval_row(row))
+
+    def eval_vector(self, cols: Mapping[str, np.ndarray]) -> Any:
+        return _COMPARE[self.op](
+            self.left.eval_vector(cols), self.right.eval_vector(cols)
+        )
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    terms: Tuple[Expr, ...]
+
+    def columns(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for t in self.terms:
+            out |= t.columns()
+        return out
+
+    def eval_row(self, row: Mapping[str, Any]) -> bool:
+        return all(t.eval_row(row) for t in self.terms)
+
+    def eval_vector(self, cols: Mapping[str, np.ndarray]) -> np.ndarray:
+        out = None
+        for t in self.terms:
+            mask = t.eval_vector(cols)
+            out = mask if out is None else (out & mask)
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(t) for t in self.terms) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    terms: Tuple[Expr, ...]
+
+    def columns(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for t in self.terms:
+            out |= t.columns()
+        return out
+
+    def eval_row(self, row: Mapping[str, Any]) -> bool:
+        return any(t.eval_row(row) for t in self.terms)
+
+    def eval_vector(self, cols: Mapping[str, np.ndarray]) -> np.ndarray:
+        out = None
+        for t in self.terms:
+            mask = t.eval_vector(cols)
+            out = mask if out is None else (out | mask)
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(t) for t in self.terms) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    term: Expr
+
+    def columns(self) -> FrozenSet[str]:
+        return self.term.columns()
+
+    def eval_row(self, row: Mapping[str, Any]) -> bool:
+        return not self.term.eval_row(row)
+
+    def eval_vector(self, cols: Mapping[str, np.ndarray]) -> np.ndarray:
+        return ~self.term.eval_vector(cols)
+
+    def __str__(self) -> str:
+        return f"(NOT {self.term})"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``term BETWEEN low AND high`` (inclusive both ends, like SQL)."""
+
+    term: Expr
+    low: Expr
+    high: Expr
+
+    def columns(self) -> FrozenSet[str]:
+        return self.term.columns() | self.low.columns() | self.high.columns()
+
+    def eval_row(self, row: Mapping[str, Any]) -> bool:
+        v = self.term.eval_row(row)
+        return self.low.eval_row(row) <= v <= self.high.eval_row(row)
+
+    def eval_vector(self, cols: Mapping[str, np.ndarray]) -> np.ndarray:
+        v = self.term.eval_vector(cols)
+        return (self.low.eval_vector(cols) <= v) & (v <= self.high.eval_vector(cols))
+
+    def __str__(self) -> str:
+        return f"({self.term} BETWEEN {self.low} AND {self.high})"
+
+
+def op_count(expr: Expr) -> int:
+    """Primitive operations per evaluation of ``expr`` — the engines'
+    CPU-cost currency. Column refs and literals are free (counted by the
+    engines as field extractions); every operator node costs one, BETWEEN
+    costs two comparisons."""
+    if isinstance(expr, (ColumnRef, Literal)):
+        return 0
+    if isinstance(expr, (BinOp, Compare)):
+        return 1 + op_count(expr.left) + op_count(expr.right)
+    if isinstance(expr, (And, Or)):
+        return len(expr.terms) - 1 + sum(op_count(t) for t in expr.terms)
+    if isinstance(expr, Not):
+        return 1 + op_count(expr.term)
+    if isinstance(expr, Between):
+        return 2 + op_count(expr.term) + op_count(expr.low) + op_count(expr.high)
+    raise ExecutionError(f"unknown expression node {type(expr).__name__}")
+
+
+def conjuncts(expr: Expr) -> Tuple[Expr, ...]:
+    """Split a predicate into top-level AND terms (for pushdown analysis)."""
+    if isinstance(expr, And):
+        out: Tuple[Expr, ...] = ()
+        for t in expr.terms:
+            out += conjuncts(t)
+        return out
+    return (expr,)

@@ -1,0 +1,216 @@
+"""A B+-tree index over row slots.
+
+Paper Section III-A assigns indexes a narrower role under the fabric:
+"indexes will mostly be useful for workloads with point queries and
+updates, since range queries can be very efficiently evaluated with
+column-group accesses." This module provides that point-access structure
+so the optimizer (and the physical-design benches) can weigh an index
+probe against an ephemeral range scan.
+
+Keys are any totally ordered Python values; payloads are row slots. The
+tree supports duplicates unless built with ``unique=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import IndexError_
+
+
+class _Node:
+    __slots__ = ("keys", "leaf")
+
+    def __init__(self, leaf: bool):
+        self.keys: List[Any] = []
+        self.leaf = leaf
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next")
+
+    def __init__(self):
+        super().__init__(leaf=True)
+        self.values: List[List[int]] = []  # one slot-list per key
+        self.next: Optional["_Leaf"] = None
+
+
+class _Inner(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self):
+        super().__init__(leaf=False)
+        self.children: List[_Node] = []
+
+
+def _find(keys: List[Any], key: Any) -> int:
+    """Leftmost insertion point of ``key`` (bisect_left, inlined so the
+    module has no dependencies)."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class BPlusTree:
+    """Order-``fanout`` B+-tree mapping keys to lists of row slots."""
+
+    def __init__(self, fanout: int = 32, unique: bool = False):
+        if fanout < 4:
+            raise IndexError_("fanout must be at least 4")
+        self.fanout = fanout
+        self.unique = unique
+        self._root: _Node = _Leaf()
+        self._size = 0
+        self.height = 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Insert.
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, slot: int) -> None:
+        split = self._insert(self._root, key, slot)
+        if split is not None:
+            sep, right = split
+            new_root = _Inner()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self.height += 1
+
+    def _insert(self, node: _Node, key: Any, slot: int):
+        if node.leaf:
+            return self._insert_leaf(node, key, slot)
+        idx = _find(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            idx += 1
+        split = self._insert(node.children[idx], key, slot)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.keys) < self.fanout:
+            return None
+        mid = len(node.keys) // 2
+        sep_up = node.keys[mid]
+        sibling = _Inner()
+        sibling.keys = node.keys[mid + 1 :]
+        sibling.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep_up, sibling
+
+    def _insert_leaf(self, leaf: _Leaf, key: Any, slot: int):
+        idx = _find(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            if self.unique:
+                raise IndexError_(f"duplicate key {key!r} under unique constraint")
+            leaf.values[idx].append(slot)
+            self._size += 1
+            return None
+        leaf.keys.insert(idx, key)
+        leaf.values.insert(idx, [slot])
+        self._size += 1
+        if len(leaf.keys) < self.fanout:
+            return None
+        mid = len(leaf.keys) // 2
+        sibling = _Leaf()
+        sibling.keys = leaf.keys[mid:]
+        sibling.values = leaf.values[mid:]
+        sibling.next = leaf.next
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        leaf.next = sibling
+        return sibling.keys[0], sibling
+
+    # ------------------------------------------------------------------
+    # Lookup.
+    # ------------------------------------------------------------------
+    def _leaf_for(self, key: Any) -> _Leaf:
+        node = self._root
+        while not node.leaf:
+            idx = _find(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                idx += 1
+            node = node.children[idx]
+        return node  # type: ignore[return-value]
+
+    def search(self, key: Any) -> List[int]:
+        """Slots holding ``key`` (empty list when absent)."""
+        leaf = self._leaf_for(key)
+        idx = _find(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return list(leaf.values[idx])
+        return []
+
+    def range(self, low: Any, high: Any, inclusive: bool = True) -> Iterator[Tuple[Any, int]]:
+        """Yield ``(key, slot)`` for keys in [low, high] (or [low, high))."""
+        leaf = self._leaf_for(low)
+        idx = _find(leaf.keys, low)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if key > high or (key == high and not inclusive):
+                    return
+                for slot in leaf.values[idx]:
+                    yield key, slot
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def items(self) -> Iterator[Tuple[Any, int]]:
+        """All entries in key order."""
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+        leaf: Optional[_Leaf] = node  # type: ignore[assignment]
+        while leaf is not None:
+            for key, slots in zip(leaf.keys, leaf.values):
+                for slot in slots:
+                    yield key, slot
+            leaf = leaf.next
+
+    # ------------------------------------------------------------------
+    # Delete.
+    # ------------------------------------------------------------------
+    def delete(self, key: Any, slot: Optional[int] = None) -> int:
+        """Remove ``slot`` under ``key`` (or every slot if None); returns
+        how many entries were removed. Leaves may underflow — this tree
+        favours simplicity over perfect occupancy, which is fine for the
+        simulation workloads (bulk build, few deletes)."""
+        leaf = self._leaf_for(key)
+        idx = _find(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return 0
+        if slot is None:
+            removed = len(leaf.values[idx])
+            del leaf.keys[idx]
+            del leaf.values[idx]
+        else:
+            try:
+                leaf.values[idx].remove(slot)
+            except ValueError:
+                return 0
+            removed = 1
+            if not leaf.values[idx]:
+                del leaf.keys[idx]
+                del leaf.values[idx]
+        self._size -= removed
+        return removed
+
+
+def build_index(table, column: str, fanout: int = 32, unique: bool = False) -> BPlusTree:
+    """Bulk-build a B+-tree over ``table.column_values(column)``."""
+    tree = BPlusTree(fanout=fanout, unique=unique)
+    values = table.column_values(column)
+    for slot, key in enumerate(values.tolist()):
+        tree.insert(key, slot)
+    return tree

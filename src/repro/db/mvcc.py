@@ -1,0 +1,276 @@
+"""Snapshot-isolation MVCC over the row-oriented base data (§III-C).
+
+The paper's transaction design: the base data is append-only row storage;
+every row carries ``begin_ts``/``end_ts``; updates append a new version
+and close the old one; analytic reads pick the versions valid at their
+snapshot — and with the fabric, that timestamp comparison happens in
+hardware, off the CPU's critical path.
+
+This module is the software half: a :class:`TransactionManager` issuing
+logical timestamps, tracking write sets, and enforcing
+first-committer-wins on write-write conflicts. Readers never block
+writers and vice versa (single-threaded simulation, but the protocol is
+the real one and the tests exercise its anomalies).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.mvcc_filter import LIVE_TS, NEVER_TS, visible_mask
+from repro.db.table import Table
+from repro.errors import (
+    TransactionError,
+    TransactionStateError,
+    WriteConflictError,
+)
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class _WriteIntent:
+    """One pending write: the fresh slot and the version it supersedes."""
+
+    table: Table
+    new_slot: Optional[int]  # None for pure deletes
+    old_slot: Optional[int]  # None for pure inserts
+    #: end_ts observed on the old version when the intent was created —
+    #: used to detect that someone else committed in between.
+    old_end_seen: int = LIVE_TS
+
+
+class Transaction:
+    """A snapshot-isolation transaction. Use via the manager:
+
+    >>> txn = manager.begin()
+    >>> txn.insert(table, {...})
+    >>> manager.commit(txn)
+    """
+
+    def __init__(self, txn_id: int, start_ts: int, manager: "TransactionManager"):
+        self.txn_id = txn_id
+        self.start_ts = start_ts
+        self.state = TxnState.ACTIVE
+        self._manager = manager
+        self._intents: List[_WriteIntent] = []
+        self.commit_ts: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Reads.
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_ts(self) -> int:
+        """Pass this to any engine's ``execute(..., snapshot_ts=...)``."""
+        return self.start_ts
+
+    def visible_slots(self, table: Table) -> np.ndarray:
+        """Row slots visible to this transaction's snapshot (plus its own
+        uncommitted writes)."""
+        self._require_active()
+        mask = visible_mask(table.begin_ts, table.end_ts, self.start_ts)
+        for intent in self._intents:
+            if intent.table is table:
+                if intent.new_slot is not None:
+                    mask[intent.new_slot] = True
+                if intent.old_slot is not None:
+                    mask[intent.old_slot] = False
+        return np.flatnonzero(mask)
+
+    def read_row(self, table: Table, slot: int) -> Dict[str, Any]:
+        self._require_active()
+        return table.row(slot)
+
+    # ------------------------------------------------------------------
+    # Writes.
+    # ------------------------------------------------------------------
+    def insert(self, table: Table, values: Mapping[str, Any]) -> int:
+        """Append a new row, invisible until commit; returns its slot."""
+        self._require_active()
+        self._require_mvcc(table)
+        slot = table.append_row(values)  # begin_ts defaults to NEVER
+        self._intents.append(_WriteIntent(table=table, new_slot=slot, old_slot=None))
+        return slot
+
+    def update(self, table: Table, slot: int, changes: Mapping[str, Any]) -> int:
+        """Create a new version of ``slot`` with ``changes`` applied;
+        returns the new slot. A :class:`WriteConflictError` (a concurrent
+        transaction already superseded this version) aborts the
+        transaction before propagating."""
+        self._require_active()
+        self._require_mvcc(table)
+        self._check_updatable_or_abort(table, slot)
+        current = table.row(slot)
+        current.update(changes)
+        new_slot = table.append_row(current)
+        self._intents.append(
+            _WriteIntent(table=table, new_slot=new_slot, old_slot=slot)
+        )
+        return new_slot
+
+    def delete(self, table: Table, slot: int) -> None:
+        """Mark ``slot``'s version as ending at this txn's commit."""
+        self._require_active()
+        self._require_mvcc(table)
+        self._check_updatable_or_abort(table, slot)
+        self._intents.append(_WriteIntent(table=table, new_slot=None, old_slot=slot))
+
+    def _check_updatable_or_abort(self, table: Table, slot: int) -> None:
+        try:
+            self._check_updatable(table, slot)
+        except WriteConflictError:
+            self._manager.stats.conflicts += 1
+            self._manager.abort(self)
+            raise
+
+    def _check_updatable(self, table: Table, slot: int) -> None:
+        begin = int(table.begin_ts[slot])
+        end = int(table.end_ts[slot])
+        own_slots = {
+            i.new_slot for i in self._intents if i.table is table and i.new_slot is not None
+        }
+        if slot in own_slots:
+            raise TransactionError(
+                "updating a row inserted by the same transaction: update the "
+                "pending version instead"
+            )
+        if begin == NEVER_TS:
+            raise TransactionError(f"slot {slot} holds no committed version")
+        if begin > self.start_ts:
+            raise WriteConflictError(
+                f"slot {slot} was created after this snapshot (ts {begin} > "
+                f"{self.start_ts})"
+            )
+        if end != LIVE_TS:
+            raise WriteConflictError(
+                f"slot {slot} was already superseded at ts {end} "
+                "(first committer wins)"
+            )
+        for intent in self._intents:
+            if intent.table is table and intent.old_slot == slot:
+                raise TransactionError(f"slot {slot} already written in this txn")
+
+    def _require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionStateError(f"transaction is {self.state.value}")
+
+    @staticmethod
+    def _require_mvcc(table: Table) -> None:
+        if not table.schema.mvcc:
+            raise TransactionError(
+                f"table {table.schema.name!r} has no MVCC timestamp columns"
+            )
+
+
+@dataclass
+class MvccStats:
+    begun: int = 0
+    committed: int = 0
+    aborted: int = 0
+    conflicts: int = 0
+    versions_created: int = 0
+    versions_vacuumed: int = 0
+
+
+class TransactionManager:
+    """Issues timestamps and enforces first-committer-wins at commit."""
+
+    def __init__(self):
+        self._clock = 0
+        self._active: Dict[int, Transaction] = {}
+        self._next_txn_id = 1
+        self.stats = MvccStats()
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    @property
+    def now(self) -> int:
+        """The latest issued timestamp — a fresh read-only snapshot."""
+        return self._clock
+
+    def begin(self) -> Transaction:
+        txn = Transaction(self._next_txn_id, self._tick(), self)
+        self._next_txn_id += 1
+        self._active[txn.txn_id] = txn
+        self.stats.begun += 1
+        return txn
+
+    def commit(self, txn: Transaction) -> int:
+        """Validate and commit; returns the commit timestamp."""
+        txn._require_active()
+        # First-committer-wins validation: every superseded version must
+        # still be live (no one committed an ending in between).
+        for intent in txn._intents:
+            if intent.old_slot is not None:
+                end = int(intent.table.end_ts[intent.old_slot])
+                if end != LIVE_TS:
+                    self.stats.conflicts += 1
+                    self.abort(txn)
+                    raise WriteConflictError(
+                        f"slot {intent.old_slot} superseded at ts {end} by a "
+                        "concurrent commit"
+                    )
+        commit_ts = self._tick()
+        for intent in txn._intents:
+            if intent.new_slot is not None:
+                intent.table.stamp_begin(intent.new_slot, commit_ts)
+                self.stats.versions_created += 1
+            if intent.old_slot is not None:
+                intent.table.stamp_end(intent.old_slot, commit_ts)
+        txn.state = TxnState.COMMITTED
+        txn.commit_ts = commit_ts
+        self._active.pop(txn.txn_id, None)
+        self.stats.committed += 1
+        return commit_ts
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll back: pending rows stay stamped NEVER (invisible garbage
+        reclaimed by :meth:`vacuum`)."""
+        if txn.state is TxnState.ABORTED:
+            return
+        txn._require_active()
+        txn.state = TxnState.ABORTED
+        self._active.pop(txn.txn_id, None)
+        self.stats.aborted += 1
+
+    # ------------------------------------------------------------------
+    # Garbage collection.
+    # ------------------------------------------------------------------
+    def oldest_active_snapshot(self) -> int:
+        if not self._active:
+            return self._clock
+        return min(t.start_ts for t in self._active.values())
+
+    def vacuum(self, table: Table) -> int:
+        """Drop versions no snapshot can see; returns rows removed.
+
+        A version is reclaimable when it ended at or before the oldest
+        active snapshot, or was never committed (aborted leftovers).
+        Compaction moves row slots, so it requires a quiescent system —
+        no active transactions (whose write intents hold slot indices).
+        """
+        if not table.schema.mvcc:
+            return 0
+        if self._active:
+            raise TransactionError(
+                "vacuum requires no active transactions (slot indices move)"
+            )
+        horizon = self.oldest_active_snapshot()
+        begin = table.begin_ts
+        end = table.end_ts
+        keep = (begin != NEVER_TS) & (end > horizon)
+        removed = int(table.nrows - np.count_nonzero(keep))
+        if removed:
+            table.retain(keep)
+            self.stats.versions_vacuumed += removed
+        return removed

@@ -1,0 +1,17 @@
+"""Query planning: binding, logical plans, cost estimation, optimizer."""
+
+from repro.db.plan.binder import BoundJoin, BoundOutput, BoundQuery, bind
+from repro.db.plan.codecache import CodeFragmentCache, fragment_signature
+from repro.db.plan.logical import LogicalNode, build_plan, explain
+
+__all__ = [
+    "BoundJoin",
+    "BoundOutput",
+    "BoundQuery",
+    "CodeFragmentCache",
+    "LogicalNode",
+    "bind",
+    "build_plan",
+    "explain",
+    "fragment_signature",
+]

@@ -1,0 +1,321 @@
+"""Binding: resolve a parsed ``SELECT`` against the catalog.
+
+The binder validates column references, pads CHAR literals to their
+column width (so vectorized byte-string comparisons are exact), splits
+the WHERE clause into conjuncts, and — crucially for the fabric — derives
+the **referenced column group**: exactly the columns the query touches,
+which becomes the ephemeral geometry of the RM engine and the stream set
+of the column engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.db.catalog import Catalog
+from repro.db.expr import (
+    And,
+    Between,
+    BinOp,
+    ColumnRef,
+    Compare,
+    Expr,
+    Literal,
+    Not,
+    Or,
+    conjuncts,
+    op_count,
+)
+from repro.db.schema import TableSchema
+from repro.db.sql.nodes import Aggregate, JoinClause, OrderItem, SelectStmt
+from repro.db.table import Table
+from repro.errors import SqlError
+
+
+@dataclass(frozen=True)
+class BoundOutput:
+    """One output column of the query."""
+
+    name: str
+    #: "expr" for plain expressions / group keys, or an aggregate function.
+    kind: str  # "expr" | "sum" | "avg" | "count" | "min" | "max"
+    expr: Optional[Expr]  # None only for COUNT(*)
+
+
+@dataclass(frozen=True)
+class BoundJoin:
+    table: Table
+    left_col: str
+    right_col: str
+
+
+@dataclass
+class BoundQuery:
+    """A validated query ready for any engine to execute."""
+
+    table: Table
+    outputs: Tuple[BoundOutput, ...]
+    where: Optional[Expr]
+    where_conjuncts: Tuple[Expr, ...]
+    group_by: Tuple[str, ...]
+    order_by: Tuple[OrderItem, ...]
+    limit: Optional[int]
+    join: Optional[BoundJoin]
+    #: Post-aggregation filter over output columns, or None.
+    having: Optional[Expr]
+    #: Deduplicate result rows (SELECT DISTINCT).
+    distinct: bool
+    #: Columns of the main table the query touches, in schema order.
+    referenced_columns: Tuple[str, ...]
+    #: Columns referenced by the WHERE clause only.
+    selection_columns: Tuple[str, ...]
+    #: Columns referenced by outputs / grouping / ordering only.
+    projection_columns: Tuple[str, ...]
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(o.kind != "expr" for o in self.outputs)
+
+    @property
+    def where_op_count(self) -> int:
+        return op_count(self.where) if self.where is not None else 0
+
+    @property
+    def output_op_count(self) -> int:
+        return sum(op_count(o.expr) for o in self.outputs if o.expr is not None)
+
+    @property
+    def aggregate_count(self) -> int:
+        return sum(1 for o in self.outputs if o.kind != "expr")
+
+
+def bind(stmt: SelectStmt, catalog: Catalog) -> BoundQuery:
+    """Validate ``stmt`` against ``catalog`` and return a bound query."""
+    table = catalog.table(stmt.table)
+    schema = table.schema
+    join = None
+    join_schema: Optional[TableSchema] = None
+    if stmt.join is not None:
+        join_table = catalog.table(stmt.join.table)
+        join_schema = join_table.schema
+        _require_column(schema, stmt.join.left_col)
+        _require_column(join_schema, stmt.join.right_col)
+        join = BoundJoin(
+            table=join_table,
+            left_col=stmt.join.left_col,
+            right_col=stmt.join.right_col,
+        )
+
+    def resolve(expr: Expr) -> Expr:
+        return _bind_expr(expr, schema, join_schema)
+
+    items = stmt.items
+    from repro.db.sql.nodes import SelectItem, Star
+
+    if len(items) == 1 and isinstance(items[0].expr, Star):
+        items = tuple(
+            SelectItem(expr=ColumnRef(name)) for name in schema.column_names
+        )
+
+    outputs: List[BoundOutput] = []
+    for pos, item in enumerate(items):
+        if item.is_aggregate:
+            agg: Aggregate = item.expr
+            bound_arg = resolve(agg.arg) if agg.arg is not None else None
+            name = item.alias or f"{agg.func}_{pos}"
+            outputs.append(BoundOutput(name=name, kind=agg.func, expr=bound_arg))
+        else:
+            bound = resolve(item.expr)
+            name = item.alias or (
+                bound.name if isinstance(bound, ColumnRef) else f"col{pos}"
+            )
+            outputs.append(BoundOutput(name=name, kind="expr", expr=bound))
+
+    if stmt.group_by:
+        for name in stmt.group_by:
+            _require_column(schema, name)
+        non_agg = [o for o in outputs if o.kind == "expr"]
+        for o in non_agg:
+            if not isinstance(o.expr, ColumnRef) or o.expr.name not in stmt.group_by:
+                raise SqlError(
+                    f"output {o.name!r} is neither aggregated nor in GROUP BY"
+                )
+    elif any(o.kind != "expr" for o in outputs) and any(
+        o.kind == "expr" for o in outputs
+    ):
+        raise SqlError("mixing aggregates and plain columns needs GROUP BY")
+
+    where = resolve(stmt.where) if stmt.where is not None else None
+    # ORDER BY may reference output aliases (SQL scoping): leave those
+    # unresolved against the schema — they bind to the result columns.
+    output_names = {o.name for o in outputs}
+
+    def resolve_order(expr: Expr) -> Expr:
+        if isinstance(expr, ColumnRef) and expr.name in output_names:
+            return expr
+        return resolve(expr)
+
+    order_by = tuple(
+        OrderItem(expr=resolve_order(o.expr), descending=o.descending)
+        for o in stmt.order_by
+    )
+    # HAVING shares ORDER BY's scoping: output aliases and group keys.
+    having = None
+    if stmt.having is not None:
+        having = _bind_scoped(stmt.having, output_names, schema, join_schema)
+
+    sel_cols = _columns_of(where, schema) if where is not None else []
+    proj_cols: List[str] = []
+    for o in outputs:
+        if o.expr is not None:
+            proj_cols.extend(_columns_of(o.expr, schema))
+    proj_cols.extend(c for c in stmt.group_by)
+    for o in order_by:
+        proj_cols.extend(_columns_of(o.expr, schema))
+    if having is not None:
+        proj_cols.extend(_columns_of(having, schema))
+    if join is not None:
+        # The probe key of the main table is touched for every row.
+        proj_cols.append(join.left_col)
+
+    referenced = _in_schema_order(schema, set(sel_cols) | set(proj_cols))
+    if not referenced:
+        # COUNT(*)-only queries still need to see row existence; touch the
+        # narrowest column.
+        narrowest = min(schema.user_columns, key=lambda c: c.dtype.width)
+        referenced = (narrowest.name,)
+
+    return BoundQuery(
+        table=table,
+        outputs=tuple(outputs),
+        where=where,
+        where_conjuncts=conjuncts(where) if where is not None else (),
+        group_by=stmt.group_by,
+        order_by=order_by,
+        limit=stmt.limit,
+        join=join,
+        having=having,
+        distinct=stmt.distinct,
+        referenced_columns=referenced,
+        selection_columns=_in_schema_order(schema, set(sel_cols)),
+        projection_columns=_in_schema_order(schema, set(proj_cols)),
+    )
+
+
+def _bind_scoped(
+    expr: Expr,
+    output_names: set,
+    schema: TableSchema,
+    join_schema: Optional[TableSchema],
+) -> Expr:
+    """Bind an expression that may reference output aliases (HAVING)."""
+    if isinstance(expr, ColumnRef):
+        if expr.name in output_names:
+            return expr
+        return _bind_expr(expr, schema, join_schema)
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(
+            op=expr.op,
+            left=_bind_scoped(expr.left, output_names, schema, join_schema),
+            right=_bind_scoped(expr.right, output_names, schema, join_schema),
+        )
+    if isinstance(expr, Compare):
+        return Compare(
+            op=expr.op,
+            left=_bind_scoped(expr.left, output_names, schema, join_schema),
+            right=_bind_scoped(expr.right, output_names, schema, join_schema),
+        )
+    if isinstance(expr, And):
+        return And(
+            terms=tuple(
+                _bind_scoped(t, output_names, schema, join_schema) for t in expr.terms
+            )
+        )
+    if isinstance(expr, Or):
+        return Or(
+            terms=tuple(
+                _bind_scoped(t, output_names, schema, join_schema) for t in expr.terms
+            )
+        )
+    if isinstance(expr, Not):
+        return Not(term=_bind_scoped(expr.term, output_names, schema, join_schema))
+    if isinstance(expr, Between):
+        return Between(
+            term=_bind_scoped(expr.term, output_names, schema, join_schema),
+            low=_bind_scoped(expr.low, output_names, schema, join_schema),
+            high=_bind_scoped(expr.high, output_names, schema, join_schema),
+        )
+    raise SqlError(f"cannot bind HAVING node {type(expr).__name__}")
+
+
+def _in_schema_order(schema: TableSchema, names: set) -> Tuple[str, ...]:
+    return tuple(c.name for c in schema.user_columns if c.name in names)
+
+
+def _require_column(schema: TableSchema, name: str) -> None:
+    if not schema.has_column(name):
+        raise SqlError(f"table {schema.name!r} has no column {name!r}")
+
+
+def _columns_of(expr: Expr, schema: TableSchema) -> List[str]:
+    return [c for c in expr.columns() if schema.has_column(c)]
+
+
+def _bind_expr(
+    expr: Expr, schema: TableSchema, join_schema: Optional[TableSchema]
+) -> Expr:
+    """Validate references and pad CHAR literals in comparisons."""
+    if isinstance(expr, ColumnRef):
+        if schema.has_column(expr.name):
+            return expr
+        if join_schema is not None and join_schema.has_column(expr.name):
+            return expr
+        raise SqlError(f"unknown column {expr.name!r}")
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(
+            op=expr.op,
+            left=_bind_expr(expr.left, schema, join_schema),
+            right=_bind_expr(expr.right, schema, join_schema),
+        )
+    if isinstance(expr, Compare):
+        left = _bind_expr(expr.left, schema, join_schema)
+        right = _bind_expr(expr.right, schema, join_schema)
+        left, right = _pad_char_literal(left, right, schema, join_schema)
+        right, left = _pad_char_literal(right, left, schema, join_schema)
+        return Compare(op=expr.op, left=left, right=right)
+    if isinstance(expr, And):
+        return And(terms=tuple(_bind_expr(t, schema, join_schema) for t in expr.terms))
+    if isinstance(expr, Or):
+        return Or(terms=tuple(_bind_expr(t, schema, join_schema) for t in expr.terms))
+    if isinstance(expr, Not):
+        return Not(term=_bind_expr(expr.term, schema, join_schema))
+    if isinstance(expr, Between):
+        return Between(
+            term=_bind_expr(expr.term, schema, join_schema),
+            low=_bind_expr(expr.low, schema, join_schema),
+            high=_bind_expr(expr.high, schema, join_schema),
+        )
+    raise SqlError(f"cannot bind expression node {type(expr).__name__}")
+
+
+def _pad_char_literal(
+    side: Expr, other: Expr, schema: TableSchema, join_schema: Optional[TableSchema]
+):
+    """If ``side`` is a CHAR column and ``other`` a str literal, pad the
+    literal to the column width as NUL-padded bytes."""
+    if not (isinstance(side, ColumnRef) and isinstance(other, Literal)):
+        return side, other
+    if not isinstance(other.value, str):
+        return side, other
+    for sch in (schema, join_schema):
+        if sch is not None and sch.has_column(side.name):
+            dtype = sch.column(side.name).dtype
+            if dtype.np_dtype is None:
+                padded = other.value.encode().ljust(dtype.width, b"\x00")
+                return side, Literal(padded)
+    return side, other

@@ -1,0 +1,80 @@
+"""Logical plan trees: an explainable view of a bound query.
+
+The engines execute :class:`~repro.db.plan.binder.BoundQuery` directly —
+the plan shapes in this subset are fixed (scan → filter → [join] →
+project/aggregate → sort → limit) — but an explicit tree is still useful
+for EXPLAIN output, the optimizer's reasoning, and tests that assert
+plan shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.db.plan.binder import BoundQuery
+
+
+@dataclass(frozen=True)
+class LogicalNode:
+    """One operator of the logical plan."""
+
+    kind: str
+    detail: str
+    children: Tuple["LogicalNode", ...] = ()
+
+    def render(self, indent: int = 0) -> str:
+        lines = [f"{'  ' * indent}{self.kind}: {self.detail}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def build_plan(query: BoundQuery, access_path: str = "scan") -> LogicalNode:
+    """Build the logical tree for ``query``.
+
+    ``access_path`` labels how the base table is read: ``"scan"`` (row),
+    ``"column-scan"``, ``"ephemeral-scan"`` (fabric) or ``"index"``.
+    """
+    cols = ", ".join(query.referenced_columns)
+    node = LogicalNode(
+        kind="Scan" if access_path == "scan" else access_path.title(),
+        detail=f"{query.table.schema.name}({cols})",
+    )
+    if query.where is not None:
+        node = LogicalNode(kind="Filter", detail=str(query.where), children=(node,))
+    if query.join is not None:
+        right = LogicalNode(
+            kind="Scan", detail=query.join.table.schema.name, children=()
+        )
+        node = LogicalNode(
+            kind="HashJoin",
+            detail=f"{query.join.left_col} = {query.join.right_col}",
+            children=(node, right),
+        )
+    if query.has_aggregates or query.group_by:
+        keys = ", ".join(query.group_by) or "<all>"
+        aggs = ", ".join(f"{o.kind}({o.expr})" for o in query.outputs if o.kind != "expr")
+        node = LogicalNode(
+            kind="Aggregate", detail=f"keys=[{keys}] aggs=[{aggs}]", children=(node,)
+        )
+    else:
+        outs = ", ".join(o.name for o in query.outputs)
+        node = LogicalNode(kind="Project", detail=outs, children=(node,))
+    if query.having is not None:
+        node = LogicalNode(kind="Having", detail=str(query.having), children=(node,))
+    if query.distinct:
+        node = LogicalNode(kind="Distinct", detail="", children=(node,))
+    if query.order_by:
+        keys = ", ".join(
+            f"{o.expr}{' DESC' if o.descending else ''}" for o in query.order_by
+        )
+        node = LogicalNode(kind="Sort", detail=keys, children=(node,))
+    if query.limit is not None:
+        node = LogicalNode(kind="Limit", detail=str(query.limit), children=(node,))
+    return node
+
+
+def explain(query: BoundQuery, access_path: str = "scan") -> str:
+    """EXPLAIN-style rendering of the plan for ``query``."""
+    return build_plan(query, access_path).render()

@@ -1,0 +1,24 @@
+"""SQL front end: lexer, parser, and AST nodes for the supported subset."""
+
+from repro.db.sql.lexer import Token, TokenKind, tokenize
+from repro.db.sql.nodes import (
+    Aggregate,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+)
+from repro.db.sql.parser import Parser, parse
+
+__all__ = [
+    "Aggregate",
+    "JoinClause",
+    "OrderItem",
+    "Parser",
+    "SelectItem",
+    "SelectStmt",
+    "Token",
+    "TokenKind",
+    "parse",
+    "tokenize",
+]

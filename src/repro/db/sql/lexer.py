@@ -1,0 +1,96 @@
+"""Hand-rolled SQL lexer for the supported subset.
+
+Produces a flat token list; the recursive-descent parser walks it with
+one token of lookahead. Keywords are case-insensitive; identifiers are
+lowercased (the catalog is lowercase-normalized).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SqlError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "select", "from", "where", "group", "order", "by", "having", "limit",
+    "as", "and", "or", "not", "between", "asc", "desc", "join", "on", "distinct",
+    "sum", "avg", "count", "min", "max", "date", "interval", "day",
+}
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "(", ")", ",", "*", "+", "-", "/", "=", "<", ">", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def __str__(self) -> str:
+        return f"{self.text!r}"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Split ``sql`` into tokens, raising :class:`SqlError` on garbage."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql[i : i + 2] == "--":
+            newline = sql.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            end = sql.find("'", i + 1)
+            if end < 0:
+                raise SqlError(f"unterminated string literal at offset {i}")
+            tokens.append(Token(TokenKind.STRING, sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                seen_dot = seen_dot or sql[j] == "."
+                j += 1
+            tokens.append(Token(TokenKind.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j].lower()
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, word, i))
+            i = j
+            continue
+        for sym in _SYMBOLS:
+            if sql.startswith(sym, i):
+                canonical = "<>" if sym == "!=" else sym
+                tokens.append(Token(TokenKind.SYMBOL, canonical, i))
+                i += len(sym)
+                break
+        else:
+            raise SqlError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

@@ -1,0 +1,78 @@
+"""SQL AST nodes produced by the parser and consumed by the binder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.db.expr import Expr
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``func(arg)`` in a select list; ``arg is None`` means ``COUNT(*)``."""
+
+    func: str  # "sum" | "avg" | "count" | "min" | "max"
+    arg: Optional[Expr]
+
+    FUNCS = ("sum", "avg", "count", "min", "max")
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output of the select list: a plain expression or an aggregate."""
+
+    expr: object  # Expr | Aggregate
+    alias: Optional[str] = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self.expr, Aggregate)
+
+    def output_name(self, position: int) -> str:
+        if self.alias:
+            return self.alias
+        return f"col{position}" if not hasattr(self.expr, "name") else self.expr.name
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``JOIN <table> ON <left col> = <right col>`` (equi-join only)."""
+
+    table: str
+    left_col: str
+    right_col: str
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Star:
+    """``SELECT *``: expanded to every user column by the binder."""
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """A parsed ``SELECT`` over one table, optionally equi-joined."""
+
+    items: Tuple[SelectItem, ...]
+    table: str
+    join: Optional[JoinClause] = None
+    where: Optional[Expr] = None
+    group_by: Tuple[str, ...] = ()
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(item.is_aggregate for item in self.items)

@@ -1,0 +1,283 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (roughly)::
+
+    select   := SELECT item (',' item)* FROM ident [join] [WHERE pred]
+                [GROUP BY ident (',' ident)*]
+                [ORDER BY order (',' order)*] [LIMIT number]
+    join     := JOIN ident ON ident '=' ident
+    item     := expr [AS ident] | agg '(' (expr | '*') ')' [AS ident]
+    pred     := or_expr
+    or_expr  := and_expr (OR and_expr)*
+    and_expr := not_expr (AND not_expr)*
+    not_expr := NOT not_expr | cmp
+    cmp      := add ((cmpop add) | BETWEEN add AND add)?
+    add      := mul (('+'|'-') mul)*
+    mul      := atom (('*'|'/') atom)*
+    atom     := number | string | date | interval | ident | '(' pred ')'
+
+``DATE 'YYYY-MM-DD'`` folds to its day number and ``INTERVAL 'n' DAY``
+folds to ``n``, so date arithmetic works over plain integers — matching
+how DATE columns are stored.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import List, Optional, Tuple
+
+from repro.db.expr import (
+    And,
+    Between,
+    BinOp,
+    ColumnRef,
+    Compare,
+    Expr,
+    Literal,
+    Not,
+    Or,
+)
+from repro.db.sql.lexer import Token, TokenKind, tokenize
+from repro.db.sql.nodes import (
+    Aggregate,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+    Star,
+)
+from repro.errors import SqlError
+
+_EPOCH = datetime.date(1970, 1, 1)
+_CMP_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+class Parser:
+    """One-token-lookahead parser over a token list."""
+
+    def __init__(self, sql: str):
+        self._tokens = tokenize(sql)
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing.
+    # ------------------------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        self._pos += 1
+        return tok
+
+    def _expect_symbol(self, sym: str) -> None:
+        if self._cur.kind is not TokenKind.SYMBOL or self._cur.text != sym:
+            raise SqlError(f"expected {sym!r}, found {self._cur}")
+        self._advance()
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._cur.is_keyword(word):
+            raise SqlError(f"expected {word.upper()}, found {self._cur}")
+        self._advance()
+
+    def _expect_ident(self) -> str:
+        if self._cur.kind is not TokenKind.IDENT:
+            raise SqlError(f"expected identifier, found {self._cur}")
+        return self._advance().text
+
+    def _match_symbol(self, sym: str) -> bool:
+        if self._cur.kind is TokenKind.SYMBOL and self._cur.text == sym:
+            self._advance()
+            return True
+        return False
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._cur.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+    def parse_select(self) -> SelectStmt:
+        self._expect_keyword("select")
+        distinct = self._match_keyword("distinct")
+        if self._cur.kind is TokenKind.SYMBOL and self._cur.text == "*":
+            self._advance()
+            items = [SelectItem(expr=Star())]
+        else:
+            items = [self._select_item()]
+            while self._match_symbol(","):
+                items.append(self._select_item())
+        self._expect_keyword("from")
+        table = self._expect_ident()
+        join = None
+        if self._match_keyword("join"):
+            join = self._join_clause()
+        where = None
+        if self._match_keyword("where"):
+            where = self._predicate()
+        group_by: Tuple[str, ...] = ()
+        if self._match_keyword("group"):
+            self._expect_keyword("by")
+            names = [self._expect_ident()]
+            while self._match_symbol(","):
+                names.append(self._expect_ident())
+            group_by = tuple(names)
+        having = None
+        if self._match_keyword("having"):
+            if not group_by:
+                raise SqlError("HAVING requires GROUP BY in this dialect")
+            having = self._predicate()
+        order_by: Tuple[OrderItem, ...] = ()
+        if self._match_keyword("order"):
+            self._expect_keyword("by")
+            orders = [self._order_item()]
+            while self._match_symbol(","):
+                orders.append(self._order_item())
+            order_by = tuple(orders)
+        limit = None
+        if self._match_keyword("limit"):
+            if self._cur.kind is not TokenKind.NUMBER:
+                raise SqlError(f"expected number after LIMIT, found {self._cur}")
+            limit = int(self._advance().text)
+        if self._cur.kind is not TokenKind.EOF:
+            raise SqlError(f"trailing input at {self._cur}")
+        return SelectStmt(
+            items=tuple(items),
+            table=table,
+            join=join,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _join_clause(self) -> JoinClause:
+        table = self._expect_ident()
+        self._expect_keyword("on")
+        left = self._expect_ident()
+        self._expect_symbol("=")
+        right = self._expect_ident()
+        return JoinClause(table=table, left_col=left, right_col=right)
+
+    def _order_item(self) -> OrderItem:
+        expr = self._add()
+        descending = False
+        if self._match_keyword("desc"):
+            descending = True
+        else:
+            self._match_keyword("asc")
+        return OrderItem(expr=expr, descending=descending)
+
+    def _select_item(self) -> SelectItem:
+        if self._cur.kind is TokenKind.KEYWORD and self._cur.text in Aggregate.FUNCS:
+            func = self._advance().text
+            self._expect_symbol("(")
+            arg: Optional[Expr]
+            if func == "count" and self._match_symbol("*"):
+                arg = None
+            else:
+                arg = self._add()
+            self._expect_symbol(")")
+            expr: object = Aggregate(func=func, arg=arg)
+        else:
+            expr = self._add()
+        alias = None
+        if self._match_keyword("as"):
+            alias = self._expect_ident()
+        return SelectItem(expr=expr, alias=alias)
+
+    # ------------------------------------------------------------------
+    # Predicates and expressions.
+    # ------------------------------------------------------------------
+    def _predicate(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        terms = [self._and_expr()]
+        while self._match_keyword("or"):
+            terms.append(self._and_expr())
+        return terms[0] if len(terms) == 1 else Or(terms=tuple(terms))
+
+    def _and_expr(self) -> Expr:
+        terms = [self._not_expr()]
+        while self._match_keyword("and"):
+            terms.append(self._not_expr())
+        return terms[0] if len(terms) == 1 else And(terms=tuple(terms))
+
+    def _not_expr(self) -> Expr:
+        if self._match_keyword("not"):
+            return Not(term=self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._add()
+        if self._cur.kind is TokenKind.SYMBOL and self._cur.text in _CMP_OPS:
+            op = self._advance().text
+            right = self._add()
+            return Compare(op=op, left=left, right=right)
+        if self._match_keyword("between"):
+            low = self._add()
+            self._expect_keyword("and")
+            high = self._add()
+            return Between(term=left, low=low, high=high)
+        return left
+
+    def _add(self) -> Expr:
+        left = self._mul()
+        while self._cur.kind is TokenKind.SYMBOL and self._cur.text in ("+", "-"):
+            op = self._advance().text
+            left = BinOp(op=op, left=left, right=self._mul())
+        return left
+
+    def _mul(self) -> Expr:
+        left = self._atom()
+        while self._cur.kind is TokenKind.SYMBOL and self._cur.text in ("*", "/"):
+            op = self._advance().text
+            left = BinOp(op=op, left=left, right=self._atom())
+        return left
+
+    def _atom(self) -> Expr:
+        tok = self._cur
+        if tok.kind is TokenKind.NUMBER:
+            self._advance()
+            text = tok.text
+            return Literal(float(text) if "." in text else int(text))
+        if tok.kind is TokenKind.STRING:
+            self._advance()
+            return Literal(tok.text)
+        if tok.is_keyword("date"):
+            self._advance()
+            if self._cur.kind is not TokenKind.STRING:
+                raise SqlError(f"expected date string after DATE, found {self._cur}")
+            raw = self._advance().text
+            try:
+                day = datetime.date.fromisoformat(raw)
+            except ValueError as exc:
+                raise SqlError(f"bad date literal {raw!r}: {exc}")
+            return Literal((day - _EPOCH).days)
+        if tok.is_keyword("interval"):
+            self._advance()
+            if self._cur.kind is not TokenKind.STRING:
+                raise SqlError(f"expected quantity after INTERVAL, found {self._cur}")
+            qty = int(self._advance().text)
+            self._expect_keyword("day")
+            return Literal(qty)
+        if tok.kind is TokenKind.IDENT:
+            self._advance()
+            return ColumnRef(name=tok.text)
+        if self._match_symbol("("):
+            inner = self._predicate()
+            self._expect_symbol(")")
+            return inner
+        raise SqlError(f"unexpected token {tok}")
+
+
+def parse(sql: str) -> SelectStmt:
+    """Parse one ``SELECT`` statement."""
+    return Parser(sql).parse_select()

@@ -1,0 +1,232 @@
+"""Row-major table frames: the single copy of the base data.
+
+The paper's design point is that base data lives in exactly one
+row-oriented image (efficient to ingest and update) and every other
+layout is ephemeral. :class:`Table` is that image: a ``(capacity,
+row_stride)`` uint8 numpy array, with append fast paths both for Python
+rows (OLTP style) and whole column arrays (bulk load).
+
+When the schema carries MVCC columns the table also maintains the
+begin/end timestamp stamps; the transaction manager in
+:mod:`repro.db.mvcc` drives them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mvcc_filter import LIVE_TS, NEVER_TS
+from repro.core.packer import decode_frame_field
+from repro.db.schema import MVCC_BEGIN, MVCC_END, TableSchema
+from repro.errors import SchemaError
+
+_INITIAL_CAPACITY = 64
+
+
+class Table:
+    """A row-oriented relational table over one contiguous byte frame."""
+
+    def __init__(self, schema: TableSchema, capacity: int = _INITIAL_CAPACITY):
+        self.schema = schema
+        self._frame = np.zeros((max(capacity, 1), schema.row_stride), dtype=np.uint8)
+        self.nrows = 0
+        #: Monotonic mutation counter; columnar replicas compare against it
+        #: to detect staleness (the HTAP freshness story).
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Storage management.
+    # ------------------------------------------------------------------
+    @property
+    def frame(self) -> np.ndarray:
+        """The live row image, ``(nrows, row_stride)`` uint8."""
+        return self._frame[: self.nrows]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of live row data (the paper's data-size axis)."""
+        return self.nrows * self.schema.row_stride
+
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self.nrows + extra
+        if needed <= self._frame.shape[0]:
+            return
+        new_cap = max(needed, self._frame.shape[0] * 2)
+        grown = np.zeros((new_cap, self.schema.row_stride), dtype=np.uint8)
+        grown[: self.nrows] = self._frame[: self.nrows]
+        self._frame = grown
+
+    # ------------------------------------------------------------------
+    # Ingestion.
+    # ------------------------------------------------------------------
+    def append_row(self, values: Mapping[str, Any]) -> int:
+        """Append one row from a column→value mapping; returns its index.
+
+        MVCC tables default the new row to (NEVER, LIVE): invisible until
+        a transaction stamps its begin timestamp.
+        """
+        self._ensure_capacity(1)
+        idx = self.nrows
+        row = self._frame[idx]
+        provided = dict(values)
+        if self.schema.mvcc:
+            provided.setdefault(MVCC_BEGIN, NEVER_TS)
+            provided.setdefault(MVCC_END, LIVE_TS)
+        for col in self.schema.columns:
+            if col.name not in provided:
+                raise SchemaError(f"missing value for column {col.name!r}")
+            raw = col.dtype.encode(provided[col.name])
+            off = self.schema.offset_of(col.name)
+            if col.dtype.np_dtype is None:
+                row[off : off + col.dtype.width] = np.frombuffer(raw, dtype=np.uint8)
+            else:
+                scalar = np.array([raw], dtype=col.dtype.np_dtype)
+                row[off : off + col.dtype.width] = scalar.view(np.uint8)
+        self.nrows += 1
+        self.version += 1
+        return idx
+
+    def append_rows(self, rows: Iterable[Mapping[str, Any]]) -> List[int]:
+        return [self.append_row(r) for r in rows]
+
+    def append_arrays(self, columns: Mapping[str, np.ndarray]) -> None:
+        """Bulk-append from whole column arrays (one per user column).
+
+        Numeric arrays must already be in raw stored form (e.g. scaled
+        ints for DECIMAL); CHAR columns take ``S<width>`` byte arrays.
+        """
+        names = set(columns)
+        expected = set(c.name for c in self.schema.user_columns)
+        if names != expected:
+            raise SchemaError(
+                f"bulk load columns {sorted(names)} != schema {sorted(expected)}"
+            )
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) != 1:
+            raise SchemaError(f"ragged bulk load: lengths {sorted(lengths)}")
+        (n,) = lengths
+        self._ensure_capacity(n)
+        base = self.nrows
+        for col in self.schema.user_columns:
+            values = columns[col.name]
+            off = self.schema.offset_of(col.name)
+            w = col.dtype.width
+            dest = self._frame[base : base + n, off : off + w]
+            if col.dtype.np_dtype is None:
+                arr = np.asarray(values, dtype=f"S{w}")
+                dest[:] = arr.view(np.uint8).reshape(n, w)
+            else:
+                arr = np.asarray(values, dtype=col.dtype.np_dtype)
+                dest[:] = arr.view(np.uint8).reshape(n, w)
+        if self.schema.mvcc:
+            self._stamp_bulk(base, n, MVCC_BEGIN, NEVER_TS)
+            self._stamp_bulk(base, n, MVCC_END, LIVE_TS)
+        self.nrows += n
+        self.version += 1
+
+    def _stamp_bulk(self, base: int, n: int, column: str, ts: int) -> None:
+        off = self.schema.offset_of(column)
+        stamped = np.full(n, ts, dtype="<i8")
+        self._frame[base : base + n, off : off + 8] = stamped.view(np.uint8).reshape(n, 8)
+
+    # ------------------------------------------------------------------
+    # Reads.
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """Raw stored values of one column over live rows (scaled ints for
+        DECIMAL, day numbers for DATE, ``(n, w)`` uint8 for CHAR)."""
+        return decode_frame_field(self.frame, self.schema.full_geometry(), name)
+
+    def column_values(self, name: str) -> np.ndarray:
+        """Query-facing values: DECIMAL rescaled to floats, CHAR as fixed
+        byte strings (``S<width>``), DATE as day numbers."""
+        col = self.schema.column(name)
+        raw = self.column(name)
+        if col.dtype.np_dtype is None:
+            return raw.view(f"S{col.dtype.width}").reshape(-1)
+        return col.dtype.decode_array(raw)
+
+    def row(self, i: int) -> Dict[str, Any]:
+        """One row decoded to Python values (user columns only)."""
+        if not 0 <= i < self.nrows:
+            raise IndexError(i)
+        out = {}
+        raw = self._frame[i]
+        for col in self.schema.user_columns:
+            off = self.schema.offset_of(col.name)
+            chunk = raw[off : off + col.dtype.width]
+            if col.dtype.np_dtype is None:
+                out[col.name] = col.dtype.decode(bytes(chunk))
+            else:
+                value = np.ascontiguousarray(chunk).view(col.dtype.np_dtype)[0]
+                out[col.name] = col.dtype.decode(value)
+        return out
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        for i in range(self.nrows):
+            yield self.row(i)
+
+    # ------------------------------------------------------------------
+    # In-place mutation (MVCC bookkeeping and point updates).
+    # ------------------------------------------------------------------
+    def set_value(self, i: int, name: str, value: Any) -> None:
+        if not 0 <= i < self.nrows:
+            raise IndexError(i)
+        col = self.schema.column(name)
+        off = self.schema.offset_of(name)
+        raw = col.dtype.encode(value)
+        if col.dtype.np_dtype is None:
+            self._frame[i, off : off + col.dtype.width] = np.frombuffer(
+                raw, dtype=np.uint8
+            )
+        else:
+            scalar = np.array([raw], dtype=col.dtype.np_dtype)
+            self._frame[i, off : off + col.dtype.width] = scalar.view(np.uint8)
+        self.version += 1
+
+    def retain(self, keep: np.ndarray) -> None:
+        """Compact the table to the rows where ``keep`` is True (used by
+        MVCC vacuum). Row slot indices change."""
+        if keep.shape != (self.nrows,):
+            raise SchemaError(
+                f"retain mask shape {keep.shape} != ({self.nrows},)"
+            )
+        kept = self._frame[: self.nrows][keep]
+        self._frame[: kept.shape[0]] = kept
+        self._frame[kept.shape[0] : self.nrows] = 0
+        self.nrows = kept.shape[0]
+        self.version += 1
+
+    # MVCC timestamp access -------------------------------------------------
+    def _require_mvcc(self) -> None:
+        if not self.schema.mvcc:
+            raise SchemaError(f"table {self.schema.name!r} has no MVCC columns")
+
+    @property
+    def begin_ts(self) -> np.ndarray:
+        self._require_mvcc()
+        return self.column(MVCC_BEGIN)
+
+    @property
+    def end_ts(self) -> np.ndarray:
+        self._require_mvcc()
+        return self.column(MVCC_END)
+
+    def stamp_begin(self, i: int, ts: int) -> None:
+        self._require_mvcc()
+        self.set_value(i, MVCC_BEGIN, ts)
+
+    def stamp_end(self, i: int, ts: int) -> None:
+        self._require_mvcc()
+        self.set_value(i, MVCC_END, ts)
+
+    def __len__(self) -> int:
+        return self.nrows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Table({self.schema.name!r}, rows={self.nrows}, "
+            f"stride={self.schema.row_stride}, bytes={self.nbytes})"
+        )

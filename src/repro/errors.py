@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class GeometryError(ReproError):
+    """An invalid data geometry was requested (bad offsets, widths, overlap)."""
+
+
+class ConfigurationError(ReproError):
+    """A hardware or engine configuration is inconsistent or unsupported."""
+
+
+class SchemaError(ReproError):
+    """A table schema is malformed or a column reference cannot be resolved."""
+
+
+class SqlError(ReproError):
+    """SQL text could not be lexed, parsed, or bound against the catalog."""
+
+
+class PlanError(ReproError):
+    """A logical or physical plan is invalid or cannot be constructed."""
+
+
+class ExecutionError(ReproError):
+    """A query plan failed during evaluation."""
+
+
+class TransactionError(ReproError):
+    """An MVCC transaction violated snapshot-isolation rules."""
+
+
+class WriteConflictError(TransactionError):
+    """First-committer-wins: a concurrent committed write touched the same row."""
+
+
+class TransactionStateError(TransactionError):
+    """An operation was attempted on a transaction in the wrong state."""
+
+
+class CompressionError(ReproError):
+    """A compression codec failed to encode or decode a payload."""
+
+
+class StorageError(ReproError):
+    """The simulated flash device rejected a request (bad address, size)."""
+
+
+class IndexError_(ReproError):
+    """A B+-tree operation failed (duplicate key under unique constraint)."""

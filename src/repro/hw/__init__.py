@@ -1,0 +1,51 @@
+"""Hardware substrate simulators: caches, prefetcher, DRAM, bus, CPU cost
+model, the Relational Memory fabric engine, and the platform presets that
+tie them together."""
+
+from repro.hw.analytic import AnalyticMemoryModel, MemoryModel, TraceMemoryModel
+from repro.hw.bus import AxiBus, AxiConfig
+from repro.hw.cache import Cache, CacheStats
+from repro.hw.config import (
+    CACHE_LINE_BYTES,
+    CacheConfig,
+    CpuConfig,
+    DramConfig,
+    PlatformConfig,
+    PrefetcherConfig,
+    RmConfig,
+    TEST_PLATFORM,
+    ZYNQ_ULTRASCALE,
+    default_platform,
+)
+from repro.hw.cpu import CpuCostModel
+from repro.hw.dram import Dram, DramStats
+from repro.hw.engine import RelationalMemoryEngineModel, RmTransformReport
+from repro.hw.hierarchy import MemoryHierarchy
+from repro.hw.prefetcher import StreamPrefetcher
+
+__all__ = [
+    "AnalyticMemoryModel",
+    "AxiBus",
+    "AxiConfig",
+    "CACHE_LINE_BYTES",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "CpuConfig",
+    "CpuCostModel",
+    "Dram",
+    "DramConfig",
+    "DramStats",
+    "MemoryHierarchy",
+    "MemoryModel",
+    "PlatformConfig",
+    "PrefetcherConfig",
+    "RelationalMemoryEngineModel",
+    "RmConfig",
+    "RmTransformReport",
+    "StreamPrefetcher",
+    "TEST_PLATFORM",
+    "TraceMemoryModel",
+    "ZYNQ_ULTRASCALE",
+    "default_platform",
+]

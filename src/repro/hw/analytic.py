@@ -1,0 +1,387 @@
+"""Memory-cost models shared by every query engine.
+
+Two interchangeable implementations of one small interface:
+
+* :class:`AnalyticMemoryModel` — closed-form costs for *cold* scans whose
+  working set exceeds the last-level cache. O(1) per scan, used by the
+  benchmark harness where tables are far larger than L2.
+* :class:`TraceMemoryModel` — drives the event-accurate
+  :class:`repro.hw.hierarchy.MemoryHierarchy` access by access. Used by
+  tests and small-data runs; property tests assert the analytic model
+  agrees with it on large cold streams.
+
+Every method returns a :class:`MemCost` splitting cycles into *covered*
+(bandwidth-bound, prefetcher-hidden — an engine pays ``max(covered,
+cpu_cycles)`` for a scan stage) and *exposed* (demand-miss latency an
+in-order core cannot hide — always additive). Both models also count
+DRAM traffic.
+
+Known, documented divergence: for more concurrent streams than the
+prefetcher tracks, the trace model's LRU stream table thrashes under
+lockstep round-robin (no stream stays trained), while the analytic model
+optimistically keeps ``max_streams`` covered — closer to real hardware,
+where miss timing is less adversarial than an exact round-robin.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.hw.config import PlatformConfig
+from repro.hw.hierarchy import MemoryHierarchy
+
+
+@dataclass
+class TrafficStats:
+    """DRAM traffic attributed to one model instance."""
+
+    dram_bytes: float = 0.0
+    cycles: float = 0.0
+
+    def add(self, dram_bytes: float, cycles: float) -> None:
+        self.dram_bytes += dram_bytes
+        self.cycles += cycles
+
+
+@dataclass(frozen=True)
+class MemCost:
+    """Memory cycles split by overlappability.
+
+    ``covered`` cycles are bandwidth-bound transfers the prefetcher hides
+    behind computation (an engine pays ``max(covered, cpu)``); ``exposed``
+    cycles are demand-miss latency an in-order core cannot hide (always
+    added on top). The split is what lets CPU-heavy scans (TPC-H Q1) look
+    alike across engines while movement-bound scans (Q6) diverge.
+    """
+
+    covered: float = 0.0
+    exposed: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.covered + self.exposed
+
+    def __add__(self, other: "MemCost") -> "MemCost":
+        return MemCost(self.covered + other.covered, self.exposed + other.exposed)
+
+
+ZERO_COST = MemCost()
+
+
+class MemoryModel(ABC):
+    """Cost interface the query engines program against."""
+
+    def __init__(self, platform: PlatformConfig):
+        platform.validate()
+        self.platform = platform
+        self.traffic = TrafficStats()
+        self.line_bytes = platform.l1.line_bytes
+
+    def reset_stats(self) -> None:
+        self.traffic = TrafficStats()
+
+    @abstractmethod
+    def sequential(
+        self, total_bytes: int, base_addr: int = 0, write: bool = False
+    ) -> MemCost:
+        """One contiguous prefetch-friendly stream of ``total_bytes``."""
+
+    @abstractmethod
+    def multi_stream(
+        self, stream_bytes: Sequence[int], base_addrs: Optional[Sequence[int]] = None
+    ) -> MemCost:
+        """``len(stream_bytes)`` sequential streams progressing in lockstep
+        (a column engine consuming several columns row-wise)."""
+
+    @abstractmethod
+    def strided(
+        self,
+        nrows: int,
+        stride_bytes: int,
+        touched_per_row: int,
+        base_addr: int = 0,
+    ) -> MemCost:
+        """A row scan touching ``touched_per_row`` bytes every
+        ``stride_bytes`` (narrow column group over wide rows)."""
+
+    @abstractmethod
+    def random(self, n_accesses: int, working_set_bytes: int) -> MemCost:
+        """``n_accesses`` uniformly random accesses over a working set
+        (hash tables, index probes)."""
+
+    #: Fraction of a column's lines that must be touched before an
+    #: ascending gather behaves like a prefetchable stream.
+    GATHER_STREAM_THRESHOLD = 0.5
+
+    def gather(
+        self,
+        n_candidates: int,
+        n_rows: int,
+        value_bytes: int,
+    ) -> MemCost:
+        """Positional gather of ``n_candidates`` of ``n_rows`` values from
+        one column array (lazy/late-materialized access after a selection).
+
+        The access order is ascending but irregular. When the candidates
+        are dense enough that most lines are touched, the miss pattern is
+        line-sequential and the prefetcher engages (covered, bandwidth
+        cost over the touched lines); when sparse, each touched line is a
+        demand miss (exposed latency).
+        """
+        if n_candidates <= 0 or n_rows <= 0:
+            return ZERO_COST
+        per_line = max(1, self.line_bytes // max(1, value_bytes))
+        total_lines = math.ceil(n_rows / per_line)
+        density = n_candidates / n_rows
+        touched = total_lines * (1.0 - (1.0 - density) ** per_line)
+        self.traffic.add(touched * self.line_bytes, 0.0)
+        if touched / total_lines >= self.GATHER_STREAM_THRESHOLD:
+            cycles = touched * self.platform.dram.stream_cycles_per_line
+            self.traffic.cycles += cycles
+            return MemCost(covered=cycles, exposed=0.0)
+        cycles = touched * self.platform.dram.unprefetched_cycles_per_line
+        self.traffic.cycles += cycles
+        return MemCost(covered=0.0, exposed=cycles)
+
+    def lines(self, nbytes: float) -> float:
+        return nbytes / self.line_bytes
+
+
+class AnalyticMemoryModel(MemoryModel):
+    """Closed-form costs for cold scans (working set >> LLC)."""
+
+    def sequential(
+        self, total_bytes: int, base_addr: int = 0, write: bool = False
+    ) -> MemCost:
+        if total_bytes <= 0:
+            return ZERO_COST
+        dram = self.platform.dram
+        nlines = math.ceil(total_bytes / self.line_bytes)
+        cycles = nlines * dram.stream_cycles_per_line
+        if write:
+            # Write-allocate + eventual write-back doubles the traffic.
+            cycles *= 2
+            self.traffic.add(2 * nlines * self.line_bytes, cycles)
+        else:
+            self.traffic.add(nlines * self.line_bytes, cycles)
+        return MemCost(covered=cycles, exposed=0.0)
+
+    def multi_stream(
+        self, stream_bytes: Sequence[int], base_addrs: Optional[Sequence[int]] = None
+    ) -> MemCost:
+        dram = self.platform.dram
+        max_streams = self.platform.prefetcher.max_streams
+        sizes = sorted((b for b in stream_bytes if b > 0), reverse=True)
+        covered = 0.0
+        exposed = 0.0
+        nbytes = 0.0
+        for rank, size in enumerate(sizes):
+            nlines = math.ceil(size / self.line_bytes)
+            if rank < max_streams:
+                covered += nlines * dram.stream_cycles_per_line
+            else:
+                exposed += nlines * dram.unprefetched_cycles_per_line
+            nbytes += nlines * self.line_bytes
+        self.traffic.add(nbytes, covered + exposed)
+        return MemCost(covered=covered, exposed=exposed)
+
+    def strided(
+        self,
+        nrows: int,
+        stride_bytes: int,
+        touched_per_row: int,
+        base_addr: int = 0,
+    ) -> MemCost:
+        if nrows <= 0:
+            return ZERO_COST
+        dram = self.platform.dram
+        if stride_bytes <= self.line_bytes:
+            # Every line of the region is touched: a plain sequential scan.
+            return self.sequential(nrows * stride_bytes, base_addr)
+        lines_per_row = self._lines_per_strided_row(stride_bytes, touched_per_row)
+        nlines = nrows * lines_per_row
+        if stride_bytes <= self.platform.prefetcher.max_stride_bytes:
+            cost = MemCost(covered=nlines * dram.stream_cycles_per_line, exposed=0.0)
+        else:
+            cost = MemCost(covered=0.0, exposed=nlines * dram.unprefetched_cycles_per_line)
+        self.traffic.add(nlines * self.line_bytes, cost.total)
+        return cost
+
+    def _lines_per_strided_row(self, stride_bytes: int, touched: int) -> float:
+        """Expected distinct lines per row for ``touched`` bytes at an
+        arbitrary alignment within a ``stride_bytes`` row."""
+        touched = max(1, touched)
+        # A touched span of t bytes starting uniformly crosses an extra
+        # line boundary with probability (t-1)/line.
+        return 1 + (touched - 1) / self.line_bytes
+
+    def random(self, n_accesses: int, working_set_bytes: int) -> MemCost:
+        if n_accesses <= 0:
+            return ZERO_COST
+        plat = self.platform
+        if working_set_bytes <= plat.l1.size_bytes:
+            cycles = n_accesses * plat.l1.hit_cycles
+            self.traffic.add(0, cycles)
+            return MemCost(covered=cycles, exposed=0.0)
+        if working_set_bytes <= plat.l2.size_bytes:
+            cycles = n_accesses * plat.l2.hit_cycles
+            self.traffic.add(0, cycles)
+            return MemCost(covered=cycles, exposed=0.0)
+        # Cold random access: average of open/closed row DRAM latency plus
+        # the L2 lookup on the way; a fraction still hits in L2 when the
+        # working set is near-resident.
+        dram = plat.dram
+        per = plat.l2.hit_cycles + (dram.row_hit_cycles + dram.row_miss_cycles) / 2
+        resident = min(1.0, plat.l2.size_bytes / working_set_bytes)
+        per_mixed = resident * plat.l2.hit_cycles + (1 - resident) * per
+        cycles = n_accesses * per_mixed
+        self.traffic.add(n_accesses * (1 - resident) * self.line_bytes, cycles)
+        return MemCost(covered=0.0, exposed=cycles)
+
+
+class TraceMemoryModel(MemoryModel):
+    """Event-accurate model: every charge walks the cache hierarchy.
+
+    The covered/exposed split is classified per access: cache hits and
+    prefetch-covered stream transfers are covered; demand DRAM misses are
+    exposed.
+    """
+
+    def __init__(self, platform: PlatformConfig, hierarchy: Optional[MemoryHierarchy] = None):
+        super().__init__(platform)
+        self.hierarchy = hierarchy or MemoryHierarchy(platform)
+        self._alloc_cursor = 1 << 32  # synthetic address space for streams
+        self._rng_state = 0x9E3779B97F4A7C15
+
+    def _alloc(self, nbytes: int) -> int:
+        """Carve a fresh region so distinct scans do not alias."""
+        base = self._alloc_cursor
+        aligned = (nbytes + self.line_bytes - 1) // self.line_bytes * self.line_bytes
+        self._alloc_cursor += aligned + 64 * self.line_bytes
+        return base
+
+    def _classified(self, run) -> MemCost:
+        """Run a traced access closure and classify its cycle total."""
+        h = self.hierarchy
+        misses_before = h.dram.stats.row_hits + h.dram.stats.row_misses
+        covered_before = h.prefetcher.covered
+        dram_before = h.stats.dram_lines
+        cycles = run()
+        demand = (h.dram.stats.row_hits + h.dram.stats.row_misses) - misses_before
+        covered_lines = h.prefetcher.covered - covered_before
+        moved = h.stats.dram_lines - dram_before
+        self.traffic.add(moved * self.line_bytes, cycles)
+        # Demand misses (not prefetch-covered) are exposed latency; the
+        # rest of the cycles (hits + streamed lines) are covered.
+        exposed = 0.0
+        demand_misses = max(0, demand - 0)  # stream_cost bumps row_hits too
+        if moved:
+            exposed_fraction = max(0.0, (moved - covered_lines) / moved)
+            exposed = cycles * exposed_fraction
+        return MemCost(covered=cycles - exposed, exposed=exposed)
+
+    def sequential(
+        self, total_bytes: int, base_addr: int = 0, write: bool = False
+    ) -> MemCost:
+        if total_bytes <= 0:
+            return ZERO_COST
+        if base_addr == 0:
+            base_addr = self._alloc(total_bytes)
+        return self._classified(
+            lambda: self.hierarchy.scan_region(base_addr, total_bytes, write=write)
+        )
+
+    def multi_stream(
+        self, stream_bytes: Sequence[int], base_addrs: Optional[Sequence[int]] = None
+    ) -> MemCost:
+        sizes = [b for b in stream_bytes if b > 0]
+        if not sizes:
+            return ZERO_COST
+        if base_addrs is None:
+            base_addrs = [self._alloc(b) for b in sizes]
+
+        def run():
+            lines_left = [math.ceil(b / self.line_bytes) for b in sizes]
+            cursors = [self.hierarchy.l1.line_of(a) for a in base_addrs]
+            cycles = 0.0
+            # Lockstep round-robin: one line from each live stream per round.
+            while any(n > 0 for n in lines_left):
+                for i in range(len(sizes)):
+                    if lines_left[i] > 0:
+                        cycles += self.hierarchy.access_lines(
+                            [cursors[i]], stride_hint=self.line_bytes
+                        )
+                        cursors[i] += 1
+                        lines_left[i] -= 1
+            return cycles
+
+        return self._classified(run)
+
+    def strided(
+        self,
+        nrows: int,
+        stride_bytes: int,
+        touched_per_row: int,
+        base_addr: int = 0,
+    ) -> MemCost:
+        if nrows <= 0:
+            return ZERO_COST
+        if base_addr == 0:
+            base_addr = self._alloc(nrows * stride_bytes)
+        return self._classified(
+            lambda: self.hierarchy.scan_region(
+                base_addr,
+                nrows * stride_bytes,
+                stride_bytes=stride_bytes,
+                touched_per_row=touched_per_row,
+            )
+        )
+
+    def random(self, n_accesses: int, working_set_bytes: int) -> MemCost:
+        if n_accesses <= 0:
+            return ZERO_COST
+        base = self._alloc(working_set_bytes)
+        nlines = max(1, working_set_bytes // self.line_bytes)
+        base_line = self.hierarchy.l1.line_of(base)
+
+        def run():
+            cycles = 0.0
+            state = self._rng_state
+            for _ in range(n_accesses):
+                state = (state * 6364136223846793005 + 1442695040888963407) & (
+                    2**64 - 1
+                )
+                line = base_line + (state >> 33) % nlines
+                cycles += self.hierarchy.access_lines([line], stride_hint=2**20)
+            self._rng_state = state
+            return cycles
+
+        return self._classified(run)
+
+    def gather(self, n_candidates: int, n_rows: int, value_bytes: int) -> MemCost:
+        """Trace an ascending irregular gather over a fresh column array."""
+        if n_candidates <= 0 or n_rows <= 0:
+            return ZERO_COST
+        base = self._alloc(n_rows * value_bytes)
+        base_line = self.hierarchy.l1.line_of(base)
+        step = max(1, n_rows // n_candidates)
+
+        def run():
+            cycles = 0.0
+            state = self._rng_state
+            idx = 0
+            per_line = max(1, self.line_bytes // max(1, value_bytes))
+            for _ in range(n_candidates):
+                state = (state * 6364136223846793005 + 1442695040888963407) & (
+                    2**64 - 1
+                )
+                idx += 1 + (state >> 33) % (2 * step - 1)
+                line = base_line + idx // per_line
+                cycles += self.hierarchy.access_lines([line], stride_hint=2**20)
+            self._rng_state = state
+            return cycles
+
+        return self._classified(run)

@@ -1,0 +1,68 @@
+"""AXI-like burst bus between the RM engine and DRAM.
+
+The Zynq prototype talks to memory over an AMBA AXI port (paper Section
+IV-A, step 2: "RM communicates with memory via an AXI bus and assembles
+multiple entries into a single packed cache line"). The model prices
+burst transactions: a fixed handshake per burst plus a per-beat transfer
+cost, all in *fabric* cycles — callers convert to CPU cycles through the
+RM clock ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AxiConfig:
+    """Burst geometry and handshake costs (fabric cycles)."""
+
+    data_bytes_per_beat: int = 16  # 128-bit AXI data bus
+    max_beats_per_burst: int = 16
+    handshake_cycles: int = 4
+    beat_cycles: int = 1
+
+
+@dataclass
+class BusStats:
+    bursts: int = 0
+    beats: int = 0
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self.beats * 16
+
+
+class AxiBus:
+    """Prices read bursts issued by the RM engine."""
+
+    def __init__(self, config: AxiConfig = AxiConfig()):
+        self.config = config
+        self.stats = BusStats()
+
+    def burst_cycles(self, nbytes: int) -> int:
+        """Fabric cycles to move ``nbytes`` as one or more bursts."""
+        if nbytes <= 0:
+            return 0
+        cfg = self.config
+        beats = math.ceil(nbytes / cfg.data_bytes_per_beat)
+        bursts = math.ceil(beats / cfg.max_beats_per_burst)
+        self.stats.bursts += bursts
+        self.stats.beats += beats
+        return bursts * cfg.handshake_cycles + beats * cfg.beat_cycles
+
+    def scatter_cycles(self, n_requests: int, bytes_per_request: int) -> int:
+        """Fabric cycles for ``n_requests`` independent narrow reads, as
+        issued when gathering scattered column bytes. Requests to distinct
+        banks overlap at the DRAM; the bus still pays per-burst handshakes.
+        """
+        if n_requests <= 0:
+            return 0
+        cfg = self.config
+        beats_per = max(1, math.ceil(bytes_per_request / cfg.data_bytes_per_beat))
+        self.stats.bursts += n_requests
+        self.stats.beats += n_requests * beats_per
+        # Handshakes pipeline back-to-back: one cycle of issue each after
+        # the first full handshake.
+        return cfg.handshake_cycles + n_requests * (1 + (beats_per - 1) * cfg.beat_cycles)

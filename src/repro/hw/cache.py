@@ -1,0 +1,122 @@
+"""Event-accurate set-associative cache with LRU replacement.
+
+Used by the trace-mode memory hierarchy (:mod:`repro.hw.hierarchy`) and by
+unit/property tests. The benchmark harness uses the closed-form model in
+:mod:`repro.hw.analytic` for large scans; the two are kept honest by
+property tests asserting agreement on small traces.
+
+Addresses are plain integers (byte addresses). The cache operates on line
+granularity and never stores data — only presence — because data movement
+is simulated, not emulated; the actual bytes live in the table frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hw.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Lines installed that were never hit again before eviction. This is
+    #: the quantitative form of the paper's "cache pollution with
+    #: unnecessary attributes" (its Figure 2).
+    polluted_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.polluted_evictions += other.polluted_evictions
+
+
+@dataclass
+class _Line:
+    tag: int
+    last_use: int
+    use_count: int = 0
+    dirty: bool = False
+
+
+class Cache:
+    """One set-associative, write-back, write-allocate cache level."""
+
+    def __init__(self, config: CacheConfig):
+        config.validate()
+        self.config = config
+        self.stats = CacheStats()
+        self._sets: List[Dict[int, _Line]] = [{} for _ in range(config.num_sets)]
+        self._tick = 0
+        self._set_mask = config.num_sets - 1
+        self._line_shift = config.line_bytes.bit_length() - 1
+
+    def line_of(self, addr: int) -> int:
+        """Line number containing byte address ``addr``."""
+        return addr >> self._line_shift
+
+    def _index_tag(self, line: int) -> tuple:
+        return line & self._set_mask, line >> (self._set_mask.bit_length())
+
+    def access_line(self, line: int, write: bool = False) -> bool:
+        """Access one line; returns True on hit.
+
+        On miss the line is installed, evicting the LRU victim when the
+        set is full.
+        """
+        self._tick += 1
+        index, tag = self._index_tag(line)
+        cset = self._sets[index]
+        entry = cset.get(tag)
+        if entry is not None:
+            self.stats.hits += 1
+            entry.last_use = self._tick
+            entry.use_count += 1
+            entry.dirty = entry.dirty or write
+            return True
+        self.stats.misses += 1
+        if len(cset) >= self.config.ways:
+            victim_tag = min(cset, key=lambda t: cset[t].last_use)
+            victim = cset.pop(victim_tag)
+            self.stats.evictions += 1
+            if victim.use_count == 0:
+                self.stats.polluted_evictions += 1
+        cset[tag] = _Line(tag=tag, last_use=self._tick, dirty=write)
+        return False
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Access the line containing byte address ``addr``."""
+        return self.access_line(self.line_of(addr), write=write)
+
+    def contains_line(self, line: int) -> bool:
+        """True if the line is currently cached (does not touch LRU state)."""
+        index, tag = self._index_tag(line)
+        return tag in self._sets[index]
+
+    def flush(self) -> int:
+        """Drop every line; returns how many were resident."""
+        count = sum(len(s) for s in self._sets)
+        self._sets = [{} for _ in range(self.config.num_sets)]
+        return count
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

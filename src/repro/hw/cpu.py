@@ -1,0 +1,78 @@
+"""CPU cycle accounting for the in-order core model.
+
+The query engines charge their compute work through this class so that
+every per-operation constant lives in :class:`repro.hw.config.CpuConfig`
+and cycle↔time conversion happens in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import CpuConfig
+
+
+@dataclass
+class CpuCostModel:
+    """Stateless helper translating engine work items into CPU cycles."""
+
+    config: CpuConfig
+
+    # ------------------------------------------------------------------
+    # Tuple-at-a-time (Volcano) costs — used by the row engine and by the
+    # scalar loop over an ephemeral struct in the RM engine.
+    # ------------------------------------------------------------------
+    def volcano_tuples(self, n: int) -> float:
+        """Per-tuple overhead of the ``next()`` call chain for ``n`` tuples."""
+        return n * self.config.volcano_tuple_cycles
+
+    def field_extracts(self, n_values: int) -> float:
+        """Decoding ``n_values`` attribute values out of row storage."""
+        return n_values * self.config.field_extract_cycles
+
+    def predicates(self, n_evals: int, miss_fraction: float = 0.0) -> float:
+        """``n_evals`` scalar predicate evaluations; ``miss_fraction`` of
+        them suffer a branch mispredict."""
+        cycles = n_evals * self.config.predicate_cycles
+        cycles += n_evals * miss_fraction * self.config.branch_miss_cycles
+        return cycles
+
+    def branch_misses(self, n_tuples: int, selectivity: float) -> float:
+        """One data-dependent branch per tuple (the WHERE ``if``); the
+        mispredict rate follows how balanced the selection is."""
+        fraction = min(selectivity, 1.0 - selectivity)
+        return n_tuples * fraction * self.config.branch_miss_cycles
+
+    def aggregate_updates(self, n: int) -> float:
+        """``n`` scalar aggregate-accumulator updates."""
+        return n * self.config.aggregate_update_cycles
+
+    def function_calls(self, n: int) -> float:
+        return n * self.config.function_call_cycles
+
+    # ------------------------------------------------------------------
+    # Column-at-a-time (vectorized) costs — used by the column engine.
+    # ------------------------------------------------------------------
+    def vector_ops(self, n_values: int) -> float:
+        """Primitive applied to ``n_values`` values in a tight loop."""
+        return n_values * self.config.vector_op_cycles
+
+    def reconstructions(self, n_values: int) -> float:
+        """Stitching ``n_values`` column values into output tuples — the
+        tuple-materialization cost that grows with projectivity."""
+        return n_values * self.config.col_reconstruct_cycles
+
+    def intermediates(self, n_values: int) -> float:
+        """Materializing ``n_values`` values of an intermediate vector."""
+        return n_values * self.config.intermediate_value_cycles
+
+    # ------------------------------------------------------------------
+    # Shared helpers.
+    # ------------------------------------------------------------------
+    def hash_probes(self, n: int) -> float:
+        """Hash + bucket walk for ``n`` hash-table probes (group-by, join)."""
+        return n * (self.config.function_call_cycles + 2 * self.config.vector_op_cycles)
+
+    def seconds(self, cycles: float) -> float:
+        """Convert cycles of this core to wall-clock seconds."""
+        return cycles / self.config.freq_hz

@@ -1,0 +1,24 @@
+"""Storage substrate: flash device model, SSD read path, and the
+Relational Storage fabric instance (paper Section IV-D)."""
+
+from repro.storage.flash import FlashConfig, FlashDevice
+from repro.storage.smartssd import (
+    RelationalStorage,
+    StorageEphemeralGroup,
+    StorageReport,
+)
+from repro.storage.ssd import ReadReport, SsdTable
+from repro.storage.tiered import ColumnArchive, TieredFabric, TieredReport
+
+__all__ = [
+    "FlashConfig",
+    "FlashDevice",
+    "ReadReport",
+    "RelationalStorage",
+    "SsdTable",
+    "StorageEphemeralGroup",
+    "StorageReport",
+    "ColumnArchive",
+    "TieredFabric",
+    "TieredReport",
+]

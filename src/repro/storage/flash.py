@@ -1,0 +1,92 @@
+"""Flash device geometry and service-time model.
+
+The substrate for Relational Storage (paper §IV-D): a NAND array with
+``channels × dies`` of parallelism — the "internal parallelism of the
+storage device" the paper wants to exploit — plus an internal controller
+clock for in-storage compute and a host link (the bottleneck near-data
+processing avoids).
+
+Times are in microseconds; conversions to host-CPU cycles happen at the
+callers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class FlashConfig:
+    """An SSD in the SmartSSD/OpenSSD class."""
+
+    channels: int = 8
+    dies_per_channel: int = 8
+    page_bytes: int = 4096
+    #: NAND array read latency per page.
+    read_page_us: float = 60.0
+    #: Per-channel bus time to move one page from die to controller.
+    channel_page_us: float = 4.0
+    #: Host link bandwidth. Deliberately below the aggregate internal
+    #: bandwidth — the imbalance near-data processing exploits (a
+    #: SmartSSD-class device shares a modest PCIe allocation while its
+    #: channels sustain several GB/s internally).
+    host_link_mb_s: float = 1500.0
+    #: In-storage compute throughput of the transformation engine.
+    engine_mb_s: float = 3500.0
+
+    @property
+    def total_dies(self) -> int:
+        return self.channels * self.dies_per_channel
+
+    @property
+    def internal_mb_s(self) -> float:
+        """Aggregate internal read bandwidth across channels."""
+        per_channel = self.page_bytes / (self.channel_page_us * 1e-6) / 1e6
+        return per_channel * self.channels
+
+
+class FlashDevice:
+    """Prices page reads with die- and channel-level overlap."""
+
+    def __init__(self, config: FlashConfig = FlashConfig()):
+        self.config = config
+        self.pages_read = 0
+        self.busy_us = 0.0
+
+    def read_pages_us(self, n_pages: int) -> float:
+        """Service time for ``n_pages`` sequentially-striped page reads.
+
+        Pages stripe round-robin over channels and dies; array reads
+        overlap across dies, channel transfers serialize per channel.
+        """
+        if n_pages < 0:
+            raise StorageError(f"negative page count {n_pages}")
+        if n_pages == 0:
+            return 0.0
+        cfg = self.config
+        self.pages_read += n_pages
+        per_channel = math.ceil(n_pages / cfg.channels)
+        array_waves = math.ceil(per_channel / cfg.dies_per_channel)
+        array_us = array_waves * cfg.read_page_us
+        transfer_us = per_channel * cfg.channel_page_us
+        # Array reads pipeline behind channel transfers after the first wave.
+        total = max(array_us, transfer_us) + min(
+            cfg.read_page_us, cfg.channel_page_us
+        )
+        self.busy_us += total
+        return total
+
+    def host_transfer_us(self, nbytes: int) -> float:
+        """Time on the host link for ``nbytes``."""
+        if nbytes < 0:
+            raise StorageError(f"negative byte count {nbytes}")
+        return nbytes / (self.config.host_link_mb_s * 1e6) * 1e6
+
+    def engine_us(self, nbytes: int) -> float:
+        """In-storage transformation time over ``nbytes`` of row data."""
+        if nbytes < 0:
+            raise StorageError(f"negative byte count {nbytes}")
+        return nbytes / (self.config.engine_mb_s * 1e6) * 1e6

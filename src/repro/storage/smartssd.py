@@ -1,0 +1,152 @@
+"""Relational Storage: the fabric inside a computational SSD (§IV-D).
+
+"RS can be directly implemented in a specialized storage device ... In
+contrast to RM, it is possible to push other operators like selection
+and aggregation by utilizing the processing capabilities of in-storage
+custom logic."
+
+The device reads the row pages internally (exploiting channel/die
+parallelism), runs projection + selection (+ optional aggregation) in
+the in-storage engine, and ships **only the packed result** over the
+host link — the same ephemeral-columns abstraction as Relational
+Memory, implementing the shared :class:`~repro.core.fabric.RelationalFabric`
+interface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.ephemeral import Visibility
+from repro.core.fabric import RelationalFabric
+from repro.core.geometry import DataGeometry
+from repro.core.mvcc_filter import visible_mask
+from repro.core.packer import pack
+from repro.core.selection import FabricAggregate, FabricFilter
+from repro.storage.flash import FlashDevice
+from repro.storage.ssd import ReadReport, SsdTable
+from repro.errors import StorageError
+
+
+@dataclass
+class StorageReport(ReadReport):
+    """A device read plus the in-storage transformation accounting."""
+
+    engine_us: float = 0.0
+    rows_emitted: int = 0
+    #: Host bytes a legacy scan of the same data would have moved.
+    baseline_host_bytes: int = 0
+
+    @property
+    def total_us(self) -> float:
+        # Array reads, the in-storage engine and the host link form a
+        # pipeline; the slowest stage dominates.
+        return max(self.device_us, self.engine_us, self.link_us)
+
+    @property
+    def host_bytes_saved(self) -> int:
+        return self.baseline_host_bytes - self.host_bytes
+
+
+class StorageEphemeralGroup:
+    """The host's view of an in-storage ephemeral column group."""
+
+    def __init__(self, packed: np.ndarray, geometry: DataGeometry, report: StorageReport):
+        self._packed = packed
+        self.geometry = geometry
+        self.report = report
+
+    @property
+    def packed(self) -> np.ndarray:
+        return self._packed
+
+    @property
+    def length(self) -> int:
+        return self._packed.shape[0]
+
+    def __len__(self) -> int:
+        return self.length
+
+    def column(self, name: str) -> np.ndarray:
+        from repro.core.packer import decode_field
+
+        return decode_field(self._packed, self.geometry, name)
+
+
+class RelationalStorage(RelationalFabric):
+    """Ephemeral column groups served from inside the SSD."""
+
+    def __init__(self, ssd_table: SsdTable):
+        self.ssd = ssd_table
+        self.flash: FlashDevice = ssd_table.flash
+
+    def configure(
+        self,
+        frame: np.ndarray,
+        geometry: DataGeometry,
+        base_geometry: Optional[DataGeometry] = None,
+        fabric_filter: Optional[FabricFilter] = None,
+        visibility: Optional[Visibility] = None,
+    ) -> StorageEphemeralGroup:
+        """Run one in-storage transformation and return the host view."""
+        table = self.ssd.table
+        if frame.shape[0] != table.nrows:
+            raise StorageError("frame does not match the device-resident table")
+        base_geometry = base_geometry or geometry
+
+        mask = None
+        if visibility is not None:
+            mask = visible_mask(
+                visibility.begin_ts, visibility.end_ts, visibility.snapshot_ts
+            )
+        if fabric_filter is not None:
+            fmask = fabric_filter.evaluate(frame, base_geometry)
+            mask = fmask if mask is None else (mask & fmask)
+
+        packed = pack(frame, geometry, row_mask=mask)
+        report = self._price(packed.shape[0], geometry)
+        return StorageEphemeralGroup(packed=packed, geometry=geometry, report=report)
+
+    def aggregate(
+        self,
+        geometry: DataGeometry,
+        aggregate: FabricAggregate,
+        fabric_filter: Optional[FabricFilter] = None,
+    ):
+        """§IV-B taken to storage: ship only the aggregation result."""
+        table = self.ssd.table
+        frame = table.frame
+        mask = (
+            fabric_filter.evaluate(frame, geometry)
+            if fabric_filter is not None
+            else None
+        )
+        value = aggregate.evaluate(frame, geometry, mask=mask)
+        report = self._price(0, geometry, result_bytes=8)
+        return value, report
+
+    def _price(
+        self, rows_emitted: int, geometry: DataGeometry, result_bytes: Optional[int] = None
+    ) -> StorageReport:
+        pages = self.ssd.total_pages
+        device_us = self.flash.read_pages_us(pages)
+        scanned_bytes = pages * self.flash.config.page_bytes
+        engine_us = self.flash.engine_us(scanned_bytes)
+        host_bytes = (
+            result_bytes
+            if result_bytes is not None
+            else rows_emitted * geometry.packed_width
+        )
+        return StorageReport(
+            pages_read=pages,
+            device_us=device_us,
+            link_us=self.flash.host_transfer_us(host_bytes),
+            host_bytes=host_bytes,
+            engine_us=engine_us,
+            rows_emitted=rows_emitted,
+            baseline_host_bytes=scanned_bytes,
+        )

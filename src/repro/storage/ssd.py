@@ -1,0 +1,82 @@
+"""The plain SSD read path: the baseline Relational Storage improves on.
+
+A table's row image is laid out page-sequentially on flash. A legacy
+host-side scan must pull **every page of every touched row** over the
+host link, whatever the query's projectivity — the storage analogue of
+Figure 1's "legacy fetch".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.storage.flash import FlashConfig, FlashDevice
+from repro.errors import StorageError
+
+
+@dataclass
+class ReadReport:
+    """Cost of one read: device-side time, link time, bytes to host."""
+
+    pages_read: int
+    device_us: float
+    link_us: float
+    host_bytes: int
+
+    @property
+    def total_us(self) -> float:
+        # Flash reads and link transfer pipeline: the slower side dominates.
+        return max(self.device_us, self.link_us) + min(self.device_us, self.link_us) * 0.05
+
+
+class SsdTable:
+    """A table resident on the simulated SSD."""
+
+    def __init__(self, table: Table, flash: Optional[FlashDevice] = None):
+        self.table = table
+        self.flash = flash or FlashDevice()
+        self._page_bytes = self.flash.config.page_bytes
+        if table.schema.row_stride > self._page_bytes:
+            raise StorageError(
+                f"row stride {table.schema.row_stride} exceeds page size"
+            )
+
+    @property
+    def rows_per_page(self) -> int:
+        return self._page_bytes // self.table.schema.row_stride
+
+    @property
+    def total_pages(self) -> int:
+        return math.ceil(self.table.nrows / self.rows_per_page)
+
+    def scan_rows(self) -> Tuple[np.ndarray, ReadReport]:
+        """Legacy full scan: ship every page to the host."""
+        pages = self.total_pages
+        device_us = self.flash.read_pages_us(pages)
+        host_bytes = pages * self._page_bytes
+        link_us = self.flash.host_transfer_us(host_bytes)
+        report = ReadReport(
+            pages_read=pages,
+            device_us=device_us,
+            link_us=link_us,
+            host_bytes=host_bytes,
+        )
+        return self.table.frame, report
+
+    def read_row(self, slot: int) -> Tuple[dict, ReadReport]:
+        """Point read: one page to the host."""
+        if not 0 <= slot < self.table.nrows:
+            raise StorageError(f"row {slot} out of range")
+        device_us = self.flash.read_pages_us(1)
+        report = ReadReport(
+            pages_read=1,
+            device_us=device_us,
+            link_us=self.flash.host_transfer_us(self._page_bytes),
+            host_bytes=self._page_bytes,
+        )
+        return self.table.row(slot), report

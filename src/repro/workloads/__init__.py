@@ -1,0 +1,39 @@
+"""Workload generators: synthetic wide tables, TPC-H lineitem, HTAP mix."""
+
+from repro.workloads.synthetic import (
+    make_wide_table,
+    projection_selection_query,
+    projectivity_query,
+    wide_schema,
+)
+from repro.workloads.tpch import (
+    Q1,
+    Q1_COLUMNS,
+    Q6,
+    Q6_COLUMNS,
+    QJOIN,
+    generate_lineitem,
+    generate_orders,
+    generate_tpch,
+    lineitem_schema,
+    orders_schema,
+    rows_for_target_bytes,
+)
+
+__all__ = [
+    "Q1",
+    "Q1_COLUMNS",
+    "Q6",
+    "Q6_COLUMNS",
+    "QJOIN",
+    "generate_lineitem",
+    "generate_orders",
+    "generate_tpch",
+    "orders_schema",
+    "lineitem_schema",
+    "make_wide_table",
+    "projection_selection_query",
+    "projectivity_query",
+    "rows_for_target_bytes",
+    "wide_schema",
+]

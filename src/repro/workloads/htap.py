@@ -1,0 +1,158 @@
+"""HTAP driver: interleaved OLTP transactions and analytic snapshots.
+
+The paper's headline scenario — fresh transactional data, analyzed
+in place, with no duplicated layouts. The driver runs an order-ledger
+style write mix through the MVCC manager while periodically firing an
+analytic query at each engine, measuring:
+
+* **freshness lag** — rows the column-store replica has not converted
+  yet (zero for the row engine and the fabric, which read base data);
+* **conversion cost** — cycles the column engine burns re-materializing
+  its copy;
+* **abort rate** — write-write conflicts under snapshot isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.db.catalog import Catalog
+from repro.db.engines import ColumnStoreEngine, RelationalMemoryEngine, RowStoreEngine
+from repro.db.mvcc import TransactionManager
+from repro.db.schema import Column, TableSchema
+from repro.db.table import Table
+from repro.db.types import DECIMAL, INT64
+from repro.errors import WriteConflictError
+from repro.hw.config import PlatformConfig
+
+
+def orders_schema(name: str = "orders") -> TableSchema:
+    """A slim order ledger with MVCC bookkeeping."""
+    return TableSchema(
+        name,
+        [
+            Column("o_id", INT64),
+            Column("o_customer", INT64),
+            Column("o_amount", DECIMAL(2)),
+            Column("o_status", INT64),  # 0=open, 1=paid, 2=shipped
+        ],
+        mvcc=True,
+    )
+
+
+@dataclass
+class HtapStats:
+    inserts: int = 0
+    updates: int = 0
+    commits: int = 0
+    aborts: int = 0
+    analytic_runs: int = 0
+    #: Per analytic round: rows the COL replica was missing at query time.
+    freshness_lag: List[int] = field(default_factory=list)
+    conversion_cycles: float = 0.0
+    engine_cycles: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_freshness_lag(self) -> float:
+        return (
+            sum(self.freshness_lag) / len(self.freshness_lag)
+            if self.freshness_lag
+            else 0.0
+        )
+
+
+class HtapDriver:
+    """Runs the mixed workload against all three engines."""
+
+    ANALYTIC_SQL = (
+        "SELECT o_status, sum(o_amount) AS revenue, count(*) AS n "
+        "FROM orders WHERE o_amount > 50 GROUP BY o_status ORDER BY o_status"
+    )
+
+    def __init__(
+        self,
+        platform: Optional[PlatformConfig] = None,
+        seed: int = 7,
+        initial_rows: int = 2000,
+    ):
+        self.catalog = Catalog()
+        self.table: Table = self.catalog.create_table(orders_schema())
+        self.manager = TransactionManager()
+        self.rng = np.random.default_rng(seed)
+        self.stats = HtapStats()
+        self.engines = {
+            "row": RowStoreEngine(self.catalog, platform),
+            "column": ColumnStoreEngine(self.catalog, platform),
+            "rm": RelationalMemoryEngine(self.catalog, platform),
+        }
+        self._next_order = 0
+        self._seed_rows(initial_rows)
+
+    def _seed_rows(self, n: int) -> None:
+        txn = self.manager.begin()
+        for _ in range(n):
+            txn.insert(self.table, self._new_order())
+        self.manager.commit(txn)
+        self.stats.inserts += n
+        self.stats.commits += 1
+
+    def _new_order(self) -> dict:
+        self._next_order += 1
+        return {
+            "o_id": self._next_order,
+            "o_customer": int(self.rng.integers(1, 500)),
+            "o_amount": float(self.rng.uniform(1, 200)),
+            "o_status": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Workload steps.
+    # ------------------------------------------------------------------
+    def run_oltp_burst(self, n_txns: int, updates_per_txn: int = 2) -> None:
+        """Each transaction inserts one order and advances a few others."""
+        for _ in range(n_txns):
+            txn = self.manager.begin()
+            try:
+                txn.insert(self.table, self._new_order())
+                self.stats.inserts += 1
+                live = txn.visible_slots(self.table)
+                if len(live):
+                    picks = self.rng.choice(live, size=min(updates_per_txn, len(live)), replace=False)
+                    for slot in picks:
+                        status = int(self.table.column_values("o_status")[slot])
+                        txn.update(self.table, int(slot), {"o_status": min(status + 1, 2)})
+                        self.stats.updates += 1
+                self.manager.commit(txn)
+                self.stats.commits += 1
+            except WriteConflictError:
+                self.stats.aborts += 1
+
+    def run_analytics(self) -> Dict[str, object]:
+        """Fire the analytic query at every engine on a fresh snapshot."""
+        snapshot = self.manager.now
+        results = {}
+        col_engine: ColumnStoreEngine = self.engines["column"]
+        replica = col_engine.replica_of(self.table)
+        self.stats.freshness_lag.append(replica.stale_rows)
+        before = col_engine.conversion_ledger.total_cycles
+        for name, engine in self.engines.items():
+            res = engine.execute(self.ANALYTIC_SQL, snapshot_ts=snapshot)
+            results[name] = res
+            self.stats.engine_cycles[name] = (
+                self.stats.engine_cycles.get(name, 0.0) + res.cycles
+            )
+        self.stats.conversion_cycles += (
+            col_engine.conversion_ledger.total_cycles - before
+        )
+        self.stats.analytic_runs += 1
+        return results
+
+    def run_mixed(self, rounds: int = 5, txns_per_round: int = 50) -> HtapStats:
+        """The full HTAP loop: OLTP burst, then analytics, repeated."""
+        for _ in range(rounds):
+            self.run_oltp_burst(txns_per_round)
+            self.run_analytics()
+        return self.stats

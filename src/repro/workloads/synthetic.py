@@ -1,0 +1,94 @@
+"""Synthetic wide-table workloads for Figures 5 and 6.
+
+The paper's microbenchmarks use a row of 4-byte columns padded to a fixed
+row width (Figure 5: "projectivity from 1 to 11 columns for 4-byte wide
+columns and 64-byte wide rows"). :func:`make_wide_table` builds exactly
+that shape; the query builders produce the projection and
+projection+selection kernels of Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.db.catalog import Catalog
+from repro.db.schema import Column, TableSchema
+from repro.db.table import Table
+from repro.db.types import INT32
+from repro.errors import ConfigurationError
+
+#: Upper bound of the uniform column values (exclusive).
+VALUE_RANGE = 1_000_000
+
+
+def wide_schema(
+    ncols: int = 16, row_bytes: int = 64, name: str = "wide"
+) -> TableSchema:
+    """``ncols`` 4-byte INT32 columns padded to ``row_bytes`` per row."""
+    if ncols * 4 > row_bytes:
+        raise ConfigurationError(
+            f"{ncols} 4-byte columns do not fit a {row_bytes}-byte row"
+        )
+    cols = [Column(f"c{i}", INT32) for i in range(ncols)]
+    return TableSchema(name, cols, row_align=row_bytes)
+
+
+def make_wide_table(
+    nrows: int,
+    ncols: int = 16,
+    row_bytes: int = 64,
+    name: str = "wide",
+    seed: int = 42,
+    catalog: Optional[Catalog] = None,
+) -> Tuple[Catalog, Table]:
+    """Build and bulk-load the wide table; returns (catalog, table)."""
+    catalog = catalog or Catalog()
+    schema = wide_schema(ncols=ncols, row_bytes=row_bytes, name=name)
+    table = catalog.create_table(schema)
+    rng = np.random.default_rng(seed)
+    table.append_arrays(
+        {
+            f"c{i}": rng.integers(0, VALUE_RANGE, nrows, dtype=np.int32)
+            for i in range(ncols)
+        }
+    )
+    return catalog, table
+
+
+def projectivity_query(k: int, name: str = "wide") -> str:
+    """The Figure 5 kernel: sum over the first ``k`` columns (projectivity
+    = k, no selection)."""
+    if k < 1:
+        raise ConfigurationError("projectivity must be >= 1")
+    total = " + ".join(f"c{i}" for i in range(k))
+    return f"SELECT sum({total}) AS total FROM {name}"
+
+
+def projection_selection_query(
+    n_projected: int,
+    n_selection: int,
+    overall_selectivity: float = 0.5,
+    name: str = "wide",
+) -> str:
+    """The Figure 6 kernel: sum over ``n_projected`` columns under a
+    conjunction over ``n_selection`` *distinct* further columns.
+
+    Per-conjunct thresholds are set so the overall qualifying fraction is
+    roughly ``overall_selectivity`` regardless of ``n_selection`` (each
+    conjunct passes ``selectivity ** (1/s)`` of uniform values).
+    """
+    if n_projected < 1 or n_selection < 1:
+        raise ConfigurationError("need at least one projected and one selection column")
+    if not 0.0 < overall_selectivity < 1.0:
+        raise ConfigurationError("overall selectivity must be in (0, 1)")
+    total = " + ".join(f"c{i}" for i in range(n_projected))
+    per_conjunct = overall_selectivity ** (1.0 / n_selection)
+    threshold = int(per_conjunct * VALUE_RANGE)
+    terms = [
+        f"c{n_projected + j} < {threshold}" for j in range(n_selection)
+    ]
+    return (
+        f"SELECT sum({total}) AS total FROM {name} WHERE " + " AND ".join(terms)
+    )

@@ -1,0 +1,68 @@
+"""Shared fixtures: small platforms and tables every suite reuses."""
+
+import numpy as np
+import pytest
+
+from repro.db import Catalog, Column, TableSchema
+from repro.db.types import CHAR, DECIMAL, INT32, INT64
+from repro.hw.config import TEST_PLATFORM, ZYNQ_ULTRASCALE
+
+
+@pytest.fixture
+def platform():
+    """The paper's evaluation platform."""
+    return ZYNQ_ULTRASCALE
+
+
+@pytest.fixture
+def small_platform():
+    """Tiny caches so cache effects show with kilobyte tables."""
+    return TEST_PLATFORM
+
+
+@pytest.fixture
+def wide_catalog():
+    """The Figure 5 table: 16 INT32 columns in 64-byte rows, 5k rows."""
+    from repro.workloads.synthetic import make_wide_table
+
+    catalog, table = make_wide_table(nrows=5_000, ncols=16, row_bytes=64, seed=11)
+    return catalog, table
+
+
+@pytest.fixture
+def mixed_catalog():
+    """A table mixing ints, decimals and chars, hand-loaded."""
+    schema = TableSchema(
+        "mixed",
+        [
+            Column("id", INT64),
+            Column("grp", CHAR(2)),
+            Column("price", DECIMAL(2)),
+            Column("qty", INT32),
+        ],
+    )
+    catalog = Catalog()
+    table = catalog.create_table(schema)
+    rng = np.random.default_rng(5)
+    n = 500
+    table.append_arrays(
+        {
+            "id": np.arange(n, dtype=np.int64),
+            "grp": rng.choice(np.array([b"aa", b"bb", b"cc"], dtype="S2"), n),
+            "price": rng.integers(100, 99999, n),  # cents
+            "qty": rng.integers(1, 50, n, dtype=np.int32),
+        }
+    )
+    return catalog, table
+
+
+@pytest.fixture
+def mvcc_catalog():
+    """An MVCC-enabled two-column table."""
+    schema = TableSchema(
+        "accounts",
+        [Column("id", INT64), Column("balance", INT64)],
+        mvcc=True,
+    )
+    catalog = Catalog()
+    return catalog, catalog.create_table(schema)

@@ -1,0 +1,65 @@
+"""Additional advisor scenarios: drift, degenerate workloads, ordering."""
+
+import pytest
+
+from repro.db.advisor import (
+    WorkloadQuery,
+    advise_partitions,
+    fabric_cost,
+    partition_cost,
+)
+from repro.workloads.synthetic import wide_schema
+
+
+def schema():
+    return wide_schema(ncols=8, row_bytes=32, name="adv")
+
+
+class TestDegenerateWorkloads:
+    def test_single_full_row_workload_prefers_row_layout(self):
+        workload = [WorkloadQuery(tuple(f"c{i}" for i in range(8)), 1.0)]
+        report = advise_partitions(schema(), workload, nrows=100)
+        # A full-row workload: the advisor should merge everything (one
+        # partition == the row layout) and cost exactly the row cost.
+        assert report.partitioned_cost == report.row_layout_cost
+        assert len(report.partitions) == 1
+
+    def test_disjoint_single_column_workload_prefers_columns(self):
+        workload = [WorkloadQuery((f"c{i}",), 1.0) for i in range(8)]
+        report = advise_partitions(schema(), workload, nrows=100)
+        assert report.partitioned_cost == report.column_layout_cost
+
+    def test_fabric_equals_columns_for_single_column_queries(self):
+        workload = [WorkloadQuery((f"c{i}",), 1.0) for i in range(8)]
+        report = advise_partitions(schema(), workload, nrows=100)
+        assert report.fabric_cost == report.column_layout_cost
+
+    def test_zero_frequency_query_is_free(self):
+        base = [WorkloadQuery(("c0",), 1.0)]
+        extra = base + [WorkloadQuery(("c1", "c2"), 0.0)]
+        s = schema()
+        assert partition_cost(
+            s, [frozenset({"c0"}), frozenset({"c1"}), frozenset({"c2"})], base, 10
+        ) == partition_cost(
+            s, [frozenset({"c0"}), frozenset({"c1"}), frozenset({"c2"})], extra, 10
+        )
+
+
+class TestDrift:
+    def test_stale_design_costs_more_than_readvised(self):
+        s = schema()
+        original = [WorkloadQuery(("c0", "c1"), 50.0), WorkloadQuery(("c7",), 1.0)]
+        drifted = [WorkloadQuery(("c4", "c5"), 50.0), WorkloadQuery(("c7",), 1.0)]
+        stale = advise_partitions(s, original, nrows=1000)
+        fresh = advise_partitions(s, drifted, nrows=1000)
+        stale_on_drifted = partition_cost(s, stale.partitions, drifted, 1000)
+        assert fresh.partitioned_cost <= stale_on_drifted
+        # The fabric never needed the re-design.
+        assert fabric_cost(s, drifted, 1000) <= fresh.partitioned_cost
+
+    def test_steps_recorded(self):
+        report = advise_partitions(
+            schema(), [WorkloadQuery(("c0", "c1", "c2"), 5.0)], nrows=100
+        )
+        assert report.steps  # at least one merge happened
+        assert all("merge" in step for step in report.steps)

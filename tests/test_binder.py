@@ -1,0 +1,107 @@
+"""Tests for binding SQL against the catalog."""
+
+import pytest
+
+from repro.db.plan import bind
+from repro.db.sql import parse
+from repro.errors import SqlError
+
+
+def bound(sql, catalog):
+    return bind(parse(sql), catalog)
+
+
+class TestResolution:
+    def test_unknown_table(self, mixed_catalog):
+        catalog, _ = mixed_catalog
+        with pytest.raises(Exception):
+            bound("SELECT id FROM nope", catalog)
+
+    def test_unknown_column(self, mixed_catalog):
+        catalog, _ = mixed_catalog
+        with pytest.raises(SqlError):
+            bound("SELECT nope FROM mixed", catalog)
+
+    def test_referenced_columns_in_schema_order(self, mixed_catalog):
+        catalog, _ = mixed_catalog
+        b = bound("SELECT sum(qty) AS s FROM mixed WHERE price > 1 AND id < 100", catalog)
+        assert b.referenced_columns == ("id", "price", "qty")
+        assert b.selection_columns == ("id", "price")
+        assert b.projection_columns == ("qty",)
+
+    def test_group_by_column_counts_as_projection(self, mixed_catalog):
+        catalog, _ = mixed_catalog
+        b = bound("SELECT grp, count(*) AS n FROM mixed GROUP BY grp", catalog)
+        assert "grp" in b.projection_columns
+
+    def test_count_star_touches_narrowest_column(self, mixed_catalog):
+        catalog, table = mixed_catalog
+        b = bound("SELECT count(*) AS n FROM mixed", catalog)
+        assert b.referenced_columns == ("grp",)  # CHAR(2) is narrowest
+
+    def test_output_names(self, mixed_catalog):
+        catalog, _ = mixed_catalog
+        b = bound("SELECT id, qty + 1 AS next FROM mixed", catalog)
+        assert b.outputs[0].name == "id"
+        assert b.outputs[1].name == "next"
+
+    def test_mixing_agg_and_plain_without_group_rejected(self, mixed_catalog):
+        catalog, _ = mixed_catalog
+        with pytest.raises(SqlError):
+            bound("SELECT id, sum(qty) FROM mixed", catalog)
+
+    def test_non_grouped_plain_output_rejected(self, mixed_catalog):
+        catalog, _ = mixed_catalog
+        with pytest.raises(SqlError):
+            bound("SELECT id, sum(qty) AS s FROM mixed GROUP BY grp", catalog)
+
+
+class TestCharPadding:
+    def test_char_literal_padded_to_width(self, mixed_catalog):
+        catalog, _ = mixed_catalog
+        b = bound("SELECT id FROM mixed WHERE grp = 'aa'", catalog)
+        assert b.where.right.value == b"aa"
+
+    def test_char_literal_shorter_than_width(self, mixed_catalog):
+        catalog, table = mixed_catalog
+        b = bound("SELECT id FROM mixed WHERE grp = 'a'", catalog)
+        assert b.where.right.value == b"a\x00"
+
+    def test_literal_on_left_also_padded(self, mixed_catalog):
+        catalog, _ = mixed_catalog
+        b = bound("SELECT id FROM mixed WHERE 'aa' = grp", catalog)
+        assert b.where.left.value == b"aa"
+
+
+class TestDerivedCounts:
+    def test_op_counts(self, mixed_catalog):
+        catalog, _ = mixed_catalog
+        b = bound(
+            "SELECT sum(price * qty) AS s FROM mixed WHERE qty BETWEEN 1 AND 5",
+            catalog,
+        )
+        assert b.where_op_count == 2
+        assert b.output_op_count == 1
+        assert b.aggregate_count == 1
+
+    def test_where_conjuncts_split(self, mixed_catalog):
+        catalog, _ = mixed_catalog
+        b = bound(
+            "SELECT id FROM mixed WHERE id > 1 AND qty < 5 AND price > 0", catalog
+        )
+        assert len(b.where_conjuncts) == 3
+
+    def test_join_binding(self, mixed_catalog):
+        catalog, table = mixed_catalog
+        from repro.db import Column, TableSchema
+        from repro.db.types import CHAR, INT64
+
+        lookup = catalog.create_table(
+            TableSchema("grps", [Column("code", CHAR(2)), Column("label", CHAR(8))])
+        )
+        lookup.append_row({"code": "aa", "label": "alpha"})
+        b = bound(
+            "SELECT id, label FROM mixed JOIN grps ON grp = code", catalog
+        )
+        assert b.join is not None
+        assert b.join.table.schema.name == "grps"

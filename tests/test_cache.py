@@ -1,0 +1,136 @@
+"""Unit and property tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.cache import Cache
+from repro.hw.config import CacheConfig
+
+
+def small_cache(size=1024, ways=2, line=64):
+    return Cache(CacheConfig(size_bytes=size, ways=ways, line_bytes=line))
+
+
+class TestGeometry:
+    def test_line_and_set_counts(self):
+        cache = small_cache(size=1024, ways=2, line=64)
+        assert cache.config.num_lines == 16
+        assert cache.config.num_sets == 8
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=1000, ways=3, line_bytes=64).validate()
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=64 * 3, ways=1, line_bytes=64).validate()
+
+    def test_line_of_addr(self):
+        cache = small_cache()
+        assert cache.line_of(0) == 0
+        assert cache.line_of(63) == 0
+        assert cache.line_of(64) == 1
+        assert cache.line_of(6400) == 100
+
+
+class TestBehaviour:
+    def test_first_access_misses_second_hits(self):
+        cache = small_cache()
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_different_bytes_hit(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(63) is True
+
+    def test_lru_eviction_in_set(self):
+        cache = small_cache(size=256, ways=2, line=64)  # 2 sets
+        # Lines 0, 2, 4 map to set 0 (even lines).
+        cache.access_line(0)
+        cache.access_line(2)
+        cache.access_line(0)  # line 0 is now MRU
+        cache.access_line(4)  # evicts line 2 (LRU)
+        assert cache.contains_line(0)
+        assert cache.contains_line(4)
+        assert not cache.contains_line(2)
+        assert cache.stats.evictions == 1
+
+    def test_pollution_counter(self):
+        """A line installed and evicted untouched is pollution."""
+        cache = small_cache(size=128, ways=1, line=64)  # 2 direct-mapped sets
+        cache.access_line(0)
+        cache.access_line(2)  # evicts line 0, never reused
+        assert cache.stats.polluted_evictions == 1
+        cache.access_line(4)
+        assert cache.stats.polluted_evictions == 2
+
+    def test_reused_line_not_pollution(self):
+        cache = small_cache(size=128, ways=1, line=64)
+        cache.access_line(0)
+        cache.access_line(0)
+        cache.access_line(2)  # evicts a line that was hit
+        assert cache.stats.polluted_evictions == 0
+
+    def test_flush_empties(self):
+        cache = small_cache()
+        for i in range(10):
+            cache.access_line(i)
+        assert cache.flush() == 10
+        assert cache.resident_lines == 0
+        assert cache.access_line(0) is False
+
+    def test_hit_rate(self):
+        cache = small_cache()
+        cache.access_line(1)
+        cache.access_line(1)
+        cache.access_line(1)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_write_marks_dirty_state_only(self):
+        cache = small_cache()
+        cache.access_line(3, write=True)
+        assert cache.access_line(3) is True
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded(self, lines):
+        cache = small_cache(size=512, ways=2, line=64)
+        for line in lines:
+            cache.access_line(line)
+        assert cache.resident_lines <= cache.config.num_lines
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_accesses_equal_hits_plus_misses(self, lines):
+        cache = small_cache()
+        for line in lines:
+            cache.access_line(line)
+        assert cache.stats.accesses == len(lines)
+        assert cache.stats.hits + cache.stats.misses == len(lines)
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_immediate_reaccess_always_hits(self, lines):
+        cache = small_cache()
+        for line in lines:
+            cache.access_line(line)
+            assert cache.access_line(line) is True
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=100)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_working_set_within_capacity_never_evicts(self, lines):
+        """Touching at most num_lines distinct lines in one set-balanced
+        range cannot evict (fully associative equivalence per set)."""
+        cache = small_cache(size=1024, ways=2, line=64)  # 16 lines, 8 sets
+        for line in lines:  # lines 0..15 spread one per way across sets
+            cache.access_line(line)
+        assert cache.stats.evictions == 0

@@ -1,0 +1,97 @@
+"""Tests for the catalog and the logical plan rendering."""
+
+import pytest
+
+from repro.db import Catalog, Column, TableSchema
+from repro.db.index import build_index
+from repro.db.plan import bind, build_plan, explain
+from repro.db.sql import parse
+from repro.db.types import INT64
+from repro.errors import SchemaError
+
+
+def schema(name="t"):
+    return TableSchema(name, [Column("a", INT64), Column("b", INT64)])
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        table = catalog.create_table(schema())
+        assert catalog.table("t") is table
+        assert catalog.has_table("t")
+        assert "t" in catalog
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(schema())
+        with pytest.raises(SchemaError):
+            catalog.create_table(schema())
+
+    def test_register_adopts_existing(self):
+        from repro.db.table import Table
+
+        catalog = Catalog()
+        table = Table(schema("ext"))
+        assert catalog.register(table) is table
+        assert catalog.table("ext") is table
+
+    def test_missing_table(self):
+        with pytest.raises(SchemaError):
+            Catalog().table("nope")
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table(schema())
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(SchemaError):
+            catalog.drop_table("t")
+
+    def test_index_registry(self):
+        catalog = Catalog()
+        table = catalog.create_table(schema())
+        table.append_row({"a": 1, "b": 2})
+        tree = build_index(table, "a")
+        catalog.add_index("t", "a", tree)
+        assert catalog.index_on("t", "a") is tree
+        assert catalog.index_on("t", "b") is None
+
+    def test_tables_iterator(self):
+        catalog = Catalog()
+        catalog.create_table(schema("x"))
+        catalog.create_table(schema("y"))
+        assert {t.schema.name for t in catalog.tables()} == {"x", "y"}
+
+
+class TestLogicalPlan:
+    def make_bound(self, sql):
+        catalog = Catalog()
+        table = catalog.create_table(schema())
+        table.append_row({"a": 1, "b": 2})
+        return bind(parse(sql), catalog)
+
+    def test_simple_scan_plan(self):
+        plan = build_plan(self.make_bound("SELECT a FROM t"))
+        assert plan.kind == "Project"
+        assert plan.children[0].kind == "Scan"
+
+    def test_filter_node_present(self):
+        text = explain(self.make_bound("SELECT a FROM t WHERE a > 1"))
+        assert "Filter" in text and "(a > 1)" in text
+
+    def test_aggregate_plan(self):
+        text = explain(self.make_bound("SELECT sum(a) AS s FROM t"))
+        assert "Aggregate" in text and "sum" in text
+
+    def test_sort_and_limit(self):
+        text = explain(self.make_bound("SELECT a FROM t ORDER BY a DESC LIMIT 3"))
+        assert "Sort" in text and "Limit: 3" in text and "DESC" in text
+
+    def test_access_path_label(self):
+        text = explain(self.make_bound("SELECT a FROM t"), access_path="ephemeral-scan")
+        assert "Ephemeral-Scan" in text
+
+    def test_referenced_columns_shown(self):
+        text = explain(self.make_bound("SELECT a FROM t WHERE b > 0"))
+        assert "t(a, b)" in text

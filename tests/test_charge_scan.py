@@ -1,0 +1,96 @@
+"""Unit tests for the shared parallel scan-charging math in Engine.
+
+Every engine's figure behaviour flows through ``_charge_scan``; these
+tests pin its contract directly: overlap, bandwidth saturation, and
+bucket attribution.
+"""
+
+import pytest
+
+from repro.core.ledger import CostLedger
+from repro.db.engines import RowStoreEngine
+from repro.hw.analytic import MemCost
+from repro.workloads.synthetic import make_wide_table
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    cat, _ = make_wide_table(nrows=16, name="cs")
+    return cat
+
+
+def engine_with(catalog, threads):
+    return RowStoreEngine(catalog, threads=threads)
+
+
+class TestChargeScan:
+    def test_cpu_bound_stage_is_cpu_only(self, catalog):
+        engine = engine_with(catalog, 1)
+        ledger = CostLedger()
+        total = engine._charge_scan(ledger, MemCost(covered=100, exposed=0), cpu=500)
+        assert total == 500
+        assert ledger.get("cpu") == 500
+        assert ledger.get("memory") == 0
+
+    def test_memory_bound_stage_pays_uncovered_part(self, catalog):
+        engine = engine_with(catalog, 1)
+        ledger = CostLedger()
+        total = engine._charge_scan(ledger, MemCost(covered=800, exposed=0), cpu=500)
+        assert total == 800
+        assert ledger.get("memory") == 300
+
+    def test_exposed_latency_is_additive(self, catalog):
+        engine = engine_with(catalog, 1)
+        ledger = CostLedger()
+        total = engine._charge_scan(
+            ledger, MemCost(covered=100, exposed=250), cpu=500
+        )
+        assert total == 750
+        assert ledger.get("memory") == 250
+
+    def test_threads_scale_cpu_and_exposed(self, catalog):
+        engine = engine_with(catalog, 4)
+        ledger = CostLedger()
+        total = engine._charge_scan(ledger, MemCost(covered=0, exposed=400), cpu=800)
+        assert ledger.get("cpu") == 200  # /4
+        assert ledger.get("memory") == 100  # /4
+        assert total == 300
+
+    def test_covered_saturates_at_bandwidth_cores(self, catalog):
+        engine = engine_with(catalog, 4)
+        sat = engine.platform.dram.bandwidth_saturation_cores
+        ledger = CostLedger()
+        total = engine._charge_scan(ledger, MemCost(covered=800, exposed=0), cpu=0)
+        assert total == 800 / sat  # not /4
+
+    def test_multiple_cpu_buckets_split(self, catalog):
+        engine = engine_with(catalog, 2)
+        ledger = CostLedger()
+        total = engine._charge_scan(
+            ledger,
+            MemCost(covered=0, exposed=0),
+            cpu=100,
+            tuple_reconstruction=60,
+        )
+        assert ledger.get("cpu") == 50
+        assert ledger.get("tuple_reconstruction") == 30
+        assert total == 80
+
+    def test_overlap_uses_combined_cpu_buckets(self, catalog):
+        """The covered stream overlaps with ALL per-tuple work, including
+        reconstruction — memory only charges the excess."""
+        engine = engine_with(catalog, 1)
+        ledger = CostLedger()
+        engine._charge_scan(
+            ledger,
+            MemCost(covered=120, exposed=0),
+            cpu=70,
+            tuple_reconstruction=40,
+        )
+        assert ledger.get("memory") == pytest.approx(10)
+
+    def test_zero_work_is_free(self, catalog):
+        engine = engine_with(catalog, 1)
+        ledger = CostLedger()
+        assert engine._charge_scan(ledger, MemCost(), cpu=0) == 0
+        assert ledger.total_cycles == 0

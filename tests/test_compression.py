@@ -1,0 +1,178 @@
+"""Tests for the compression codecs and their fabric-compatibility
+contracts (§III-D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.compression import (
+    DeltaCodec,
+    DictionaryCodec,
+    HuffmanCodec,
+    Lz77Codec,
+    RleCodec,
+    all_codecs,
+    best_codec,
+    decode,
+)
+from repro.errors import CompressionError
+
+CODECS = list(all_codecs().values())
+
+
+def ids(codecs):
+    return [c.name for c in codecs]
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=ids(CODECS))
+class TestRoundTrip:
+    def test_random_values(self, codec):
+        rng = np.random.default_rng(1)
+        values = rng.integers(-(10**9), 10**9, 777)
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_constant_values(self, codec):
+        values = np.full(500, 42, dtype=np.int64)
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_empty(self, codec):
+        values = np.zeros(0, dtype=np.int64)
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_single_value(self, codec):
+        values = np.array([-7])
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_decode_range(self, codec):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 100, 5000)
+        enc = codec.encode(values)
+        assert np.array_equal(codec.decode_range(enc, 123, 4567), values[123:4567])
+
+    def test_wrong_codec_payload_rejected(self, codec):
+        other = DictionaryCodec() if codec.name != "dictionary" else DeltaCodec()
+        enc = other.encode(np.array([1, 2, 3]))
+        with pytest.raises(CompressionError):
+            codec.decode(enc)
+
+    def test_non_integer_rejected(self, codec):
+        with pytest.raises(CompressionError):
+            codec.encode(np.array([1.5, 2.5]))
+
+    def test_2d_rejected(self, codec):
+        with pytest.raises(CompressionError):
+            codec.encode(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestEffectiveness:
+    def test_dictionary_wins_on_small_domains(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 10, 10_000)
+        ratio = DictionaryCodec().encode(values).ratio(values.astype(np.int64).nbytes)
+        assert ratio > 6
+
+    def test_delta_wins_on_sorted_data(self):
+        values = np.sort(np.random.default_rng(4).integers(0, 10**12, 5000))
+        ratio = DeltaCodec().encode(values).ratio(values.nbytes)
+        assert ratio > 1.5
+
+    def test_rle_wins_on_runs(self):
+        values = np.repeat(np.arange(20), 500)
+        ratio = RleCodec().encode(values).ratio(values.astype(np.int64).nbytes)
+        assert ratio > 100
+
+    def test_lz_compresses_repetitive_bytes(self):
+        values = np.tile(np.arange(16), 200)
+        ratio = Lz77Codec().encode(values).ratio(values.astype(np.int64).nbytes)
+        assert ratio > 3
+
+    def test_huffman_compresses_skewed_bytes(self):
+        values = np.random.default_rng(5).integers(0, 4, 4096)
+        ratio = HuffmanCodec().encode(values).ratio(values.astype(np.int64).nbytes)
+        assert ratio > 2
+
+    def test_best_codec_picks_a_winner(self):
+        values = np.repeat(np.arange(5), 1000)
+        assert best_codec(values).name == "rle"
+
+    def test_best_codec_fabric_only_excludes_rle_lz(self):
+        values = np.repeat(np.arange(5), 1000)
+        codec = best_codec(values, fabric_only=True)
+        assert codec.fabric_compatible
+        assert codec.name not in ("rle", "lz77")
+
+    def test_module_decode_dispatches(self):
+        values = np.arange(100)
+        enc = DeltaCodec().encode(values)
+        assert np.array_equal(decode(enc), values)
+
+
+class TestFabricCompatibilityContract:
+    """§III-D as executable truth: compatible codecs decode a row range
+    with work proportional to the range; incompatible ones cannot."""
+
+    def test_declared_flags(self):
+        flags = {c.name: c.fabric_compatible for c in CODECS}
+        assert flags == {
+            "dictionary": True,
+            "delta": True,
+            "huffman": True,
+            "rle": False,
+            "lz77": False,
+        }
+
+    @pytest.mark.parametrize(
+        "codec",
+        [c for c in CODECS if c.fabric_compatible],
+        ids=ids([c for c in CODECS if c.fabric_compatible]),
+    )
+    def test_compatible_range_decode_is_local(self, codec):
+        """Corrupting the payload OUTSIDE the requested range must not
+        affect a compatible codec's range decode."""
+        rng = np.random.default_rng(6)
+        values = rng.integers(0, 50, 20_000)
+        enc = codec.encode(values)
+        start, stop = 8192, 8192 + 100  # inside one late block
+        want = codec.decode_range(enc, start, stop)
+        corrupted = bytearray(enc.payload)
+        corrupted[0] ^= 0xFF  # clobber the first block's bytes
+        enc.payload = bytes(corrupted)
+        got = codec.decode_range(enc, start, stop)
+        assert np.array_equal(got, want)
+
+    def test_rle_range_decode_depends_on_prefix(self):
+        """RLE's positional data-dependence: early corruption shifts the
+        positions of later values."""
+        codec = RleCodec()
+        values = np.repeat(np.arange(100), 7)
+        enc = codec.encode(values)
+        want = codec.decode_range(enc, 300, 310)
+        corrupted = np.frombuffer(enc.payload, dtype=np.int64).reshape(-1, 2).copy()
+        corrupted[0, 1] += 3  # lengthen the first run
+        enc.payload = corrupted.tobytes()
+        got = codec.decode_range(enc, 300, 310)
+        assert not np.array_equal(got, want)
+
+
+class TestProperties:
+    @pytest.mark.parametrize("codec", CODECS, ids=ids(CODECS))
+    @given(values=st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=300))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, codec, values):
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(codec.decode(codec.encode(arr)), arr)
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=300),
+        bounds=st.tuples(st.integers(0, 299), st.integers(0, 300)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_range_decode_property(self, values, bounds):
+        arr = np.array(values, dtype=np.int64)
+        start, stop = sorted(bounds)
+        start = min(start, len(arr))
+        stop = min(stop, len(arr))
+        for codec in (DictionaryCodec(), DeltaCodec(block_size=16), HuffmanCodec(block_size=16)):
+            enc = codec.encode(arr)
+            assert np.array_equal(codec.decode_range(enc, start, stop), arr[start:stop])

@@ -1,0 +1,91 @@
+"""Property tests on the engines' cost behaviour.
+
+These pin the *mechanics* the figures rely on: costs scale linearly with
+data, grow monotonically with touched columns, and the decomposition
+reported in the ledger stays coherent.
+"""
+
+import pytest
+
+from repro.db.engines import all_engines
+from repro.hw.config import ZYNQ_ULTRASCALE
+from repro.workloads.synthetic import (
+    make_wide_table,
+    projection_selection_query,
+    projectivity_query,
+)
+
+
+def cycles(catalog, engine_name, sql):
+    return all_engines(catalog)[engine_name].execute(sql).cycles
+
+
+class TestLinearity:
+    @pytest.mark.parametrize("engine", ["row", "column", "rm"])
+    def test_cost_scales_linearly_with_rows(self, engine):
+        small_cat, _ = make_wide_table(nrows=20_000, seed=1)
+        big_cat, _ = make_wide_table(nrows=80_000, seed=1)
+        sql = projectivity_query(4)
+        ratio = cycles(big_cat, engine, sql) / cycles(small_cat, engine, sql)
+        assert ratio == pytest.approx(4.0, rel=0.1)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("engine", ["row", "column", "rm"])
+    def test_more_projected_columns_never_cheaper(self, engine):
+        catalog, _ = make_wide_table(nrows=30_000, seed=2)
+        eng = all_engines(catalog)[engine]
+        costs = [eng.execute(projectivity_query(k)).cycles for k in range(1, 12)]
+        assert all(b >= a for a, b in zip(costs, costs[1:]))
+
+    @pytest.mark.parametrize("engine", ["row", "column", "rm"])
+    def test_more_selection_columns_never_cheaper(self, engine):
+        catalog, _ = make_wide_table(nrows=30_000, ncols=20, row_bytes=128, seed=3)
+        eng = all_engines(catalog)[engine]
+        costs = [
+            eng.execute(projection_selection_query(2, s)).cycles
+            for s in range(1, 9)
+        ]
+        assert all(b >= a * 0.999 for a, b in zip(costs, costs[1:]))
+
+    def test_row_cost_independent_of_projectivity_in_memory(self):
+        """ROW's DRAM traffic never changes with projectivity — the
+        paper's Figure 1 point."""
+        catalog, table = make_wide_table(nrows=30_000, seed=4)
+        eng = all_engines(catalog)["row"]
+        traffic = {
+            k: eng.execute(projectivity_query(k)).ledger.dram_bytes
+            for k in (1, 6, 11)
+        }
+        assert len(set(traffic.values())) == 1
+        assert traffic[1] == table.nbytes
+
+    def test_rm_traffic_grows_with_projectivity(self):
+        catalog, _ = make_wide_table(nrows=30_000, seed=5)
+        eng = all_engines(catalog)["rm"]
+        t1 = eng.execute(projectivity_query(1)).ledger.dram_bytes
+        t8 = eng.execute(projectivity_query(8)).ledger.dram_bytes
+        assert t8 > t1
+
+
+class TestLedgerCoherence:
+    @pytest.mark.parametrize("engine", ["row", "column", "rm"])
+    def test_total_is_bucket_sum(self, engine):
+        catalog, _ = make_wide_table(nrows=10_000, seed=6)
+        res = all_engines(catalog)[engine].execute(projection_selection_query(3, 2))
+        assert res.cycles == pytest.approx(sum(res.ledger.buckets.values()))
+
+    def test_rm_fabric_configure_constant_across_sizes(self):
+        small, _ = make_wide_table(nrows=5_000, seed=7)
+        large, _ = make_wide_table(nrows=50_000, seed=7)
+        sql = projectivity_query(2)
+        a = all_engines(small)["rm"].execute(sql).ledger.get("fabric_configure")
+        b = all_engines(large)["rm"].execute(sql).ledger.get("fabric_configure")
+        assert a == b == ZYNQ_ULTRASCALE.rm.configure_cycles
+
+    def test_deterministic_costs(self):
+        catalog, _ = make_wide_table(nrows=10_000, seed=8)
+        sql = projection_selection_query(2, 2)
+        a = cycles(catalog, "rm", sql)
+        b = cycles(catalog, "rm", sql)
+        assert a == b

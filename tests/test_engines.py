@@ -1,0 +1,212 @@
+"""Integration tests across the three engines: identical answers,
+coherent cost accounting, MVCC snapshots, pushdown, consumption modes."""
+
+import numpy as np
+import pytest
+
+from repro.core.ledger import CostLedger
+from repro.db.engines import (
+    ColumnStoreEngine,
+    RelationalMemoryEngine,
+    RowStoreEngine,
+    all_engines,
+)
+from repro.db.exec import results_equal
+from repro.db.mvcc import TransactionManager
+from repro.errors import ExecutionError
+from repro.workloads.synthetic import (
+    make_wide_table,
+    projection_selection_query,
+    projectivity_query,
+)
+
+QUERIES = [
+    projectivity_query(1),
+    projectivity_query(6),
+    projection_selection_query(2, 3),
+    "SELECT c0, c1 FROM wide WHERE c2 < 100000 ORDER BY c0 LIMIT 9",
+    "SELECT c3, count(*) AS n FROM wide WHERE c3 < 5 GROUP BY c3 ORDER BY c3",
+]
+
+
+class TestAnswerEquality:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_all_engines_agree(self, wide_catalog, sql):
+        catalog, _ = wide_catalog
+        engines = all_engines(catalog)
+        results = {name: e.execute(sql) for name, e in engines.items()}
+        assert results_equal(results["row"].result, results["column"].result)
+        assert results_equal(results["row"].result, results["rm"].result)
+
+    def test_rm_pushdown_same_answers(self, wide_catalog):
+        catalog, _ = wide_catalog
+        sql = projection_selection_query(3, 2)
+        plain = RelationalMemoryEngine(catalog, pushdown=False).execute(sql)
+        pushed = RelationalMemoryEngine(catalog, pushdown=True).execute(sql)
+        assert results_equal(plain.result, pushed.result)
+
+    def test_rm_vector_consumption_same_answers(self, wide_catalog):
+        catalog, _ = wide_catalog
+        sql = projectivity_query(5)
+        scalar = RelationalMemoryEngine(catalog, consumption="scalar").execute(sql)
+        vector = RelationalMemoryEngine(catalog, consumption="vector").execute(sql)
+        assert results_equal(scalar.result, vector.result)
+
+    def test_bad_consumption_mode(self, wide_catalog):
+        catalog, _ = wide_catalog
+        with pytest.raises(ExecutionError):
+            RelationalMemoryEngine(catalog, consumption="quantum")
+
+
+class TestCostAccounting:
+    def test_ledger_buckets_non_negative(self, wide_catalog):
+        catalog, _ = wide_catalog
+        for engine in all_engines(catalog).values():
+            res = engine.execute(projection_selection_query(4, 2))
+            assert all(v >= 0 for v in res.ledger.buckets.values())
+            assert res.cycles > 0
+
+    def test_row_traffic_is_full_table(self, wide_catalog):
+        catalog, table = wide_catalog
+        res = RowStoreEngine(catalog).execute(projectivity_query(2))
+        assert res.ledger.dram_bytes == table.nbytes
+
+    def test_rm_traffic_below_row_traffic(self, wide_catalog):
+        catalog, table = wide_catalog
+        sql = projectivity_query(3)
+        row = RowStoreEngine(catalog).execute(sql)
+        rm = RelationalMemoryEngine(catalog).execute(sql)
+        assert rm.ledger.dram_bytes < row.ledger.dram_bytes
+
+    def test_rm_ledger_has_fabric_buckets(self, wide_catalog):
+        catalog, _ = wide_catalog
+        res = RelationalMemoryEngine(catalog).execute(projectivity_query(2))
+        assert CostLedger.CONFIGURE in res.ledger.buckets
+
+    def test_qualifying_rows_reported(self, wide_catalog):
+        catalog, table = wide_catalog
+        res = RowStoreEngine(catalog).execute(projection_selection_query(1, 1))
+        assert 0 < res.qualifying_rows < res.visible_rows == table.nrows
+
+    def test_plan_rendered_per_engine(self, wide_catalog):
+        catalog, _ = wide_catalog
+        sql = projectivity_query(2)
+        assert "Scan" in RowStoreEngine(catalog).execute(sql).plan
+        assert "Ephemeral" in RelationalMemoryEngine(catalog).execute(sql).plan
+
+    def test_rm_wider_projection_costs_more(self, wide_catalog):
+        catalog, _ = wide_catalog
+        engine = RelationalMemoryEngine(catalog)
+        narrow = engine.execute(projectivity_query(1)).cycles
+        wide = engine.execute(projectivity_query(9)).cycles
+        assert wide > narrow
+
+
+class TestColumnReplica:
+    def test_replica_syncs_once_until_mutation(self, wide_catalog):
+        catalog, table = wide_catalog
+        engine = ColumnStoreEngine(catalog)
+        engine.execute(projectivity_query(1))
+        engine.execute(projectivity_query(2))
+        replica = engine.replica_of(table)
+        assert replica.sync_count == 1
+        table.set_value(0, "c0", 1)
+        engine.execute(projectivity_query(1))
+        assert replica.sync_count == 2
+
+    def test_conversion_cost_charged_outside_queries(self, wide_catalog):
+        catalog, _ = wide_catalog
+        engine = ColumnStoreEngine(catalog)
+        engine.execute(projectivity_query(1))
+        assert engine.conversion_ledger.get("layout_conversion") > 0
+
+    def test_stale_replica_freshness_metric(self, wide_catalog):
+        catalog, table = wide_catalog
+        engine = ColumnStoreEngine(catalog)
+        engine.execute(projectivity_query(1))
+        replica = engine.replica_of(table)
+        assert replica.stale_rows == 0
+        table.append_row({f"c{i}": 0 for i in range(16)})
+        assert replica.stale_rows == 1
+
+    def test_fresh_answers_after_update(self, wide_catalog):
+        """COL must re-convert and then agree with ROW on updated data."""
+        catalog, table = wide_catalog
+        sql = projectivity_query(1)
+        engines = all_engines(catalog)
+        before = engines["column"].execute(sql).result.scalar()
+        table.set_value(0, "c0", 999_999_999 % 2**31)
+        after_col = engines["column"].execute(sql).result.scalar()
+        after_row = engines["row"].execute(sql).result.scalar()
+        assert after_col == after_row != before
+
+
+class TestMvccSnapshots:
+    def test_snapshot_reads_are_stable(self, mvcc_catalog):
+        catalog, table = mvcc_catalog
+        manager = TransactionManager()
+        txn = manager.begin()
+        for i in range(50):
+            txn.insert(table, {"id": i, "balance": 100})
+        manager.commit(txn)
+
+        snapshot = manager.now
+        writer = manager.begin()
+        slots = writer.visible_slots(table)
+        writer.update(table, int(slots[0]), {"balance": 999})
+        manager.commit(writer)
+
+        sql = "SELECT sum(balance) AS s FROM accounts"
+        for engine in all_engines(catalog).values():
+            old = engine.execute(sql, snapshot_ts=snapshot)
+            new = engine.execute(sql, snapshot_ts=manager.now)
+            assert old.result.scalar() == 50 * 100
+            assert new.result.scalar() == 49 * 100 + 999
+
+    def test_engines_agree_under_snapshots(self, mvcc_catalog):
+        catalog, table = mvcc_catalog
+        manager = TransactionManager()
+        txn = manager.begin()
+        for i in range(30):
+            txn.insert(table, {"id": i, "balance": i * 10})
+        manager.commit(txn)
+        txn2 = manager.begin()
+        txn2.insert(table, {"id": 99, "balance": 5})
+        manager.commit(txn2)
+
+        sql = "SELECT count(*) AS n, sum(balance) AS s FROM accounts WHERE balance >= 0"
+        for ts in (1, manager.now):
+            results = [
+                e.execute(sql, snapshot_ts=ts).result
+                for e in all_engines(catalog).values()
+            ]
+            assert results_equal(results[0], results[1])
+            assert results_equal(results[0], results[2])
+
+    def test_uncommitted_rows_invisible(self, mvcc_catalog):
+        catalog, table = mvcc_catalog
+        manager = TransactionManager()
+        txn = manager.begin()
+        txn.insert(table, {"id": 1, "balance": 7})
+        # Not committed: nothing visible at any snapshot.
+        for engine in all_engines(catalog).values():
+            res = engine.execute(
+                "SELECT count(*) AS n FROM accounts", snapshot_ts=manager.now
+            )
+            assert res.result.scalar() == 0
+        manager.commit(txn)
+
+    def test_visible_rows_reported(self, mvcc_catalog):
+        catalog, table = mvcc_catalog
+        manager = TransactionManager()
+        txn = manager.begin()
+        for i in range(10):
+            txn.insert(table, {"id": i, "balance": 1})
+        manager.commit(txn)
+        txn = manager.begin()
+        txn.delete(table, 0)
+        manager.commit(txn)
+        res = RowStoreEngine(catalog).execute(
+            "SELECT count(*) AS n FROM accounts", snapshot_ts=manager.now
+        )
+        assert res.result.scalar() == 9

@@ -1,0 +1,137 @@
+"""Tests for expression trees: both evaluators, op counting, conjuncts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.expr import (
+    And,
+    Between,
+    BinOp,
+    ColumnRef,
+    Compare,
+    Literal,
+    Not,
+    Or,
+    conjuncts,
+    op_count,
+)
+from repro.errors import ExecutionError
+
+X = ColumnRef("x")
+Y = ColumnRef("y")
+
+
+class TestEvaluation:
+    def test_arith_row(self):
+        expr = BinOp("+", X, BinOp("*", Y, Literal(2)))
+        assert expr.eval_row({"x": 1, "y": 10}) == 21
+
+    def test_compare_row(self):
+        assert Compare("<", X, Literal(5)).eval_row({"x": 3}) is True
+        assert Compare(">=", X, Literal(5)).eval_row({"x": 3}) is False
+
+    def test_and_or_not(self):
+        expr = And(
+            terms=(
+                Compare(">", X, Literal(0)),
+                Or(terms=(Compare("<", Y, Literal(5)), Not(Compare("=", X, Literal(3))))),
+            )
+        )
+        assert expr.eval_row({"x": 1, "y": 9}) is True
+        assert expr.eval_row({"x": 3, "y": 9}) is False
+
+    def test_between_inclusive(self):
+        expr = Between(X, Literal(2), Literal(4))
+        assert expr.eval_row({"x": 2}) and expr.eval_row({"x": 4})
+        assert not expr.eval_row({"x": 5})
+
+    def test_vector_matches_row(self):
+        expr = And(
+            terms=(
+                Compare(">", X, Literal(2)),
+                Compare("<", BinOp("+", X, Y), Literal(10)),
+            )
+        )
+        xs = np.array([1, 3, 5, 7])
+        ys = np.array([2, 2, 2, 2])
+        vec = expr.eval_vector({"x": xs, "y": ys})
+        rows = [expr.eval_row({"x": int(x), "y": int(y)}) for x, y in zip(xs, ys)]
+        assert vec.tolist() == rows
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ExecutionError):
+            X.eval_row({"y": 1})
+        with pytest.raises(ExecutionError):
+            X.eval_vector({"y": np.array([1])})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExecutionError):
+            BinOp("%", X, Y)
+        with pytest.raises(ExecutionError):
+            Compare("~", X, Y)
+
+
+class TestIntrospection:
+    def test_columns(self):
+        expr = And(terms=(Compare("<", X, Literal(1)), Compare("<", Y, X)))
+        assert expr.columns() == frozenset({"x", "y"})
+
+    def test_op_count(self):
+        assert op_count(X) == 0
+        assert op_count(Literal(3)) == 0
+        assert op_count(BinOp("+", X, Y)) == 1
+        assert op_count(Compare("<", BinOp("+", X, Y), Literal(1))) == 2
+        assert op_count(Between(X, Literal(1), Literal(2))) == 2
+        assert (
+            op_count(And(terms=(Compare("<", X, Literal(1)),) * 3)) == 3 + 2
+        )
+
+    def test_conjuncts_flatten_nested_and(self):
+        a = Compare("<", X, Literal(1))
+        b = Compare(">", Y, Literal(2))
+        c = Compare("=", X, Y)
+        expr = And(terms=(a, And(terms=(b, c))))
+        assert conjuncts(expr) == (a, b, c)
+
+    def test_conjuncts_of_non_and(self):
+        a = Or(terms=(Compare("<", X, Literal(1)), Compare(">", X, Literal(9))))
+        assert conjuncts(a) == (a,)
+
+    def test_str_rendering(self):
+        expr = Compare("<", BinOp("*", X, Literal(2)), Y)
+        assert str(expr) == "((x * 2) < y)"
+
+
+@st.composite
+def arith_exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return draw(st.sampled_from([X, Y]))
+        return Literal(draw(st.integers(min_value=-100, max_value=100)))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    return BinOp(op, draw(arith_exprs(depth + 1)), draw(arith_exprs(depth + 1)))
+
+
+class TestProperties:
+    @given(
+        arith_exprs(),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-1000, max_value=1000),
+                st.integers(min_value=-1000, max_value=1000),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_row_and_vector_evaluators_agree(self, expr, points):
+        xs = np.array([p[0] for p in points], dtype=np.int64)
+        ys = np.array([p[1] for p in points], dtype=np.int64)
+        vec = expr.eval_vector({"x": xs, "y": ys})
+        if np.isscalar(vec):
+            vec = np.full(len(points), vec)
+        for i, (x, y) in enumerate(points):
+            assert expr.eval_row({"x": x, "y": y}) == vec[i]

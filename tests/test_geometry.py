@@ -1,0 +1,135 @@
+"""Tests for data geometries (field slices, validation, packing math)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import DataGeometry, FieldSlice, full_row_geometry
+from repro.errors import GeometryError
+
+
+def geo(*fields, stride=64):
+    return DataGeometry(row_stride=stride, fields=tuple(fields))
+
+
+class TestFieldSlice:
+    def test_valid(self):
+        f = FieldSlice("a", 0, 8, "<i8")
+        assert f.end == 8
+
+    def test_negative_offset(self):
+        with pytest.raises(GeometryError):
+            FieldSlice("a", -1, 4)
+
+    def test_zero_width(self):
+        with pytest.raises(GeometryError):
+            FieldSlice("a", 0, 0)
+
+    def test_dtype_width_mismatch(self):
+        with pytest.raises(GeometryError):
+            FieldSlice("a", 0, 4, "<i8")
+
+
+class TestValidation:
+    def test_field_beyond_stride(self):
+        with pytest.raises(GeometryError):
+            geo(FieldSlice("a", 60, 8))
+
+    def test_overlap_rejected(self):
+        with pytest.raises(GeometryError):
+            geo(FieldSlice("a", 0, 8), FieldSlice("b", 4, 8))
+
+    def test_adjacent_ok(self):
+        g = geo(FieldSlice("a", 0, 8), FieldSlice("b", 8, 8))
+        assert g.packed_width == 16
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(GeometryError):
+            geo(FieldSlice("a", 0, 4), FieldSlice("a", 8, 4))
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(GeometryError):
+            DataGeometry(row_stride=64, fields=())
+
+    def test_non_positive_stride(self):
+        with pytest.raises(GeometryError):
+            DataGeometry(row_stride=0, fields=(FieldSlice("a", 0, 4),))
+
+
+class TestDerived:
+    def test_packed_offsets_follow_declaration_order(self):
+        g = geo(FieldSlice("z", 40, 8), FieldSlice("a", 0, 4))
+        assert g.packed_offset_of("z") == 0
+        assert g.packed_offset_of("a") == 8
+        assert g.packed_width == 12
+
+    def test_packed_field_relocated(self):
+        g = geo(FieldSlice("z", 40, 8, "<i8"), FieldSlice("a", 0, 4, "<i4"))
+        pf = g.packed_field("a")
+        assert pf.offset == 8 and pf.width == 4 and pf.dtype == "<i4"
+
+    def test_field_lookup_missing(self):
+        g = geo(FieldSlice("a", 0, 4))
+        with pytest.raises(GeometryError):
+            g.field("nope")
+        with pytest.raises(GeometryError):
+            g.packed_offset_of("nope")
+
+    def test_subset_preserves_order_given(self):
+        g = geo(FieldSlice("a", 0, 4), FieldSlice("b", 4, 4), FieldSlice("c", 8, 4))
+        sub = g.subset(["c", "a"])
+        assert sub.field_names == ("c", "a")
+        assert sub.packed_width == 8
+
+    def test_byte_selectivity(self):
+        g = geo(FieldSlice("a", 0, 16), stride=64)
+        assert g.selectivity_of_bytes() == 0.25
+
+    def test_full_row_geometry(self):
+        g = full_row_geometry(128)
+        assert g.packed_width == 128
+        assert g.selectivity_of_bytes() == 1.0
+
+
+@st.composite
+def geometries(draw):
+    """Random valid geometries: non-overlapping fields in a row."""
+    stride = draw(st.integers(min_value=8, max_value=128))
+    n = draw(st.integers(min_value=1, max_value=min(6, (stride + 1) // 2)))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=stride),
+                min_size=2 * n,
+                max_size=2 * n,
+                unique=True,
+            )
+        )
+    )
+    fields = []
+    for i in range(0, len(cuts) - 1, 2):
+        off, end = cuts[i], cuts[i + 1]
+        if end > off:
+            fields.append(FieldSlice(f"f{i}", off, end - off))
+    if not fields:
+        fields = [FieldSlice("f0", 0, min(4, stride))]
+    return DataGeometry(row_stride=stride, fields=tuple(fields))
+
+
+class TestProperties:
+    @given(geometries())
+    @settings(max_examples=80, deadline=None)
+    def test_packed_width_is_field_sum(self, g):
+        assert g.packed_width == sum(f.width for f in g.fields)
+        assert 0 < g.packed_width <= g.row_stride
+
+    @given(geometries())
+    @settings(max_examples=80, deadline=None)
+    def test_packed_offsets_partition_output(self, g):
+        offsets = [g.packed_offset_of(f.name) for f in g.fields]
+        widths = [f.width for f in g.fields]
+        cursor = 0
+        for off, w in zip(offsets, widths):
+            assert off == cursor
+            cursor += w
+        assert cursor == g.packed_width

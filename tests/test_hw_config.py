@@ -1,0 +1,105 @@
+"""Tests for platform presets, config validation, and the CPU cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.config import (
+    CACHE_LINE_BYTES,
+    CacheConfig,
+    PlatformConfig,
+    TEST_PLATFORM,
+    ZYNQ_RMC,
+    ZYNQ_ULTRASCALE,
+    default_platform,
+)
+from repro.hw.cpu import CpuCostModel
+
+
+class TestPresets:
+    def test_default_platform_is_the_papers(self):
+        assert default_platform() is ZYNQ_ULTRASCALE
+
+    def test_paper_platform_parameters(self):
+        """Section V 'Target Platform' verbatim."""
+        p = ZYNQ_ULTRASCALE
+        assert p.cpu.freq_hz == 1_500_000_000  # 4x Cortex-A53 @ 1.5 GHz
+        assert p.l1.size_bytes == 32 * 1024  # 32+32 KB L1 (D side modelled)
+        assert p.l2.size_bytes == 1024 * 1024  # 1 MB shared L2
+        assert p.rm.freq_hz == 100_000_000  # RM constrained to 100 MHz
+        assert p.rm.buffer_bytes == 2 * 1024 * 1024  # 2 MB data memory
+
+    def test_presets_validate(self):
+        for platform in (ZYNQ_ULTRASCALE, TEST_PLATFORM, ZYNQ_RMC):
+            platform.validate()
+
+    def test_rmc_differs_where_iv_c_says(self):
+        assert ZYNQ_RMC.rm.freq_hz > ZYNQ_ULTRASCALE.rm.freq_hz
+        assert ZYNQ_RMC.rm.configure_cycles < ZYNQ_ULTRASCALE.rm.configure_cycles
+        # Everything CPU-side is the same machine.
+        assert ZYNQ_RMC.cpu == ZYNQ_ULTRASCALE.cpu
+        assert ZYNQ_RMC.l2 == ZYNQ_ULTRASCALE.l2
+
+    def test_clock_ratio(self):
+        assert ZYNQ_ULTRASCALE.rm.clock_ratio(ZYNQ_ULTRASCALE.cpu) == 15.0
+
+
+class TestValidation:
+    def test_mismatched_line_sizes_rejected(self):
+        platform = PlatformConfig(
+            name="bad",
+            l1=CacheConfig(size_bytes=1024, ways=2, line_bytes=32),
+        )
+        with pytest.raises(ConfigurationError):
+            platform.validate()
+
+    def test_buffer_not_line_multiple_rejected(self):
+        platform = ZYNQ_ULTRASCALE.with_rm(buffer_bytes=1000)
+        with pytest.raises(ConfigurationError):
+            platform.validate()
+
+    def test_with_rm_returns_modified_copy(self):
+        variant = ZYNQ_ULTRASCALE.with_rm(freq_hz=200_000_000)
+        assert variant.rm.freq_hz == 200_000_000
+        assert ZYNQ_ULTRASCALE.rm.freq_hz == 100_000_000  # original intact
+        assert variant.l1 == ZYNQ_ULTRASCALE.l1
+
+    def test_with_prefetcher_returns_modified_copy(self):
+        variant = ZYNQ_ULTRASCALE.with_prefetcher(max_streams=8)
+        assert variant.prefetcher.max_streams == 8
+        assert ZYNQ_ULTRASCALE.prefetcher.max_streams == 4
+
+    def test_cache_line_constant(self):
+        assert CACHE_LINE_BYTES == 64
+
+
+class TestCpuCostModel:
+    @pytest.fixture
+    def cpu(self):
+        return CpuCostModel(ZYNQ_ULTRASCALE.cpu)
+
+    def test_linear_helpers(self, cpu):
+        cfg = ZYNQ_ULTRASCALE.cpu
+        assert cpu.volcano_tuples(10) == 10 * cfg.volcano_tuple_cycles
+        assert cpu.field_extracts(3) == 3 * cfg.field_extract_cycles
+        assert cpu.vector_ops(7) == 7 * cfg.vector_op_cycles
+        assert cpu.reconstructions(2) == 2 * cfg.col_reconstruct_cycles
+        assert cpu.aggregate_updates(5) == 5 * cfg.aggregate_update_cycles
+        assert cpu.intermediates(4) == 4 * cfg.intermediate_value_cycles
+        assert cpu.function_calls(6) == 6 * cfg.function_call_cycles
+
+    def test_branch_misses_symmetric_in_selectivity(self, cpu):
+        assert cpu.branch_misses(100, 0.1) == pytest.approx(
+            cpu.branch_misses(100, 0.9)
+        )
+        assert cpu.branch_misses(100, 0.5) > cpu.branch_misses(100, 0.01)
+        assert cpu.branch_misses(100, 0.0) == 0.0
+
+    def test_predicates(self, cpu):
+        cfg = ZYNQ_ULTRASCALE.cpu
+        assert cpu.predicates(10) == 10 * cfg.predicate_cycles
+        with_misses = cpu.predicates(10, miss_fraction=0.5)
+        assert with_misses == 10 * cfg.predicate_cycles + 5 * cfg.branch_miss_cycles
+
+    def test_seconds_conversion(self, cpu):
+        assert cpu.seconds(1_500_000_000) == pytest.approx(1.0)
+        assert cpu.seconds(0) == 0.0

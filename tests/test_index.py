@@ -1,0 +1,160 @@
+"""Tests for the B+-tree, including a model-based property check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.index import BPlusTree, build_index
+from repro.errors import IndexError_
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        tree = BPlusTree(fanout=4)
+        for i in range(20):
+            tree.insert(i, i * 10)
+        assert tree.search(7) == [70]
+        assert tree.search(99) == []
+        assert len(tree) == 20
+
+    def test_duplicates_accumulate(self):
+        tree = BPlusTree(fanout=4)
+        tree.insert(5, 1)
+        tree.insert(5, 2)
+        assert sorted(tree.search(5)) == [1, 2]
+        assert len(tree) == 2
+
+    def test_unique_constraint(self):
+        tree = BPlusTree(fanout=4, unique=True)
+        tree.insert(5, 1)
+        with pytest.raises(IndexError_):
+            tree.insert(5, 2)
+
+    def test_small_fanout_rejected(self):
+        with pytest.raises(IndexError_):
+            BPlusTree(fanout=2)
+
+    def test_height_grows_with_splits(self):
+        tree = BPlusTree(fanout=4)
+        for i in range(200):
+            tree.insert(i, i)
+        assert tree.height >= 3
+        for i in range(200):
+            assert tree.search(i) == [i]
+
+    def test_reverse_and_shuffled_inserts(self):
+        for order in (range(100, 0, -1), np.random.default_rng(0).permutation(100)):
+            tree = BPlusTree(fanout=5)
+            for k in order:
+                tree.insert(int(k), int(k))
+            assert [k for k, _ in tree.items()] == sorted(int(k) for k in order)
+
+    def test_string_keys(self):
+        tree = BPlusTree(fanout=4)
+        for word in ["pear", "apple", "fig", "date"]:
+            tree.insert(word, len(word))
+        assert tree.search("fig") == [3]
+        assert [k for k, _ in tree.items()] == ["apple", "date", "fig", "pear"]
+
+
+class TestRange:
+    def test_inclusive_range(self):
+        tree = BPlusTree(fanout=4)
+        for i in range(50):
+            tree.insert(i, i)
+        got = [k for k, _ in tree.range(10, 15)]
+        assert got == [10, 11, 12, 13, 14, 15]
+
+    def test_exclusive_high(self):
+        tree = BPlusTree(fanout=4)
+        for i in range(50):
+            tree.insert(i, i)
+        got = [k for k, _ in tree.range(10, 15, inclusive=False)]
+        assert got == [10, 11, 12, 13, 14]
+
+    def test_range_spans_leaves(self):
+        tree = BPlusTree(fanout=4)
+        for i in range(500):
+            tree.insert(i, i)
+        assert len(list(tree.range(0, 499))) == 500
+
+    def test_empty_range(self):
+        tree = BPlusTree(fanout=4)
+        for i in range(0, 100, 10):
+            tree.insert(i, i)
+        assert list(tree.range(41, 49)) == []
+
+
+class TestDelete:
+    def test_delete_specific_slot(self):
+        tree = BPlusTree(fanout=4)
+        tree.insert(5, 1)
+        tree.insert(5, 2)
+        assert tree.delete(5, 1) == 1
+        assert tree.search(5) == [2]
+        assert len(tree) == 1
+
+    def test_delete_all_slots_of_key(self):
+        tree = BPlusTree(fanout=4)
+        tree.insert(5, 1)
+        tree.insert(5, 2)
+        assert tree.delete(5) == 2
+        assert tree.search(5) == []
+
+    def test_delete_missing(self):
+        tree = BPlusTree(fanout=4)
+        tree.insert(1, 1)
+        assert tree.delete(9) == 0
+        assert tree.delete(1, 99) == 0
+
+
+class TestBuildFromTable:
+    def test_build_index(self, mixed_catalog):
+        _, table = mixed_catalog
+        tree = build_index(table, "qty")
+        values = table.column_values("qty")
+        probe = int(values[0])
+        assert set(tree.search(probe)) == set(np.flatnonzero(values == probe).tolist())
+        assert len(tree) == table.nrows
+
+
+class TestModelBased:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=200),
+                st.integers(min_value=0, max_value=10**6),
+            ),
+            max_size=300,
+        ),
+        st.integers(min_value=4, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_model(self, entries, fanout):
+        tree = BPlusTree(fanout=fanout)
+        model = {}
+        for key, slot in entries:
+            tree.insert(key, slot)
+            model.setdefault(key, []).append(slot)
+        assert len(tree) == sum(len(v) for v in model.values())
+        for key, slots in model.items():
+            assert sorted(tree.search(key)) == sorted(slots)
+        assert [k for k, _ in tree.items()] == sorted(
+            k for k, v in model.items() for _ in v
+        )
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=300), max_size=200),
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_matches_model(self, keys, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        tree = BPlusTree(fanout=6)
+        for k in keys:
+            tree.insert(k, k)
+        got = [k for k, _ in tree.range(lo, hi)]
+        expected = sorted(k for k in keys if lo <= k <= hi)
+        assert got == expected

@@ -1,0 +1,107 @@
+"""Tests for the executable index-probe access path (§III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.db.engines import RowStoreEngine
+from repro.db.exec import results_equal
+from repro.db.index import build_index
+from repro.workloads.synthetic import make_wide_table
+
+
+@pytest.fixture
+def indexed():
+    catalog, table = make_wide_table(nrows=30_000, seed=17)
+    catalog.add_index("wide", "c0", build_index(table, "c0"))
+    return catalog, table
+
+
+class TestIndexProbe:
+    def probe_sql(self, table, extra=""):
+        key = int(table.column_values("c0")[42])
+        return f"SELECT c1, c2 FROM wide WHERE c0 = {key}{extra}"
+
+    def test_same_answer_as_scan(self, indexed):
+        catalog, table = indexed
+        sql = self.probe_sql(table)
+        via_index = RowStoreEngine(catalog, use_indexes=True).execute(sql)
+        via_scan = RowStoreEngine(catalog).execute(sql)
+        assert results_equal(via_index.result, via_scan.result)
+
+    def test_far_cheaper_than_scan(self, indexed):
+        catalog, table = indexed
+        sql = self.probe_sql(table)
+        engine = RowStoreEngine(catalog, use_indexes=True)
+        via_index = engine.execute(sql)
+        via_scan = RowStoreEngine(catalog).execute(sql)
+        assert via_index.cycles < via_scan.cycles / 100
+        assert engine.index_answered == 1
+        assert "Index-Probe" in via_index.plan
+
+    def test_residual_conjuncts_applied(self, indexed):
+        catalog, table = indexed
+        key = int(table.column_values("c0")[42])
+        sql = f"SELECT c1 FROM wide WHERE c0 = {key} AND c1 < 500000"
+        via_index = RowStoreEngine(catalog, use_indexes=True).execute(sql)
+        via_scan = RowStoreEngine(catalog).execute(sql)
+        assert results_equal(via_index.result, via_scan.result)
+
+    def test_missing_key_yields_empty(self, indexed):
+        catalog, _ = indexed
+        engine = RowStoreEngine(catalog, use_indexes=True)
+        res = engine.execute("SELECT c1 FROM wide WHERE c0 = 999999999")
+        assert res.result.nrows == 0
+        assert engine.index_answered == 1
+
+    def test_range_query_falls_back_to_scan(self, indexed):
+        catalog, _ = indexed
+        engine = RowStoreEngine(catalog, use_indexes=True)
+        engine.execute("SELECT c1 FROM wide WHERE c0 < 100")
+        assert engine.index_answered == 0
+        assert engine.access_path == "scan"
+
+    def test_unindexed_column_falls_back(self, indexed):
+        catalog, table = indexed
+        engine = RowStoreEngine(catalog, use_indexes=True)
+        key = int(table.column_values("c5")[0])
+        engine.execute(f"SELECT c1 FROM wide WHERE c5 = {key}")
+        assert engine.index_answered == 0
+
+    def test_literal_on_left(self, indexed):
+        catalog, table = indexed
+        key = int(table.column_values("c0")[7])
+        engine = RowStoreEngine(catalog, use_indexes=True)
+        res = engine.execute(f"SELECT c1 FROM wide WHERE {key} = c0")
+        assert engine.index_answered == 1
+        scan = RowStoreEngine(catalog).execute(f"SELECT c1 FROM wide WHERE c0 = {key}")
+        assert results_equal(res.result, scan.result)
+
+    def test_disabled_by_default(self, indexed):
+        catalog, table = indexed
+        engine = RowStoreEngine(catalog)
+        engine.execute(self.probe_sql(table))
+        assert engine.index_answered == 0
+
+    def test_mvcc_visibility_filters_probe_results(self, mvcc_catalog):
+        from repro.db.index import build_index as bi
+        from repro.db.mvcc import TransactionManager
+
+        catalog, table = mvcc_catalog
+        manager = TransactionManager()
+        txn = manager.begin()
+        slots = [txn.insert(table, {"id": 7, "balance": i}) for i in range(3)]
+        manager.commit(txn)
+        snapshot = manager.now
+        txn2 = manager.begin()
+        txn2.delete(table, slots[0])
+        manager.commit(txn2)
+        catalog.add_index("accounts", "id", bi(table, "id"))
+        engine = RowStoreEngine(catalog, use_indexes=True)
+        old = engine.execute(
+            "SELECT count(*) AS n FROM accounts WHERE id = 7", snapshot_ts=snapshot
+        )
+        new = engine.execute(
+            "SELECT count(*) AS n FROM accounts WHERE id = 7", snapshot_ts=manager.now
+        )
+        assert old.result.scalar() == 3
+        assert new.result.scalar() == 2

@@ -1,0 +1,175 @@
+"""Analytic vs trace memory models: formulas, splits, and agreement.
+
+The analytic model is the benchmark fast path; these tests pin it to the
+event-accurate trace model on the regimes where they must agree, and
+document (by asserting direction) the one divergence noted in the module
+docstring.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.analytic import AnalyticMemoryModel, MemCost, TraceMemoryModel
+from repro.hw.config import TEST_PLATFORM
+
+
+@pytest.fixture
+def analytic():
+    return AnalyticMemoryModel(TEST_PLATFORM)
+
+
+@pytest.fixture
+def trace():
+    return TraceMemoryModel(TEST_PLATFORM)
+
+
+class TestMemCost:
+    def test_total(self):
+        assert MemCost(3.0, 4.0).total == 7.0
+
+    def test_add(self):
+        c = MemCost(1.0, 2.0) + MemCost(10.0, 20.0)
+        assert c.covered == 11.0 and c.exposed == 22.0
+
+
+class TestAnalyticFormulas:
+    def test_sequential_cost_per_line(self, analytic):
+        cost = analytic.sequential(64 * 100)
+        assert cost.covered == 100 * TEST_PLATFORM.dram.stream_cycles_per_line
+        assert cost.exposed == 0
+
+    def test_sequential_rounds_up_lines(self, analytic):
+        assert analytic.sequential(1).covered == TEST_PLATFORM.dram.stream_cycles_per_line
+
+    def test_sequential_write_doubles(self, analytic):
+        read = analytic.sequential(6400).covered
+        write = AnalyticMemoryModel(TEST_PLATFORM).sequential(6400, write=True).covered
+        assert write == 2 * read
+
+    def test_multi_stream_within_limit_all_covered(self, analytic):
+        cost = analytic.multi_stream([6400] * TEST_PLATFORM.prefetcher.max_streams)
+        assert cost.exposed == 0
+
+    def test_multi_stream_excess_exposed(self, analytic):
+        k = TEST_PLATFORM.prefetcher.max_streams + 3
+        cost = analytic.multi_stream([6400] * k)
+        per_stream_lines = 100
+        assert cost.exposed == pytest.approx(
+            3 * per_stream_lines * TEST_PLATFORM.dram.unprefetched_cycles_per_line
+        )
+
+    def test_multi_stream_covers_largest_first(self, analytic):
+        small, big = 640, 64000
+        k = TEST_PLATFORM.prefetcher.max_streams
+        cost = analytic.multi_stream([big] * k + [small])
+        # Only the small stream is uncovered.
+        assert cost.exposed == pytest.approx(
+            10 * TEST_PLATFORM.dram.unprefetched_cycles_per_line
+        )
+
+    def test_strided_small_stride_is_sequential(self, analytic):
+        a = analytic.strided(100, 64, 8)
+        b = AnalyticMemoryModel(TEST_PLATFORM).sequential(6400)
+        assert a.covered == b.covered
+
+    def test_strided_prefetchable_stride(self, analytic):
+        cost = analytic.strided(100, 256, 4)
+        assert cost.exposed == 0
+        assert cost.covered >= 100 * TEST_PLATFORM.dram.stream_cycles_per_line
+
+    def test_strided_large_stride_exposed(self, analytic):
+        cost = analytic.strided(100, 4096, 4)
+        assert cost.covered == 0
+        assert cost.exposed >= 100 * TEST_PLATFORM.dram.unprefetched_cycles_per_line
+
+    def test_random_in_l1_cheap(self, analytic):
+        cost = analytic.random(100, TEST_PLATFORM.l1.size_bytes // 2)
+        assert cost.total == 100 * TEST_PLATFORM.l1.hit_cycles
+
+    def test_random_in_l2(self, analytic):
+        cost = analytic.random(100, TEST_PLATFORM.l2.size_bytes // 2)
+        assert cost.total == 100 * TEST_PLATFORM.l2.hit_cycles
+
+    def test_random_cold_expensive(self, analytic):
+        cost = analytic.random(100, 100 * TEST_PLATFORM.l2.size_bytes)
+        assert cost.exposed / 100 > TEST_PLATFORM.dram.row_hit_cycles * 0.5
+
+    def test_gather_dense_is_covered_stream(self, analytic):
+        cost = analytic.gather(900, 1000, 8)
+        assert cost.exposed == 0
+        assert cost.covered > 0
+
+    def test_gather_sparse_is_exposed(self, analytic):
+        cost = analytic.gather(10, 100_000, 8)
+        assert cost.covered == 0
+        assert cost.exposed > 0
+
+    def test_gather_scales_with_candidates(self, analytic):
+        sparse = analytic.gather(10, 1_000_000, 8).exposed
+        denser = analytic.gather(1000, 1_000_000, 8).exposed
+        assert denser > sparse * 50
+
+    def test_zero_inputs_free(self, analytic):
+        assert analytic.sequential(0).total == 0
+        assert analytic.multi_stream([]).total == 0
+        assert analytic.random(0, 100).total == 0
+        assert analytic.gather(0, 10, 8).total == 0
+
+    def test_traffic_accumulates(self, analytic):
+        analytic.sequential(6400)
+        analytic.multi_stream([640, 640])
+        assert analytic.traffic.dram_bytes == 6400 + 1280
+
+
+class TestAgreement:
+    """Trace and analytic must agree on large cold scans."""
+
+    @given(st.integers(min_value=200, max_value=2000))
+    @settings(max_examples=15, deadline=None)
+    def test_sequential_agreement(self, nlines):
+        nbytes = nlines * 64
+        a = AnalyticMemoryModel(TEST_PLATFORM).sequential(nbytes).total
+        t = TraceMemoryModel(TEST_PLATFORM).sequential(nbytes).total
+        assert t == pytest.approx(a, rel=0.15)
+
+    @given(
+        st.integers(min_value=1, max_value=TEST_PLATFORM.prefetcher.max_streams),
+        st.integers(min_value=100, max_value=600),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_multi_stream_agreement_within_limit(self, k, nlines):
+        sizes = [nlines * 64] * k
+        a = AnalyticMemoryModel(TEST_PLATFORM).multi_stream(sizes).total
+        t = TraceMemoryModel(TEST_PLATFORM).multi_stream(sizes).total
+        assert t == pytest.approx(a, rel=0.2)
+
+    def test_excess_streams_documented_divergence(self):
+        """Beyond the stream limit the trace model (adversarial lockstep)
+        is at least as expensive as the analytic one, never cheaper."""
+        sizes = [64 * 300] * (TEST_PLATFORM.prefetcher.max_streams + 3)
+        a = AnalyticMemoryModel(TEST_PLATFORM).multi_stream(sizes).total
+        t = TraceMemoryModel(TEST_PLATFORM).multi_stream(sizes).total
+        assert t >= a * 0.95
+
+    def test_strided_agreement(self):
+        a = AnalyticMemoryModel(TEST_PLATFORM).strided(1000, 256, 4).total
+        t = TraceMemoryModel(TEST_PLATFORM).strided(1000, 256, 4).total
+        assert t == pytest.approx(a, rel=0.2)
+
+    def test_random_cold_agreement(self):
+        ws = 64 * TEST_PLATFORM.l2.size_bytes
+        a = AnalyticMemoryModel(TEST_PLATFORM).random(500, ws).total
+        t = TraceMemoryModel(TEST_PLATFORM).random(500, ws).total
+        assert t == pytest.approx(a, rel=0.35)
+
+    def test_monotonic_in_streams(self):
+        """Analytic multi-stream cost is monotonic in stream count."""
+        model = AnalyticMemoryModel(TEST_PLATFORM)
+        costs = [
+            AnalyticMemoryModel(TEST_PLATFORM).multi_stream([6400] * k).total
+            for k in range(1, 9)
+        ]
+        assert costs == sorted(costs)

@@ -1,0 +1,90 @@
+"""Coverage for smaller public surfaces: execution results, fabric
+configure errors, bus stats, and result conveniences."""
+
+import numpy as np
+import pytest
+
+from repro.core import FabricFilter, FabricPredicate, CompareOp, RelationalMemory
+from repro.core.geometry import DataGeometry, FieldSlice
+from repro.db.engines import RowStoreEngine
+from repro.db.exec.result import QueryResult
+from repro.errors import ExecutionError, GeometryError
+from repro.hw.config import TEST_PLATFORM
+from repro.hw.cpu import CpuCostModel
+from repro.workloads.synthetic import make_wide_table, projectivity_query
+
+
+class TestExecutionResult:
+    def test_accepts_bound_query(self):
+        catalog, _ = make_wide_table(nrows=1_000, seed=51)
+        engine = RowStoreEngine(catalog)
+        bound = engine.bind(projectivity_query(2))
+        res = engine.execute(bound)
+        assert res.engine == "row"
+        assert res.visible_rows == 1_000
+
+    def test_seconds_uses_cpu_clock(self):
+        catalog, _ = make_wide_table(nrows=1_000, seed=52)
+        engine = RowStoreEngine(catalog)
+        res = engine.execute(projectivity_query(1))
+        cpu = CpuCostModel(engine.platform.cpu)
+        assert res.seconds(cpu) == pytest.approx(res.cycles / 1.5e9)
+
+    def test_plan_attached(self):
+        catalog, _ = make_wide_table(nrows=100, seed=53)
+        res = RowStoreEngine(catalog).execute(projectivity_query(1))
+        assert "Aggregate" in res.plan
+
+
+class TestFabricConfigureErrors:
+    def test_filter_field_missing_from_geometry(self):
+        geometry = DataGeometry(
+            row_stride=16, fields=(FieldSlice("a", 0, 8, "<i8"),)
+        )
+        frame = np.zeros((4, 16), dtype=np.uint8)
+        flt = FabricFilter.of(FabricPredicate("missing", CompareOp.LT, 1))
+        with pytest.raises(GeometryError):
+            RelationalMemory(TEST_PLATFORM).configure(frame, geometry, fabric_filter=flt)
+
+
+class TestQueryResultEdges:
+    def test_missing_column(self):
+        res = QueryResult(names=("a",), columns={"a": np.array([1])})
+        with pytest.raises(ExecutionError):
+            res.column("b")
+
+    def test_empty_result_nrows(self):
+        res = QueryResult(names=(), columns={})
+        assert res.nrows == 0
+        assert res.rows() == []
+
+    def test_rows_handle_numpy_scalars(self):
+        res = QueryResult(
+            names=("i", "f"),
+            columns={"i": np.array([np.int32(3)]), "f": np.array([np.float32(1.5)])},
+        )
+        (row,) = res.rows()
+        assert isinstance(row[0], int) and isinstance(row[1], float)
+
+
+class TestLedgerReprAndSeries:
+    def test_ledger_repr_mentions_buckets(self):
+        from repro.core.ledger import CostLedger
+
+        ledger = CostLedger()
+        ledger.charge("cpu", 5)
+        assert "cpu" in repr(ledger)
+
+    def test_schema_repr(self):
+        from repro.db import Column, TableSchema
+        from repro.db.types import INT64
+
+        schema = TableSchema("r", [Column("a", INT64)])
+        assert "r" in repr(schema) and "INT64" in repr(schema)
+
+    def test_table_repr(self):
+        from repro.db import Catalog, Column, TableSchema
+        from repro.db.types import INT64
+
+        table = Catalog().create_table(TableSchema("tr", [Column("a", INT64)]))
+        assert "tr" in repr(table)

@@ -1,0 +1,81 @@
+"""Tests for intra-query parallelism (the 4-core testbed model)."""
+
+import pytest
+
+from repro.db.engines import (
+    ColumnStoreEngine,
+    RelationalMemoryEngine,
+    RowStoreEngine,
+    all_engines,
+)
+from repro.db.exec import results_equal
+from repro.errors import ExecutionError
+from repro.hw.config import ZYNQ_RMC
+from repro.workloads.synthetic import make_wide_table, projectivity_query
+
+
+@pytest.fixture(scope="module")
+def wide():
+    return make_wide_table(nrows=40_000, seed=41)
+
+
+class TestThreads:
+    def test_invalid_thread_count(self, wide):
+        catalog, _ = wide
+        with pytest.raises(ExecutionError):
+            RowStoreEngine(catalog, threads=0)
+
+    def test_answers_independent_of_threads(self, wide):
+        catalog, _ = wide
+        sql = projectivity_query(3)
+        base = RowStoreEngine(catalog, threads=1).execute(sql).result
+        for engine_cls in (RowStoreEngine, ColumnStoreEngine, RelationalMemoryEngine):
+            for t in (2, 4):
+                res = engine_cls(catalog, threads=t).execute(sql).result
+                assert results_equal(res, base)
+
+    def test_more_threads_never_slower(self, wide):
+        catalog, _ = wide
+        sql = projectivity_query(6)
+        for engine_cls in (RowStoreEngine, ColumnStoreEngine, RelationalMemoryEngine):
+            costs = [
+                engine_cls(catalog, threads=t).execute(sql).cycles for t in (1, 2, 4)
+            ]
+            assert all(b <= a * 1.001 for a, b in zip(costs, costs[1:]))
+
+    def test_compute_bound_work_scales_linearly(self, wide):
+        """A CPU-dominated query (high projectivity, row engine) should
+        get close to 2x from the second core."""
+        catalog, _ = wide
+        sql = projectivity_query(11)
+        one = RowStoreEngine(catalog, threads=1).execute(sql).cycles
+        two = RowStoreEngine(catalog, threads=2).execute(sql).cycles
+        assert one / two == pytest.approx(2.0, rel=0.1)
+
+    def test_bandwidth_bound_work_saturates(self):
+        """A movement-dominated row scan (TPC-H Q6 over 160-byte rows)
+        stops scaling at the channel-saturation core count."""
+        from repro.workloads.tpch import Q6, generate_lineitem
+
+        catalog, _ = generate_lineitem(30_000)
+        two = RowStoreEngine(catalog, threads=2).execute(Q6).cycles
+        four = RowStoreEngine(catalog, threads=4).execute(Q6).cycles
+        assert four / two > 0.65  # nowhere near another 2x
+
+    def test_fpga_fabric_is_rm_scaling_wall(self, wide):
+        """The single 100 MHz engine bounds RM at high thread counts;
+        the integrated RMC (§IV-C) lifts the bound."""
+        catalog, _ = wide
+        sql = projectivity_query(2)
+        rm4 = RelationalMemoryEngine(catalog, threads=4).execute(sql)
+        rmc4 = RelationalMemoryEngine(catalog, ZYNQ_RMC, threads=4).execute(sql)
+        assert rmc4.cycles <= rm4.cycles
+        assert rm4.ledger.get("fabric_produce") >= rmc4.ledger.get("fabric_produce")
+
+    def test_all_engines_accept_threads_kwarg(self, wide):
+        catalog, _ = wide
+        engines = all_engines(catalog, threads=4)
+        sql = projectivity_query(2)
+        results = [e.execute(sql).result for e in engines.values()]
+        assert results_equal(results[0], results[1])
+        assert results_equal(results[0], results[2])

@@ -1,0 +1,223 @@
+"""Tests for snapshot-isolation MVCC: lifecycle, anomalies, vacuum."""
+
+import numpy as np
+import pytest
+
+from repro.core.mvcc_filter import LIVE_TS, NEVER_TS
+from repro.db import Catalog, Column, TableSchema
+from repro.db.mvcc import TransactionManager, TxnState
+from repro.db.types import INT64
+from repro.errors import (
+    TransactionError,
+    TransactionStateError,
+    WriteConflictError,
+)
+
+
+@pytest.fixture
+def setup(mvcc_catalog):
+    catalog, table = mvcc_catalog
+    manager = TransactionManager()
+    txn = manager.begin()
+    slots = [txn.insert(table, {"id": i, "balance": 100 * i}) for i in range(5)]
+    manager.commit(txn)
+    return catalog, table, manager, slots
+
+
+class TestLifecycle:
+    def test_insert_invisible_until_commit(self, mvcc_catalog):
+        _, table = mvcc_catalog
+        manager = TransactionManager()
+        txn = manager.begin()
+        slot = txn.insert(table, {"id": 1, "balance": 5})
+        assert table.begin_ts[slot] == NEVER_TS
+        other = manager.begin()
+        assert len(other.visible_slots(table)) == 0
+        # But the writer sees its own pending row.
+        assert slot in txn.visible_slots(table)
+        manager.commit(txn)
+        fresh = manager.begin()
+        assert slot in fresh.visible_slots(table)
+
+    def test_commit_stamps_timestamps(self, setup):
+        _, table, manager, slots = setup
+        assert (table.begin_ts[: len(slots)] > 0).all()
+        assert (table.end_ts[: len(slots)] == LIVE_TS).all()
+
+    def test_update_creates_version_chain(self, setup):
+        _, table, manager, slots = setup
+        txn = manager.begin()
+        new_slot = txn.update(table, slots[0], {"balance": 1})
+        ts = manager.commit(txn)
+        assert table.end_ts[slots[0]] == ts
+        assert table.begin_ts[new_slot] == ts
+        assert table.row(new_slot)["balance"] == 1
+        assert table.row(new_slot)["id"] == 0  # unchanged columns copied
+
+    def test_delete_ends_validity(self, setup):
+        _, table, manager, slots = setup
+        txn = manager.begin()
+        txn.delete(table, slots[2])
+        ts = manager.commit(txn)
+        assert table.end_ts[slots[2]] == ts
+        assert slots[2] not in manager.begin().visible_slots(table)
+
+    def test_operations_after_commit_rejected(self, setup):
+        _, table, manager, _ = setup
+        txn = manager.begin()
+        manager.commit(txn)
+        with pytest.raises(TransactionStateError):
+            txn.insert(table, {"id": 9, "balance": 9})
+
+    def test_abort_hides_writes_forever(self, setup):
+        _, table, manager, _ = setup
+        txn = manager.begin()
+        txn.insert(table, {"id": 9, "balance": 9})
+        manager.abort(txn)
+        assert txn.state is TxnState.ABORTED
+        assert len(manager.begin().visible_slots(table)) == 5
+
+    def test_double_abort_is_idempotent(self, setup):
+        _, _, manager, _ = setup
+        txn = manager.begin()
+        manager.abort(txn)
+        manager.abort(txn)
+        assert manager.stats.aborted == 1
+
+    def test_non_mvcc_table_rejected(self, setup):
+        catalog, _, manager, _ = setup
+        plain = catalog.create_table(TableSchema("plain", [Column("x", INT64)]))
+        txn = manager.begin()
+        with pytest.raises(TransactionError):
+            txn.insert(plain, {"x": 1})
+
+
+class TestIsolation:
+    def test_snapshot_does_not_see_later_commits(self, setup):
+        _, table, manager, slots = setup
+        reader = manager.begin()
+        writer = manager.begin()
+        writer.update(table, slots[0], {"balance": 777})
+        manager.commit(writer)
+        visible = reader.visible_slots(table)
+        assert slots[0] in visible  # old version still visible
+        assert table.row(slots[0])["balance"] == 0
+
+    def test_first_committer_wins_at_commit(self, setup):
+        _, table, manager, slots = setup
+        t1 = manager.begin()
+        t2 = manager.begin()
+        t1.update(table, slots[1], {"balance": 1})
+        t2.update(table, slots[1], {"balance": 2})  # both read same snapshot
+        manager.commit(t1)
+        with pytest.raises(WriteConflictError):
+            manager.commit(t2)
+        assert t2.state is TxnState.ABORTED
+        assert manager.stats.conflicts == 1
+
+    def test_conflict_detected_early_when_version_superseded(self, setup):
+        _, table, manager, slots = setup
+        t1 = manager.begin()
+        t1.update(table, slots[1], {"balance": 1})
+        manager.commit(t1)
+        t2 = manager.begin()  # started after t1 committed: no conflict
+        slots2 = t2.visible_slots(table)
+        t2.update(table, int(slots2[-1]), {"balance": 2})
+        manager.commit(t2)
+        # But a txn with an OLD snapshot updating the superseded version
+        # conflicts immediately.
+        t3 = manager.begin()
+        with pytest.raises(WriteConflictError):
+            t3.update(table, slots[1], {"balance": 3})
+        assert t3.state is TxnState.ABORTED
+
+    def test_write_skew_is_allowed_under_si(self, setup):
+        """Snapshot isolation famously permits write skew on disjoint
+        rows — the reproduction must too (it is SI, not serializable)."""
+        _, table, manager, slots = setup
+        t1 = manager.begin()
+        t2 = manager.begin()
+        t1.update(table, slots[0], {"balance": 0})
+        t2.update(table, slots[1], {"balance": 0})
+        manager.commit(t1)
+        manager.commit(t2)  # no conflict: disjoint write sets
+        assert manager.stats.conflicts == 0
+
+    def test_same_txn_double_write_rejected(self, setup):
+        _, table, manager, slots = setup
+        txn = manager.begin()
+        txn.update(table, slots[0], {"balance": 1})
+        with pytest.raises(TransactionError):
+            txn.update(table, slots[0], {"balance": 2})
+
+    def test_updating_own_insert_rejected(self, setup):
+        _, table, manager, _ = setup
+        txn = manager.begin()
+        slot = txn.insert(table, {"id": 10, "balance": 10})
+        with pytest.raises(TransactionError):
+            txn.update(table, slot, {"balance": 11})
+
+
+class TestVacuum:
+    def test_vacuum_reclaims_dead_and_aborted(self, setup):
+        _, table, manager, slots = setup
+        txn = manager.begin()
+        txn.update(table, slots[0], {"balance": 1})
+        manager.commit(txn)
+        aborted = manager.begin()
+        aborted.insert(table, {"id": 42, "balance": 0})
+        manager.abort(aborted)
+        assert table.nrows == 7
+        removed = manager.vacuum(table)
+        assert removed == 2  # the superseded version + the aborted insert
+        assert table.nrows == 5
+
+    def test_vacuum_respects_active_snapshots(self, setup):
+        _, table, manager, slots = setup
+        reader = manager.begin()  # holds the old snapshot
+        txn = manager.begin()
+        txn.update(table, slots[0], {"balance": 1})
+        manager.commit(txn)
+        with pytest.raises(TransactionError):
+            manager.vacuum(table)
+        manager.abort(reader)
+        assert manager.vacuum(table) == 1
+
+    def test_vacuum_non_mvcc_noop(self, setup):
+        catalog, _, manager, _ = setup
+        plain = catalog.create_table(TableSchema("p2", [Column("x", INT64)]))
+        assert manager.vacuum(plain) == 0
+
+    def test_queries_unchanged_after_vacuum(self, setup):
+        catalog, table, manager, slots = setup
+        from repro.db.engines import all_engines
+
+        txn = manager.begin()
+        txn.update(table, slots[3], {"balance": 12345})
+        manager.commit(txn)
+        sql = "SELECT sum(balance) AS s FROM accounts"
+        engines = all_engines(catalog)
+        before = engines["row"].execute(sql, snapshot_ts=manager.now).result.scalar()
+        manager.vacuum(table)
+        for engine in engines.values():
+            after = engine.execute(sql, snapshot_ts=manager.now).result.scalar()
+            assert after == before
+
+
+class TestStats:
+    def test_counters(self, setup):
+        _, table, manager, slots = setup
+        txn = manager.begin()
+        txn.update(table, slots[0], {"balance": 3})
+        manager.commit(txn)
+        assert manager.stats.begun == 2
+        assert manager.stats.committed == 2
+        assert manager.stats.versions_created == 6
+
+    def test_oldest_active_snapshot(self, setup):
+        _, _, manager, _ = setup
+        a = manager.begin()
+        b = manager.begin()
+        assert manager.oldest_active_snapshot() == a.start_ts
+        manager.abort(a)
+        assert manager.oldest_active_snapshot() == b.start_ts

@@ -1,0 +1,185 @@
+"""Tests for cost estimation, the optimizer, and the design advisor."""
+
+import pytest
+
+from repro.db.advisor import (
+    WorkloadQuery,
+    advise_partitions,
+    affinity_matrix,
+    fabric_cost,
+    partition_cost,
+)
+from repro.db.index import build_index
+from repro.db.plan.cost import CostModel, estimate_selectivity
+from repro.db.plan.optimizer import Optimizer
+from repro.db.plan import bind
+from repro.db.sql import parse
+from repro.db.engines import all_engines
+from repro.workloads.synthetic import (
+    make_wide_table,
+    projection_selection_query,
+    projectivity_query,
+)
+
+
+class TestSelectivityRules:
+    def test_rules(self):
+        from repro.db.expr import (
+            And,
+            Between,
+            ColumnRef,
+            Compare,
+            Literal,
+            Not,
+            Or,
+        )
+
+        eq = Compare("=", ColumnRef("a"), Literal(1))
+        rng = Compare("<", ColumnRef("a"), Literal(1))
+        assert estimate_selectivity(None) == 1.0
+        assert estimate_selectivity(eq) == 0.05
+        assert estimate_selectivity(rng) == 0.33
+        assert estimate_selectivity(And(terms=(rng, rng))) == pytest.approx(0.33**2)
+        assert estimate_selectivity(Not(eq)) == pytest.approx(0.95)
+        between = Between(ColumnRef("a"), Literal(1), Literal(2))
+        assert estimate_selectivity(between) == 0.25
+        either = Or(terms=(eq, eq))
+        assert estimate_selectivity(either) == pytest.approx(1 - 0.95**2)
+
+
+class TestEstimatesTrackMeasurements:
+    """The estimator must *rank* access paths the way measured ledgers do."""
+
+    @pytest.mark.parametrize(
+        "sql_builder",
+        [
+            lambda: projectivity_query(1),
+            lambda: projectivity_query(8),
+            lambda: projection_selection_query(5, 3),
+        ],
+    )
+    def test_ranking_agrees_with_measurement(self, sql_builder):
+        catalog, _ = make_wide_table(nrows=60_000)
+        sql = sql_builder()
+        model = CostModel()
+        bound_q = bind(parse(sql), catalog)
+        estimates = {
+            "row": model.estimate_row_scan(bound_q).cycles,
+            "column": model.estimate_column_scan(bound_q).cycles,
+            "rm": model.estimate_ephemeral_scan(bound_q).cycles,
+        }
+        measured = {
+            name: engine.execute(sql).cycles
+            for name, engine in all_engines(catalog).items()
+        }
+        est_order = sorted(estimates, key=estimates.get)
+        meas_order = sorted(measured, key=measured.get)
+        assert est_order[0] == meas_order[0]
+
+
+class TestOptimizer:
+    def test_fastest_solution_constructed(self):
+        catalog, _ = make_wide_table(nrows=60_000)
+        decision = Optimizer(catalog).choose(projectivity_query(8))
+        assert decision.winner == "ephemeral-scan"
+        assert decision.speedup_vs_worst > 1
+        assert "Ephemeral" in decision.plan
+
+    def test_fabric_off_falls_back(self):
+        catalog, _ = make_wide_table(nrows=60_000)
+        decision = Optimizer(catalog, fabric_available=False).choose(
+            projectivity_query(8)
+        )
+        assert decision.winner in ("scan", "column-scan")
+        assert "ephemeral-scan" not in decision.estimates
+
+    def test_index_chosen_for_point_query(self):
+        catalog, table = make_wide_table(nrows=60_000)
+        catalog.add_index("wide", "c0", build_index(table, "c0"))
+        decision = Optimizer(catalog).choose(
+            "SELECT c1 FROM wide WHERE c0 = 12345"
+        )
+        assert decision.winner == "index(c0)"
+
+    def test_index_not_offered_for_range(self):
+        catalog, table = make_wide_table(nrows=60_000)
+        catalog.add_index("wide", "c0", build_index(table, "c0"))
+        decision = Optimizer(catalog).choose(
+            "SELECT c1 FROM wide WHERE c0 < 12345"
+        )
+        assert "index(c0)" not in decision.estimates
+
+    def test_accepts_bound_query(self):
+        catalog, _ = make_wide_table(nrows=10_000)
+        bound_q = bind(parse(projectivity_query(2)), catalog)
+        decision = Optimizer(catalog).choose(bound_q)
+        assert decision.winner in decision.estimates
+
+
+class TestAdvisor:
+    def schema(self):
+        from repro.workloads.synthetic import wide_schema
+
+        return wide_schema(ncols=8, row_bytes=32)
+
+    def test_affinity_matrix_counts_coaccess(self):
+        schema = self.schema()
+        workload = [WorkloadQuery(("c0", "c1"), 3.0), WorkloadQuery(("c1", "c2"), 1.0)]
+        aff = affinity_matrix(schema, workload)
+        assert aff[("c0", "c1")] == 3.0
+        assert aff[("c1", "c2")] == 1.0
+        assert ("c0", "c2") not in aff
+
+    def test_partition_cost_full_fragments(self):
+        schema = self.schema()
+        parts = [frozenset({"c0", "c1"}), frozenset({"c2"})]
+        workload = [WorkloadQuery(("c0",), 1.0)]
+        # Reads the whole {c0,c1} fragment: 8 bytes per row.
+        assert partition_cost(schema, parts, workload, nrows=10) == 80
+
+    def test_multi_fragment_stitch_surcharge(self):
+        schema = self.schema()
+        parts = [frozenset({"c0"}), frozenset({"c1"})]
+        workload = [WorkloadQuery(("c0", "c1"), 1.0)]
+        cost = partition_cost(schema, parts, workload, nrows=10)
+        assert cost == 10 * 8 + 10 * 8  # two 4B fragments + 8B/row stitch
+
+    def test_fabric_cost_is_exact_bytes(self):
+        schema = self.schema()
+        workload = [WorkloadQuery(("c0", "c3"), 2.0)]
+        assert fabric_cost(schema, workload, nrows=100) == 2 * 100 * 8
+
+    def test_advisor_groups_coaccessed_columns(self):
+        schema = self.schema()
+        workload = [
+            WorkloadQuery(("c0", "c1"), 20.0),
+            WorkloadQuery(("c2", "c3"), 10.0),
+        ]
+        report = advise_partitions(schema, workload, nrows=1000)
+        groups = {tuple(sorted(p)) for p in report.partitions}
+        assert ("c0", "c1") in groups
+        assert ("c2", "c3") in groups
+
+    def test_fabric_never_worse_than_any_layout(self):
+        schema = self.schema()
+        workload = [
+            WorkloadQuery(("c0", "c1"), 10.0),
+            WorkloadQuery(("c1", "c2", "c5"), 5.0),
+            WorkloadQuery(tuple(f"c{i}" for i in range(8)), 1.0),
+        ]
+        report = advise_partitions(schema, workload, nrows=1000)
+        assert report.fabric_cost <= report.partitioned_cost
+        assert report.fabric_cost <= report.row_layout_cost
+        assert report.fabric_cost <= report.column_layout_cost
+
+    def test_advisor_beats_naive_layouts_on_skewed_workload(self):
+        schema = self.schema()
+        workload = [WorkloadQuery(("c0", "c1"), 100.0), WorkloadQuery(("c7",), 1.0)]
+        report = advise_partitions(schema, workload, nrows=1000)
+        assert report.partitioned_cost <= report.row_layout_cost
+        assert report.partitioned_cost <= report.column_layout_cost
+
+    def test_summary_renders(self):
+        schema = self.schema()
+        report = advise_partitions(schema, [WorkloadQuery(("c0",), 1.0)], nrows=10)
+        assert "fabric" in report.summary()

@@ -1,0 +1,173 @@
+"""Tests for the pack/unpack dataflow (the fabric's functional half)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.geometry import DataGeometry, FieldSlice
+from repro.core.packer import (
+    decode_field,
+    decode_frame_field,
+    pack,
+    unpack,
+)
+from repro.errors import GeometryError
+
+GEO = DataGeometry(
+    row_stride=32,
+    fields=(
+        FieldSlice("key", 0, 8, "<i8"),
+        FieldSlice("val", 16, 4, "<i4"),
+        FieldSlice("tag", 28, 2),
+    ),
+)
+
+
+def frame(nrows=20, stride=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(nrows, stride), dtype=np.uint8)
+
+
+class TestPack:
+    def test_shape_and_density(self):
+        packed = pack(frame(), GEO)
+        assert packed.shape == (20, 14)
+        assert packed.flags["C_CONTIGUOUS"]
+
+    def test_bytes_relocated_exactly(self):
+        f = frame()
+        packed = pack(f, GEO)
+        assert np.array_equal(packed[:, 0:8], f[:, 0:8])
+        assert np.array_equal(packed[:, 8:12], f[:, 16:20])
+        assert np.array_equal(packed[:, 12:14], f[:, 28:30])
+
+    def test_row_mask_selects(self):
+        f = frame()
+        mask = np.zeros(20, dtype=bool)
+        mask[[1, 5, 7]] = True
+        packed = pack(f, GEO, row_mask=mask)
+        assert packed.shape[0] == 3
+        assert np.array_equal(packed[0, 0:8], f[1, 0:8])
+
+    def test_empty_mask_gives_zero_rows(self):
+        packed = pack(frame(), GEO, row_mask=np.zeros(20, dtype=bool))
+        assert packed.shape == (0, 14)
+
+    def test_single_field_geometry(self):
+        g = DataGeometry(row_stride=32, fields=(FieldSlice("a", 4, 4),))
+        f = frame()
+        packed = pack(f, g)
+        assert np.array_equal(packed, f[:, 4:8])
+
+    def test_frame_validation(self):
+        with pytest.raises(GeometryError):
+            pack(np.zeros((4, 16), dtype=np.uint8), GEO)  # wrong stride
+        with pytest.raises(GeometryError):
+            pack(np.zeros((4, 32), dtype=np.int32), GEO)  # wrong dtype
+        with pytest.raises(GeometryError):
+            pack(np.zeros(32, dtype=np.uint8), GEO)  # wrong rank
+
+    def test_source_frame_untouched(self):
+        """Ephemeral semantics: packing never mutates the base image."""
+        f = frame()
+        before = f.copy()
+        pack(f, GEO)
+        assert np.array_equal(f, before)
+
+
+class TestUnpack:
+    def test_roundtrip_on_selected_bytes(self):
+        f = frame()
+        restored = unpack(pack(f, GEO), GEO)
+        for fld in GEO.fields:
+            assert np.array_equal(
+                restored[:, fld.offset : fld.end], f[:, fld.offset : fld.end]
+            )
+
+    def test_untouched_bytes_filled(self):
+        restored = unpack(pack(frame(), GEO), GEO, fill=0xAB)
+        assert (restored[:, 8:16] == 0xAB).all()
+
+    def test_bad_packed_shape(self):
+        with pytest.raises(GeometryError):
+            unpack(np.zeros((5, 99), dtype=np.uint8), GEO)
+
+
+class TestDecode:
+    def test_decode_typed_field(self):
+        f = frame()
+        packed = pack(f, GEO)
+        keys = decode_field(packed, GEO, "key")
+        expected = np.ascontiguousarray(f[:, 0:8]).view("<i8").reshape(-1)
+        assert np.array_equal(keys, expected)
+
+    def test_decode_opaque_field(self):
+        f = frame()
+        tags = decode_field(pack(f, GEO), GEO, "tag")
+        assert tags.shape == (20, 2)
+        assert np.array_equal(tags, f[:, 28:30])
+
+    def test_decode_frame_field_matches_packed_decode(self):
+        f = frame()
+        a = decode_frame_field(f, GEO, "val")
+        b = decode_field(pack(f, GEO), GEO, "val")
+        assert np.array_equal(a, b)
+
+
+@st.composite
+def frame_and_geometry(draw):
+    stride = draw(st.sampled_from([16, 32, 64]))
+    nrows = draw(st.integers(min_value=0, max_value=50))
+    f = draw(
+        hnp.arrays(dtype=np.uint8, shape=(nrows, stride), elements=st.integers(0, 255))
+    )
+    n_fields = draw(st.integers(min_value=1, max_value=4))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=stride),
+                min_size=2 * n_fields,
+                max_size=2 * n_fields,
+                unique=True,
+            )
+        )
+    )
+    fields = []
+    for i in range(0, len(cuts) - 1, 2):
+        if cuts[i + 1] > cuts[i]:
+            fields.append(FieldSlice(f"f{i}", cuts[i], cuts[i + 1] - cuts[i]))
+    if not fields:
+        fields = [FieldSlice("f0", 0, 4)]
+    return f, DataGeometry(row_stride=stride, fields=tuple(fields))
+
+
+class TestProperties:
+    @given(frame_and_geometry())
+    @settings(max_examples=80, deadline=None)
+    def test_pack_unpack_roundtrip(self, fg):
+        f, g = fg
+        restored = unpack(pack(f, g), g)
+        for fld in g.fields:
+            assert np.array_equal(
+                restored[:, fld.offset : fld.end], f[:, fld.offset : fld.end]
+            )
+
+    @given(frame_and_geometry(), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_masked_pack_equals_pack_of_masked_frame(self, fg, seed):
+        f, g = fg
+        rng = np.random.default_rng(seed)
+        mask = rng.random(f.shape[0]) < 0.5
+        assert np.array_equal(pack(f, g, row_mask=mask), pack(f[mask], g))
+
+    @given(frame_and_geometry())
+    @settings(max_examples=60, deadline=None)
+    def test_packed_bytes_are_exactly_selected_bytes(self, fg):
+        f, g = fg
+        packed = pack(f, g)
+        manual = np.concatenate(
+            [f[:, fld.offset : fld.end] for fld in g.fields], axis=1
+        ) if len(g.fields) > 1 else f[:, g.fields[0].offset : g.fields[0].end]
+        assert np.array_equal(packed, manual)

@@ -1,0 +1,90 @@
+"""Tests for the stream prefetcher model."""
+
+from repro.hw.config import PrefetcherConfig
+from repro.hw.prefetcher import StreamPrefetcher
+
+
+def make(max_streams=4, train=3, max_stride=256):
+    return StreamPrefetcher(
+        PrefetcherConfig(
+            max_streams=max_streams, train_lines=train, max_stride_bytes=max_stride
+        )
+    )
+
+
+class TestTraining:
+    def test_stream_trains_after_train_lines(self):
+        pf = make(train=3)
+        assert pf.observe_miss(10) is False  # allocates
+        assert pf.observe_miss(11) is False  # hit 2, not trained
+        assert pf.observe_miss(12) is False  # hit 3 -> trained
+        assert pf.observe_miss(13) is True  # covered
+
+    def test_single_miss_never_covered(self):
+        pf = make()
+        assert pf.observe_miss(100) is False
+        assert pf.covered == 0
+
+    def test_non_sequential_misses_never_train(self):
+        pf = make()
+        for line in (0, 10, 20, 30, 40):
+            assert pf.observe_miss(line) is False
+
+    def test_strided_stream_trains(self):
+        pf = make()
+        stride = 128  # two lines
+        for i in range(3):
+            pf.observe_miss(i * 2, stride_bytes=stride)
+        assert pf.observe_miss(6, stride_bytes=stride) is True
+
+    def test_large_stride_rejected(self):
+        pf = make(max_stride=256)
+        for i in range(6):
+            assert pf.observe_miss(i * 100, stride_bytes=6400) is False
+        assert pf.active_streams == 0
+
+
+class TestStreamLimit:
+    def test_covered_stream_count_caps(self):
+        pf = make(max_streams=4)
+        assert pf.covered_stream_count(2) == 2
+        assert pf.covered_stream_count(4) == 4
+        assert pf.covered_stream_count(9) == 4
+
+    def test_limit_streams_all_covered(self):
+        """max_streams interleaved streams all reach coverage."""
+        pf = make(max_streams=4, train=3)
+        bases = [0, 1000, 2000, 3000]
+        covered = 0
+        for step in range(10):
+            for base in bases:
+                covered += pf.observe_miss(base + step)
+        assert covered == 4 * (10 - 3)  # each stream covered after training
+
+    def test_excess_streams_thrash(self):
+        """More lockstep streams than the table tracks -> coverage dies
+        (the adversarial case the analytic model documents)."""
+        pf = make(max_streams=2, train=3)
+        bases = [0, 1000, 2000, 3000, 4000]
+        for step in range(10):
+            for base in bases:
+                pf.observe_miss(base + step)
+        assert pf.covered == 0
+
+    def test_reset(self):
+        pf = make()
+        for i in range(5):
+            pf.observe_miss(i)
+        pf.reset()
+        assert pf.active_streams == 0
+        assert pf.covered == 0 and pf.uncovered == 0
+
+    def test_lru_stream_replacement(self):
+        pf = make(max_streams=2, train=2)
+        pf.observe_miss(0)      # stream A
+        pf.observe_miss(1000)   # stream B
+        pf.observe_miss(1)      # advance A (A newer)
+        pf.observe_miss(2000)   # allocates C, evicts B (LRU)
+        assert pf.observe_miss(2) is True or pf.active_streams == 2
+        # B was evicted: continuing it allocates fresh, not covered.
+        assert pf.observe_miss(1001) is False

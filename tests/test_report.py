@@ -1,0 +1,62 @@
+"""Tests for the consolidated reproduction report generator."""
+
+import os
+
+import pytest
+
+from repro.bench.report import (
+    PAPER_FIGURES,
+    collect_sections,
+    render_markdown,
+    write_report,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "fig5_projectivity.txt").write_text("fig5 table body\n")
+    (d / "htap.txt").write_text("htap table body\n")
+    return str(d)
+
+
+class TestReport:
+    def test_sections_mark_presence(self, results_dir):
+        sections = collect_sections(results_dir)
+        by_title = {s.title: s for s in sections}
+        assert by_title["Figure 5"].present
+        assert by_title["HTAP"].present
+        assert not by_title["Figure 6a"].present
+
+    def test_markdown_checklist_and_bodies(self, results_dir):
+        text = render_markdown(results_dir, now="2026-07-04T00:00:00")
+        assert "Paper figures with fresh results: **1/5**" in text
+        assert "| Figure 5 |" in text and "| ✓ |" in text
+        assert "| Figure 6a |" in text and "missing" in text
+        assert "fig5 table body" in text
+        assert "2026-07-04T00:00:00" in text
+
+    def test_write_report_creates_file(self, results_dir, tmp_path):
+        out = str(tmp_path / "REPORT.md")
+        assert write_report(results_dir, out) == out
+        assert os.path.exists(out)
+        with open(out) as f:
+            assert "reproduction report" in f.read()
+
+    def test_every_known_figure_listed(self, results_dir):
+        text = render_markdown(results_dir)
+        for title, _, _ in PAPER_FIGURES:
+            assert f"| {title} |" in text
+
+    def test_cli_report_target(self, tmp_path, monkeypatch, capsys):
+        from repro.bench.__main__ import main
+
+        results = tmp_path / "benchmarks" / "results"
+        results.mkdir(parents=True)
+        (results / "fig5_projectivity.txt").write_text("body\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "REPORT.md" in out
+        assert (results / "REPORT.md").exists()

@@ -1,0 +1,125 @@
+"""Tests for range sharding with the fabric's ranged column-group API."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.sharding import ShardedTable
+from repro.workloads.synthetic import wide_schema
+from repro.errors import SchemaError
+
+
+def make_sharded(boundaries=(100, 200, 300), nrows=2000, seed=1):
+    st_ = ShardedTable(wide_schema(ncols=4, row_bytes=16), "c0", list(boundaries))
+    rng = np.random.default_rng(seed)
+    st_.bulk_load(
+        {f"c{i}": rng.integers(0, 400, nrows, dtype=np.int32) for i in range(4)}
+    )
+    return st_
+
+
+class TestRouting:
+    def test_shard_of(self):
+        st_ = ShardedTable(wide_schema(ncols=4, row_bytes=16), "c0", [100, 200])
+        assert st_.shard_of(0) == 0
+        assert st_.shard_of(99) == 0
+        assert st_.shard_of(100) == 1
+        assert st_.shard_of(199) == 1
+        assert st_.shard_of(200) == 2
+        assert st_.shard_of(10**6) == 2
+
+    def test_shards_for_range(self):
+        st_ = ShardedTable(wide_schema(ncols=4, row_bytes=16), "c0", [100, 200])
+        assert st_.shards_for_range(0, 50) == [0]
+        assert st_.shards_for_range(50, 150) == [0, 1]
+        assert st_.shards_for_range(0, 300) == [0, 1, 2]
+        assert st_.shards_for_range(150, 150) == [1]
+        assert st_.shards_for_range(5, 1) == []
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(SchemaError):
+            ShardedTable(wide_schema(ncols=4, row_bytes=16), "c0", [200, 100])
+
+    def test_non_numeric_key_rejected(self):
+        from repro.db import Column, TableSchema
+        from repro.db.types import CHAR, INT64
+
+        schema = TableSchema("s", [Column("k", CHAR(4)), Column("v", INT64)])
+        with pytest.raises(SchemaError):
+            ShardedTable(schema, "k", [10])
+
+
+class TestIngestion:
+    def test_insert_routes_by_key(self):
+        st_ = ShardedTable(wide_schema(ncols=4, row_bytes=16), "c0", [100])
+        shard, slot = st_.insert({"c0": 42, "c1": 0, "c2": 0, "c3": 0})
+        assert shard == 0 and slot == 0
+        shard, _ = st_.insert({"c0": 150, "c1": 0, "c2": 0, "c3": 0})
+        assert shard == 1
+        assert st_.nrows == 2
+
+    def test_bulk_load_partitions_correctly(self):
+        st_ = make_sharded()
+        for i, shard in enumerate(st_.shards):
+            keys = shard.column_values("c0")
+            lo = st_.boundaries[i - 1] if i > 0 else -(2**31)
+            hi = st_.boundaries[i] if i < len(st_.boundaries) else 2**31
+            assert (keys >= lo).all() and (keys < hi).all()
+
+    def test_no_rows_lost(self):
+        st_ = make_sharded(nrows=1234)
+        assert st_.nrows == 1234
+
+
+class TestRangedColumnGroups:
+    def test_full_scan_touches_all_nonempty_shards(self):
+        st_ = make_sharded()
+        scans = st_.column_group(["c1"])
+        assert len(scans) == sum(1 for s in st_.shards if s.nrows)
+        total = sum(len(s.group) for s in scans)
+        assert total == st_.nrows
+
+    def test_interior_shard_ships_unfiltered(self):
+        st_ = make_sharded()
+        scans = st_.column_group(["c0"], key_low=0, key_high=399)
+        for scan in scans:
+            assert len(scan.group) == st_.shards[scan.shard_index].nrows
+
+    def test_range_only_touches_overlapping_shards(self):
+        st_ = make_sharded(boundaries=(100, 200, 300))
+        scans = st_.column_group(["c0"], key_low=120, key_high=180)
+        assert [s.shard_index for s in scans] == [1]
+
+    def test_boundary_shards_filtered_in_fabric(self):
+        st_ = make_sharded()
+        values = st_.gather_column("c0", 150, 250)
+        assert (values >= 150).all() and (values <= 250).all()
+        all_keys = np.concatenate([s.column_values("c0") for s in st_.shards])
+        expected = np.sort(all_keys[(all_keys >= 150) & (all_keys <= 250)])
+        assert np.array_equal(np.sort(values), expected)
+
+    def test_reports_attached_per_shard(self):
+        st_ = make_sharded()
+        scans = st_.column_group(["c1", "c2"], key_low=0, key_high=99)
+        assert all(s.report.produce_cycles > 0 for s in scans)
+
+    def test_empty_range(self):
+        st_ = make_sharded()
+        assert st_.gather_column("c0", 500, 600).size == 0
+
+    @given(
+        lo=st.integers(min_value=-50, max_value=450),
+        hi=st.integers(min_value=-50, max_value=450),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_ranged_gather_matches_flat_filter(self, lo, hi, seed):
+        lo, hi = min(lo, hi), max(lo, hi)
+        st_ = make_sharded(nrows=500, seed=seed)
+        got = np.sort(st_.gather_column("c0", lo, hi))
+        all_keys = np.concatenate(
+            [s.column_values("c0") for s in st_.shards if s.nrows]
+        )
+        expected = np.sort(all_keys[(all_keys >= lo) & (all_keys <= hi)])
+        assert np.array_equal(got, expected)

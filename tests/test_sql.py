@@ -1,0 +1,143 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.db.expr import And, Between, BinOp, ColumnRef, Compare, Literal, Not, Or
+from repro.db.sql import Aggregate, parse, tokenize
+from repro.db.sql.lexer import TokenKind
+from repro.errors import SqlError
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("SELECT a, 1.5 FROM t")
+        kinds = [t.kind for t in toks]
+        assert kinds == [
+            TokenKind.KEYWORD,
+            TokenKind.IDENT,
+            TokenKind.SYMBOL,
+            TokenKind.NUMBER,
+            TokenKind.KEYWORD,
+            TokenKind.IDENT,
+            TokenKind.EOF,
+        ]
+
+    def test_case_insensitive_keywords(self):
+        toks = tokenize("SeLeCt A_b")
+        assert toks[0].is_keyword("select")
+        assert toks[1].text == "a_b"
+
+    def test_two_char_operators(self):
+        toks = tokenize("a <= b >= c <> d != e")
+        symbols = [t.text for t in toks if t.kind is TokenKind.SYMBOL]
+        assert symbols == ["<=", ">=", "<>", "<>"]
+
+    def test_string_literal(self):
+        toks = tokenize("select 'hello world'")
+        assert toks[1].kind is TokenKind.STRING
+        assert toks[1].text == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("select 'oops")
+
+    def test_comments_skipped(self):
+        toks = tokenize("select a -- trailing comment\nfrom t")
+        texts = [t.text for t in toks if t.kind is not TokenKind.EOF]
+        assert texts == ["select", "a", "from", "t"]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            tokenize("select #")
+
+
+class TestParser:
+    def test_simple_select(self):
+        stmt = parse("SELECT a, b FROM t")
+        assert stmt.table == "t"
+        assert [i.expr.name for i in stmt.items] == ["a", "b"]
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, sum(b) AS total FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "total"
+        assert isinstance(stmt.items[1].expr, Aggregate)
+
+    def test_count_star(self):
+        stmt = parse("SELECT count(*) FROM t")
+        agg = stmt.items[0].expr
+        assert agg.func == "count" and agg.arg is None
+
+    def test_arithmetic_precedence(self):
+        stmt = parse("SELECT a + b * 2 FROM t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse("SELECT (a + b) * 2 FROM t").items[0].expr
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_where_and_or_precedence(self):
+        stmt = parse("SELECT a FROM t WHERE a < 1 AND b > 2 OR c = 3")
+        assert isinstance(stmt.where, Or)
+        assert isinstance(stmt.where.terms[0], And)
+
+    def test_not(self):
+        stmt = parse("SELECT a FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, Not)
+
+    def test_between(self):
+        stmt = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 3")
+        assert isinstance(stmt.where, Between)
+
+    def test_date_literal_folds_to_days(self):
+        stmt = parse("SELECT a FROM t WHERE d >= date '1970-01-11'")
+        assert stmt.where.right == Literal(10)
+
+    def test_date_arithmetic_with_interval(self):
+        stmt = parse(
+            "SELECT a FROM t WHERE d <= date '1970-02-01' - interval '10' day"
+        )
+        expr = stmt.where.right
+        assert isinstance(expr, BinOp) and expr.op == "-"
+        assert expr.left == Literal(31) and expr.right == Literal(10)
+
+    def test_bad_date_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t WHERE d > date '99-99-99'")
+
+    def test_group_order_limit(self):
+        stmt = parse(
+            "SELECT g, sum(a) AS s FROM t GROUP BY g ORDER BY g DESC, s LIMIT 5"
+        )
+        assert stmt.group_by == ("g",)
+        assert stmt.order_by[0].descending is True
+        assert stmt.order_by[1].descending is False
+        assert stmt.limit == 5
+
+    def test_join(self):
+        stmt = parse("SELECT a FROM t JOIN u ON k = k2 WHERE a > 0")
+        assert stmt.join.table == "u"
+        assert (stmt.join.left_col, stmt.join.right_col) == ("k", "k2")
+
+    def test_string_comparison(self):
+        stmt = parse("SELECT a FROM t WHERE flag = 'N'")
+        assert stmt.where.right == Literal("N")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t banana")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a")
+
+    def test_limit_requires_number(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t LIMIT x")
+
+    def test_negative_handling_via_subtraction(self):
+        expr = parse("SELECT 0 - a FROM t").items[0].expr
+        assert expr.op == "-" and expr.left == Literal(0)

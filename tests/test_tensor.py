@@ -1,0 +1,118 @@
+"""Tests for ephemeral matrix/tensor slicing (§VII Q1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tensor import TensorFabric, matrix_geometry
+from repro.errors import GeometryError
+
+
+@pytest.fixture
+def fabric():
+    return TensorFabric()
+
+
+class TestMatrixGeometry:
+    def test_window_geometry(self):
+        g = matrix_geometry(ncols=100, itemsize=8, col_lo=10, col_hi=20)
+        assert g.row_stride == 800
+        assert g.packed_width == 80
+        assert g.fields[0].offset == 80
+
+    def test_bad_window(self):
+        with pytest.raises(GeometryError):
+            matrix_geometry(10, 8, 5, 5)
+        with pytest.raises(GeometryError):
+            matrix_geometry(10, 8, 5, 11)
+
+
+class TestMatrixSlice:
+    def test_values_match_numpy(self, fabric):
+        m = np.arange(600, dtype=np.float64).reshape(20, 30)
+        sl = fabric.slice_matrix(m, (3, 9), (5, 12))
+        assert np.array_equal(sl.values, m[3:9, 5:12])
+        assert sl.shape == (6, 7)
+
+    def test_integer_dtypes(self, fabric):
+        m = np.arange(100, dtype=np.int32).reshape(10, 10)
+        sl = fabric.slice_matrix(m, (0, 10), (2, 4))
+        assert np.array_equal(sl.values, m[:, 2:4])
+        assert sl.values.dtype == np.int32
+
+    def test_bytes_shipped_is_window_only(self, fabric):
+        m = np.zeros((100, 128), dtype=np.float64)
+        sl = fabric.slice_matrix(m, (0, 100), (0, 16))
+        assert sl.bytes_shipped == 100 * 16 * 8
+        assert sl.legacy_bytes(128 * 8) == 100 * 128 * 8
+        assert sl.report.dram_bytes_touched < sl.legacy_bytes(128 * 8)
+
+    def test_report_scales_with_window(self, fabric):
+        m = np.zeros((1000, 64), dtype=np.float64)
+        small = fabric.slice_matrix(m, (0, 1000), (0, 4)).report
+        large = fabric.slice_matrix(m, (0, 1000), (0, 32)).report
+        assert large.out_bytes == 8 * small.out_bytes
+
+    def test_non_contiguous_rejected(self, fabric):
+        m = np.zeros((10, 10), dtype=np.float64).T
+        with pytest.raises(GeometryError):
+            fabric.slice_matrix(np.asfortranarray(m), (0, 5), (0, 5))
+
+    def test_1d_rejected(self, fabric):
+        with pytest.raises(GeometryError):
+            fabric.slice_matrix(np.zeros(10), (0, 1), (0, 1))
+
+    def test_bad_row_window(self, fabric):
+        m = np.zeros((10, 10), dtype=np.float64)
+        with pytest.raises(GeometryError):
+            fabric.slice_matrix(m, (5, 20), (0, 5))
+
+    def test_source_matrix_untouched(self, fabric):
+        m = np.arange(100, dtype=np.int64).reshape(10, 10)
+        before = m.copy()
+        fabric.slice_matrix(m, (1, 5), (1, 5))
+        assert np.array_equal(m, before)
+
+
+class TestTensor3d:
+    def test_values_match_numpy(self, fabric):
+        t = np.arange(4 * 8 * 16, dtype=np.int64).reshape(4, 8, 16)
+        sl = fabric.slice_tensor_3d(t, (1, 3), (2, 6), (4, 10))
+        assert np.array_equal(sl.values, t[1:3, 2:6, 4:10])
+
+    def test_report_merges_planes(self, fabric):
+        t = np.zeros((4, 100, 16), dtype=np.float64)
+        one = fabric.slice_tensor_3d(t, (0, 1), (0, 100), (0, 4)).report
+        four = fabric.slice_tensor_3d(t, (0, 4), (0, 100), (0, 4)).report
+        assert four.out_bytes == 4 * one.out_bytes
+        assert four.nrows == 4 * one.nrows
+
+    def test_empty_plane_window_rejected(self, fabric):
+        t = np.zeros((4, 4, 4), dtype=np.float64)
+        with pytest.raises(GeometryError):
+            fabric.slice_tensor_3d(t, (2, 2), (0, 2), (0, 2))
+
+    def test_2d_input_rejected(self, fabric):
+        with pytest.raises(GeometryError):
+            fabric.slice_tensor_3d(np.zeros((4, 4)), (0, 1), (0, 1), (0, 1))
+
+
+class TestProperties:
+    @given(
+        shape=st.tuples(
+            st.integers(min_value=1, max_value=30),
+            st.integers(min_value=1, max_value=30),
+        ),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_windows_match_numpy(self, shape, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, 1000, size=shape).astype(np.int64)
+        r_lo = int(rng.integers(0, shape[0]))
+        r_hi = int(rng.integers(r_lo + 1, shape[0] + 1))
+        c_lo = int(rng.integers(0, shape[1]))
+        c_hi = int(rng.integers(c_lo + 1, shape[1] + 1))
+        sl = TensorFabric().slice_matrix(m, (r_lo, r_hi), (c_lo, c_hi))
+        assert np.array_equal(sl.values, m[r_lo:r_hi, c_lo:c_hi])

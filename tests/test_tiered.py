@@ -1,0 +1,139 @@
+"""Tests for the tiered fabric: compressed column archive → rows in
+memory → ephemeral groups (§VII Q3)."""
+
+import numpy as np
+import pytest
+
+from repro.db import Catalog, Column, TableSchema
+from repro.db.types import CHAR, DECIMAL, INT64
+from repro.storage import ColumnArchive, TieredFabric
+from repro.errors import StorageError
+from repro.workloads.tpch import generate_lineitem
+
+
+@pytest.fixture(scope="module")
+def lineitem():
+    _, table = generate_lineitem(8_000)
+    return table
+
+
+@pytest.fixture(scope="module")
+def archive(lineitem):
+    return ColumnArchive.from_table(lineitem)
+
+
+class TestArchive:
+    def test_every_column_archived(self, lineitem, archive):
+        summary = archive.codec_summary()
+        assert set(summary) == set(lineitem.schema.column_names)
+
+    def test_numeric_columns_use_fabric_codecs(self, archive):
+        summary = archive.codec_summary()
+        assert summary["l_discount"] in ("dictionary", "delta", "huffman")
+        assert summary["l_orderkey"] in ("dictionary", "delta", "huffman")
+
+    def test_char_columns_stay_raw(self, archive):
+        summary = archive.codec_summary()
+        assert summary["l_comment"] == "raw"
+        assert summary["l_returnflag"] == "raw"
+
+    def test_archive_compresses(self, archive):
+        assert archive.compression_ratio > 1.2
+
+    def test_unknown_column(self, archive):
+        with pytest.raises(StorageError):
+            archive.column("nope")
+
+    def test_numeric_only_table_compresses_harder(self):
+        schema = TableSchema(
+            "nums", [Column("a", INT64), Column("b", DECIMAL(2))]
+        )
+        table = Catalog().create_table(schema)
+        rng = np.random.default_rng(3)
+        table.append_arrays(
+            {"a": rng.integers(0, 20, 5000), "b": rng.integers(0, 50, 5000)}
+        )
+        arch = ColumnArchive.from_table(table)
+        assert arch.compression_ratio > 4
+
+
+class TestMaterialization:
+    def test_full_roundtrip(self, lineitem, archive):
+        tiered = TieredFabric(archive)
+        table, report = tiered.materialize_rows()
+        assert table.nrows == lineitem.nrows
+        assert np.array_equal(table.frame[:, : _user_bytes(lineitem)],
+                              lineitem.frame[:, : _user_bytes(lineitem)])
+        assert report.host_bytes == lineitem.nbytes
+
+    def test_row_range(self, lineitem, archive):
+        tiered = TieredFabric(archive)
+        table, _ = tiered.materialize_rows(1_000, 3_000)
+        assert table.nrows == 2_000
+        assert np.array_equal(
+            table.column("l_orderkey"), lineitem.column("l_orderkey")[1_000:3_000]
+        )
+        assert np.array_equal(
+            table.column("l_shipinstruct"),
+            lineitem.column("l_shipinstruct")[1_000:3_000],
+        )
+
+    def test_empty_range(self, archive):
+        tiered = TieredFabric(archive)
+        table, report = tiered.materialize_rows(100, 100)
+        assert table.nrows == 0
+        assert report.host_bytes == 0
+
+    def test_bad_range(self, archive):
+        tiered = TieredFabric(archive)
+        with pytest.raises(StorageError):
+            tiered.materialize_rows(5, 1_000_000)
+
+    def test_fewer_pages_than_uncompressed(self, archive):
+        tiered = TieredFabric(archive)
+        _, report = tiered.materialize_rows()
+        assert report.pages_read < report.baseline_pages
+        assert report.speedup_vs_uncompressed >= 1.0
+
+    def test_decimal_values_survive(self, lineitem, archive):
+        tiered = TieredFabric(archive)
+        table, _ = tiered.materialize_rows(0, 500)
+        assert np.array_equal(
+            table.column_values("l_extendedprice"),
+            lineitem.column_values("l_extendedprice")[:500],
+        )
+
+
+class TestMemoryTier:
+    def test_ephemeral_over_materialized_rows(self, lineitem, archive):
+        tiered = TieredFabric(archive)
+        table, _ = tiered.materialize_rows(2_000, 6_000)
+        group = tiered.ephemeral(table, ["l_quantity", "l_discount"])
+        assert np.array_equal(
+            group.column("l_quantity"), lineitem.column("l_quantity")[2_000:6_000]
+        )
+        assert group.packed_width == 16
+        assert group.report.produce_cycles > 0
+
+    def test_queries_work_over_the_warm_tier(self, lineitem, archive):
+        from repro.db import Catalog
+        from repro.db.engines import all_engines
+        from repro.db.exec import results_equal
+
+        tiered = TieredFabric(archive)
+        warm, _ = tiered.materialize_rows()
+        catalog = Catalog()
+        catalog.register(warm)
+        cold_catalog = Catalog()
+        cold_catalog.register(lineitem)
+        sql = (
+            "SELECT sum(l_extendedprice * l_discount) AS rev FROM lineitem "
+            "WHERE l_quantity < 24"
+        )
+        warm_res = all_engines(catalog)["rm"].execute(sql)
+        cold_res = all_engines(cold_catalog)["rm"].execute(sql)
+        assert results_equal(warm_res.result, cold_res.result)
+
+
+def _user_bytes(table) -> int:
+    return sum(c.dtype.width for c in table.schema.user_columns)

@@ -1,0 +1,60 @@
+"""Engines running on the event-accurate trace memory model.
+
+The analytic model backs the benchmarks; these tests run the same
+queries through engines wired to the trace model (small platform, small
+data) and check that answers are identical and the cost *ordering*
+matches the analytic story.
+"""
+
+import pytest
+
+from repro.db.engines import all_engines
+from repro.db.exec import results_equal
+from repro.hw.config import TEST_PLATFORM
+from repro.workloads.synthetic import make_wide_table, projectivity_query
+
+
+@pytest.fixture(scope="module")
+def setup():
+    # Data far beyond the tiny test L2 (8 KB) so scans are cold.
+    catalog, table = make_wide_table(nrows=4_000, seed=23)
+    return catalog, table
+
+
+class TestTraceEngines:
+    def test_answers_match_analytic_engines(self, setup):
+        catalog, _ = setup
+        sql = projectivity_query(3)
+        trace = all_engines(catalog, TEST_PLATFORM, memory_model="trace")
+        analytic = all_engines(catalog, TEST_PLATFORM, memory_model="analytic")
+        for name in trace:
+            a = trace[name].execute(sql)
+            b = analytic[name].execute(sql)
+            assert results_equal(a.result, b.result)
+
+    def test_rm_beats_row_under_trace_model(self, setup):
+        catalog, _ = setup
+        sql = projectivity_query(2)
+        engines = all_engines(catalog, TEST_PLATFORM, memory_model="trace")
+        row = engines["row"].execute(sql).cycles
+        rm = engines["rm"].execute(sql).cycles
+        assert rm < row
+
+    def test_trace_and_analytic_costs_within_factor(self, setup):
+        """The two models need not match exactly, but must agree on the
+        rough magnitude for a plain covered scan."""
+        catalog, _ = setup
+        sql = projectivity_query(2)
+        for name in ("row", "rm"):
+            t = all_engines(catalog, TEST_PLATFORM, memory_model="trace")[name]
+            a = all_engines(catalog, TEST_PLATFORM, memory_model="analytic")[name]
+            ct, ca = t.execute(sql).cycles, a.execute(sql).cycles
+            assert 0.5 < ct / ca < 2.0, (name, ct, ca)
+
+    def test_unknown_memory_model_rejected(self, setup):
+        catalog, _ = setup
+        from repro.db.engines import RowStoreEngine
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            RowStoreEngine(catalog, TEST_PLATFORM, memory_model="psychic")

@@ -1,0 +1,157 @@
+"""Tests for the workload generators (synthetic, TPC-H, HTAP driver)."""
+
+import numpy as np
+import pytest
+
+from repro.db.plan import bind
+from repro.db.sql import parse
+from repro.errors import ConfigurationError
+from repro.workloads.htap import HtapDriver
+from repro.workloads.synthetic import (
+    make_wide_table,
+    projection_selection_query,
+    projectivity_query,
+    wide_schema,
+)
+from repro.workloads.tpch import (
+    Q1,
+    Q1_COLUMNS,
+    Q6,
+    Q6_COLUMNS,
+    generate_lineitem,
+    lineitem_schema,
+    rows_for_target_bytes,
+)
+
+
+class TestSynthetic:
+    def test_schema_shape(self):
+        schema = wide_schema(ncols=16, row_bytes=64)
+        assert schema.row_stride == 64
+        assert len(schema.user_columns) == 16
+
+    def test_too_many_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            wide_schema(ncols=20, row_bytes=64)
+
+    def test_generator_deterministic(self):
+        _, a = make_wide_table(nrows=100, seed=3)
+        catalog2, b = make_wide_table(nrows=100, seed=3)
+        assert np.array_equal(a.frame, b.frame)
+
+    def test_generator_seeds_differ(self):
+        _, a = make_wide_table(nrows=100, seed=3)
+        _, b = make_wide_table(nrows=100, seed=4, name="wide2")
+        assert not np.array_equal(a.frame, b.frame)
+
+    def test_projectivity_query_shape(self):
+        catalog, _ = make_wide_table(nrows=10)
+        b = bind(parse(projectivity_query(5)), catalog)
+        assert len(b.referenced_columns) == 5
+
+    def test_projectivity_query_validates(self):
+        with pytest.raises(ConfigurationError):
+            projectivity_query(0)
+
+    def test_selection_query_distinct_columns(self):
+        catalog, _ = make_wide_table(nrows=10, ncols=20, row_bytes=128)
+        b = bind(parse(projection_selection_query(3, 4)), catalog)
+        assert len(b.selection_columns) == 4
+        assert len(b.projection_columns) == 3
+        assert not set(b.selection_columns) & set(b.projection_columns)
+
+    def test_selection_query_overall_selectivity(self):
+        catalog, table = make_wide_table(nrows=50_000, ncols=20, row_bytes=128)
+        for s in (1, 4, 8):
+            sql = projection_selection_query(2, s, overall_selectivity=0.5)
+            b = bind(parse(sql), catalog)
+            cols = {n: table.column_values(n) for n in b.referenced_columns}
+            mask = b.where.eval_vector(cols)
+            assert mask.mean() == pytest.approx(0.5, abs=0.08)
+
+    def test_selectivity_bounds(self):
+        with pytest.raises(ConfigurationError):
+            projection_selection_query(1, 1, overall_selectivity=1.5)
+
+
+class TestTpch:
+    def test_schema_matches_tpch_lineitem(self):
+        schema = lineitem_schema()
+        assert len(schema.user_columns) == 16
+        assert schema.column("l_quantity").dtype.scale == 2
+        assert schema.column("l_comment").dtype.width == 44
+
+    def test_generator_domains(self):
+        _, table = generate_lineitem(2_000)
+        qty = table.column_values("l_quantity")
+        assert qty.min() >= 1 and qty.max() <= 50
+        disc = table.column("l_discount")
+        assert disc.min() >= 0 and disc.max() <= 10
+        flags = set(np.unique(table.column_values("l_returnflag")).tolist())
+        assert flags <= {b"A", b"N", b"R"}
+
+    def test_returnflag_linestatus_correlation(self):
+        _, table = generate_lineitem(5_000)
+        status = table.column_values("l_linestatus")
+        flag = table.column_values("l_returnflag")
+        # dbgen semantics: 'O' (shipped after the cutoff) implies the item
+        # was received after it too -> flag 'N'; 'R'/'A' only occur with 'F'.
+        assert (flag[status == b"O"] == b"N").all()
+        assert set(np.unique(flag[status == b"F"]).tolist()) <= {b"A", b"N", b"R"}
+        # The narrow shipped-before/received-after band gives a small but
+        # present N/F group (Q1's fourth group).
+        nf = int(((flag == b"N") & (status == b"F")).sum())
+        assert 0 < nf < len(flag) * 0.05
+
+    def test_determinism(self):
+        _, a = generate_lineitem(500, seed=9)
+        cat2, b = generate_lineitem(500, seed=9)
+        assert np.array_equal(a.frame, b.frame)
+
+    def test_q6_selectivity_in_tpch_range(self):
+        catalog, table = generate_lineitem(50_000)
+        b = bind(parse(Q6), catalog)
+        cols = {n: table.column_values(n) for n in b.referenced_columns}
+        sel = b.where.eval_vector(cols).mean()
+        assert 0.005 < sel < 0.05  # TPC-H Q6 qualifies ~2% of lineitem
+
+    def test_q1_selectivity_high(self):
+        catalog, table = generate_lineitem(20_000)
+        b = bind(parse(Q1), catalog)
+        cols = {n: table.column_values(n) for n in b.referenced_columns}
+        assert b.where.eval_vector(cols).mean() > 0.9
+
+    def test_q1_produces_four_groups(self):
+        catalog, table = generate_lineitem(20_000)
+        from repro.db.engines import RowStoreEngine
+
+        res = RowStoreEngine(catalog).execute(Q1)
+        groups = {(r[0], r[1]) for r in res.result.rows()}
+        assert groups == {("A", "F"), ("N", "F"), ("N", "O"), ("R", "F")}
+
+    def test_rows_for_target_bytes(self):
+        per_row = lineitem_schema().bytes_of(Q6_COLUMNS)
+        assert rows_for_target_bytes(per_row * 1000, Q6_COLUMNS) == 1000
+        assert rows_for_target_bytes(1, Q1_COLUMNS) == 1
+
+
+class TestHtapDriver:
+    def test_mixed_run_properties(self):
+        driver = HtapDriver(initial_rows=300, seed=2)
+        stats = driver.run_mixed(rounds=2, txns_per_round=15)
+        assert stats.commits >= 1 + 30 - stats.aborts
+        assert stats.analytic_runs == 2
+        assert len(stats.freshness_lag) == 2
+        # The first analytic round sees everything ingested since setup.
+        assert stats.freshness_lag[0] > 0
+        assert stats.conversion_cycles > 0
+        assert set(stats.engine_cycles) == {"row", "column", "rm"}
+
+    def test_engines_agree_each_round(self):
+        driver = HtapDriver(initial_rows=200, seed=3)
+        driver.run_oltp_burst(10)
+        results = driver.run_analytics()
+        from repro.db.exec import results_equal
+
+        assert results_equal(results["row"].result, results["column"].result)
+        assert results_equal(results["row"].result, results["rm"].result)
