@@ -42,13 +42,22 @@ from repro.db.engines import (
     RowStoreEngine,
     all_engines,
 )
-from repro.db.mvcc import Transaction, TransactionManager
+from repro.db.mvcc import Transaction, TransactionManager, run_transaction
+from repro.faults import (
+    BreakerState,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.hw import PlatformConfig, ZYNQ_ULTRASCALE, default_platform
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BreakerState",
     "Catalog",
+    "CircuitBreaker",
     "Column",
     "ColumnStoreEngine",
     "CostLedger",
@@ -57,11 +66,14 @@ __all__ = [
     "ExecutionResult",
     "FabricFilter",
     "FabricPredicate",
+    "FaultInjector",
+    "FaultPlan",
     "FieldSlice",
     "PlatformConfig",
     "RelationalFabric",
     "RelationalMemory",
     "RelationalMemoryEngine",
+    "RetryPolicy",
     "RowStoreEngine",
     "Table",
     "TableSchema",
@@ -72,5 +84,6 @@ __all__ = [
     "all_engines",
     "configure",
     "default_platform",
+    "run_transaction",
     "__version__",
 ]

@@ -27,6 +27,7 @@ from repro.core.mvcc_filter import visible_mask
 from repro.core.packer import decode_field, pack
 from repro.core.selection import FabricFilter
 from repro.errors import GeometryError
+from repro.faults import FABRIC_CORRUPT
 from repro.hw.engine import RelationalMemoryEngineModel, RmTransformReport
 
 
@@ -79,6 +80,12 @@ class EphemeralColumnGroup:
             mvcc_filter=self._visibility is not None,
             fabric_predicates=len(self._filter) if self._filter else 0,
         )
+        # The fabric checksums every packed line it pushes toward the
+        # cache; a corrupt line is detected (never silently served) and
+        # surfaces as a fabric fault the caller may retry.
+        injector = self._engine.fault_injector
+        if injector is not None:
+            injector.check(FABRIC_CORRUPT, detail=f"{self._packed.shape[0]} lines")
         self._refreshes += 1
         return self
 

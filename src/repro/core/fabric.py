@@ -23,6 +23,7 @@ from repro.core.ephemeral import EphemeralColumnGroup, Visibility
 from repro.core.geometry import DataGeometry
 from repro.core.selection import FabricFilter
 from repro.errors import GeometryError
+from repro.faults import FABRIC_CONFIGURE, FaultInjector
 from repro.hw.config import PlatformConfig, default_platform
 from repro.hw.engine import RelationalMemoryEngineModel
 
@@ -50,9 +51,16 @@ class RelationalMemory(RelationalFabric):
     engine multiplexed across queries.
     """
 
-    def __init__(self, platform: Optional[PlatformConfig] = None):
+    def __init__(
+        self,
+        platform: Optional[PlatformConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
+    ):
         self.platform = platform or default_platform()
-        self.engine = RelationalMemoryEngineModel(self.platform)
+        self.fault_injector = fault_injector
+        self.engine = RelationalMemoryEngineModel(
+            self.platform, fault_injector=fault_injector
+        )
 
     def configure(
         self,
@@ -62,6 +70,10 @@ class RelationalMemory(RelationalFabric):
         fabric_filter: Optional[FabricFilter] = None,
         visibility: Optional[Visibility] = None,
     ) -> EphemeralColumnGroup:
+        if self.fault_injector is not None:
+            self.fault_injector.check(
+                FABRIC_CONFIGURE, detail=",".join(geometry.field_names)
+            )
         if fabric_filter is not None and base_geometry is None:
             # Predicates must be resolvable; default to the projected
             # geometry and fail early if a field is missing.

@@ -26,6 +26,10 @@ class CostLedger:
     STALL = "fabric_stall"
     CONFIGURE = "fabric_configure"
     RECONSTRUCT = "tuple_reconstruction"
+    #: Backoff waits + wasted fabric work while retrying injected faults.
+    RETRY = "fault_retry"
+    #: Cycles attributable to running degraded (software fallback path).
+    DEGRADED = "degraded_fallback"
 
     def charge(self, bucket: str, cycles: float) -> None:
         if cycles < 0:

@@ -51,6 +51,9 @@ class ExecutionResult:
     #: Rows visible to the query (post-MVCC), rows qualifying the WHERE.
     visible_rows: int = 0
     qualifying_rows: int = 0
+    #: True when the engine's native access path faulted and the answer
+    #: was produced by the software fallback (rowstore scan) instead.
+    degraded: bool = False
 
     @property
     def cycles(self) -> float:

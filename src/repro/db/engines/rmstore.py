@@ -21,6 +21,7 @@ given.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -34,7 +35,8 @@ from repro.db.catalog import Catalog
 from repro.db.expr import ColumnRef, Compare, Expr, Literal
 from repro.db.plan.binder import BoundQuery
 from repro.db.exec.vector import apply_where
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, FaultError
+from repro.faults import CircuitBreaker, FaultInjector, RetryPolicy
 from repro.hw.config import PlatformConfig
 
 _PUSHABLE_OPS = {
@@ -52,6 +54,10 @@ class RelationalMemoryEngine(Engine):
 
     name = "rm"
 
+    #: Flat detour cost of noticing the fabric is unusable and dispatching
+    #: the query to the software path (breaker check + plan switch).
+    FALLBACK_DISPATCH_CYCLES = 200.0
+
     def __init__(
         self,
         catalog: Catalog,
@@ -59,6 +65,10 @@ class RelationalMemoryEngine(Engine):
         consumption: str = "scalar",
         pushdown: bool = False,
         aggregate_pushdown: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        fallback: bool = True,
         **kw,
     ):
         super().__init__(catalog, platform, **kw)
@@ -67,19 +77,86 @@ class RelationalMemoryEngine(Engine):
         self.consumption = consumption
         self.pushdown = pushdown
         self.aggregate_pushdown = aggregate_pushdown
-        self.fabric = RelationalMemory(self.platform)
+        self.fabric = RelationalMemory(self.platform, fault_injector=fault_injector)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        #: When True (the default), a query whose fabric path faults past
+        #: the retry budget transparently re-executes on the rowstore scan
+        #: path over the same base data — the paper's transparency claim.
+        self.fallback = fallback
         #: Queries answered entirely in the fabric (aggregation pushdown).
         self.fabric_answered = 0
+        #: Fabric faults observed (each faulted attempt counts once).
+        self.faults_seen = 0
+        #: Queries answered by the degraded software path.
+        self.fallbacks = 0
+        self._last_access_path = "ephemeral-scan"
+        self._fallback_engine = None
 
     @property
     def access_path(self) -> str:
-        return "ephemeral-scan"
+        return self._last_access_path
 
     # ------------------------------------------------------------------
-    # Aggregation pushdown (§IV-B): answer entirely in the fabric.
+    # Resilient dispatch: retry, breaker, software fallback.
     # ------------------------------------------------------------------
     def execute(self, query, snapshot_ts=None):
+        """Run one query; on fabric faults, retry with backoff and —
+        past the retry budget or with the breaker open — re-execute on
+        the rowstore scan path over the same base data."""
         bound = self.bind(query) if isinstance(query, str) else query
+        policy = self.retry_policy
+        penalty = 0.0
+        last_fault: Optional[FaultError] = None
+        for attempt in range(policy.retries + 1):
+            if not self.breaker.allow():
+                break
+            try:
+                result = self._execute_rm(bound, snapshot_ts)
+            except FaultError as exc:
+                self.faults_seen += 1
+                self.breaker.record_failure()
+                last_fault = exc
+                # The geometry programming of the failed attempt is lost;
+                # waiting out the backoff before re-arming costs cycles.
+                penalty += self.platform.rm.configure_cycles
+                if attempt < policy.retries:
+                    penalty += policy.backoff(attempt)
+                continue
+            self.breaker.record_success()
+            if penalty:
+                result.ledger.charge(CostLedger.RETRY, penalty)
+            return result
+        if not self.fallback:
+            raise last_fault if last_fault is not None else ExecutionError(
+                "fabric unavailable (circuit breaker open) and fallback disabled"
+            )
+        return self._execute_degraded(bound, snapshot_ts, penalty)
+
+    def _execute_degraded(self, bound, snapshot_ts, penalty: float):
+        """The transparency guarantee: same base data, software scan."""
+        from repro.db.engines.rowstore import RowStoreEngine
+
+        if self._fallback_engine is None:
+            self._fallback_engine = RowStoreEngine(
+                self.catalog, self.platform, threads=self.threads
+            )
+        self.fallbacks += 1
+        self._last_access_path = "degraded-rowstore-scan"
+        fb = self._fallback_engine.execute(bound, snapshot_ts)
+        fb.ledger.charge(
+            CostLedger.DEGRADED, penalty + self.FALLBACK_DISPATCH_CYCLES
+        )
+        return replace(
+            fb,
+            engine=self.name,
+            degraded=True,
+            plan=fb.plan + "\n[degraded: fabric faulted, rowstore fallback]",
+        )
+
+    def _execute_rm(self, bound: BoundQuery, snapshot_ts):
+        """One attempt on the fabric path (pushdown, then ephemeral scan)."""
+        self._last_access_path = "ephemeral-scan"
         if self.aggregate_pushdown:
             fast = self._try_fabric_aggregate(bound, snapshot_ts)
             if fast is not None:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from repro.errors import (
     TransactionStateError,
     WriteConflictError,
 )
+from repro.faults import RetryPolicy
 
 
 class TxnState(enum.Enum):
@@ -178,6 +179,10 @@ class MvccStats:
     conflicts: int = 0
     versions_created: int = 0
     versions_vacuumed: int = 0
+    #: Conflict-aborted attempts replayed by :func:`run_transaction`.
+    retries: int = 0
+    #: Simulated cycles spent backing off between those replays.
+    backoff_cycles: float = 0.0
 
 
 class TransactionManager:
@@ -274,3 +279,39 @@ class TransactionManager:
             table.retain(keep)
             self.stats.versions_vacuumed += removed
         return removed
+
+
+def run_transaction(
+    manager: TransactionManager,
+    fn: Callable[[Transaction], Any],
+    retries: int = 5,
+    policy: Optional[RetryPolicy] = None,
+) -> Any:
+    """Run ``fn(txn)`` under a fresh transaction, retrying conflicts.
+
+    First-committer-wins makes :class:`~repro.errors.WriteConflictError`
+    a *transient* failure: the canonical response is abort, back off, and
+    replay against a fresh snapshot. This helper does exactly that, up to
+    ``retries`` replays with the bounded exponential backoff of
+    ``policy`` (cycles are accounted in ``manager.stats.backoff_cycles``
+    — the simulation has no wall clock to sleep on). ``fn`` must be safe
+    to re-run from scratch; it may commit the transaction itself, or
+    leave it active for this helper to commit. The last conflict
+    propagates when the budget is exhausted.
+    """
+    policy = policy or RetryPolicy(retries=retries, base=1_000.0, cap=64_000.0)
+    for attempt in range(retries + 1):
+        txn = manager.begin()
+        try:
+            out = fn(txn)
+            if txn.state is TxnState.ACTIVE:
+                manager.commit(txn)
+            return out
+        except WriteConflictError:
+            if txn.state is TxnState.ACTIVE:
+                manager.abort(txn)
+            if attempt == retries:
+                raise
+            manager.stats.retries += 1
+            manager.stats.backoff_cycles += policy.backoff(attempt)
+    raise AssertionError("unreachable")  # pragma: no cover

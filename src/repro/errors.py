@@ -56,3 +56,31 @@ class StorageError(ReproError):
 
 class IndexError_(ReproError):
     """A B+-tree operation failed (duplicate key under unique constraint)."""
+
+
+class FaultError(ReproError):
+    """Base class for injected hardware faults (see :mod:`repro.faults`).
+
+    Catching ``FaultError`` separates transient device failures — which a
+    resilient caller retries or degrades around — from programming errors
+    and semantic errors, which must propagate.
+    """
+
+
+class FabricFaultError(FaultError):
+    """The relational fabric failed mid-operation: a geometry configure
+    was rejected, an on-fabric buffer refill timed out, or a packed cache
+    line failed its integrity check."""
+
+
+class DeviceTimeoutError(FaultError):
+    """A simulated device (AXI bus, DRAM gather, in-storage engine) did
+    not answer within its deadline."""
+
+
+class FlashReadError(FaultError, StorageError):
+    """A NAND page read failed (uncorrectable ECC, die offline).
+
+    Also a :class:`StorageError` so existing storage-layer handlers keep
+    seeing flash failures without knowing about fault injection.
+    """

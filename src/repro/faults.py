@@ -1,0 +1,260 @@
+"""Deterministic fault injection and the resilience primitives around it.
+
+The paper sells Relational Fabric as *transparent*: a query must keep
+working when the fabric is saturated, misconfigured, or absent, because
+the single row-oriented copy of the data is always there to fall back on
+(§III, §V). Production offload engines (Polynesia, Farview) make the
+same argument: the software path is the availability story. This module
+supplies the machinery to *test* that story:
+
+* :class:`FaultPlan` / :class:`FaultInjector` — a seed-driven schedule of
+  device faults. Devices consult the injector at named **sites**
+  (``fabric.configure``, ``flash.read``, ...) and raise the mapped
+  :class:`~repro.errors.FaultError` subclass when the schedule says so.
+  The schedule is a pure function of ``(seed, sequence of checks)``, so
+  a failing chaos run replays exactly.
+* :class:`RetryPolicy` — exponential backoff with bounded, seeded jitter.
+  Unit-agnostic: callers interpret the returned delay as CPU cycles
+  (memory fabric) or microseconds (storage fabric).
+* :class:`CircuitBreaker` — per-device closed → open → half-open gate
+  over consecutive failures, so a dead fabric stops burning retry budget
+  on every query and is re-probed only occasionally.
+
+None of this costs anything when no injector is configured: every hook
+is a ``None`` check.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple, Type
+
+from repro.errors import (
+    ConfigurationError,
+    DeviceTimeoutError,
+    FabricFaultError,
+    FaultError,
+    FlashReadError,
+)
+
+# ----------------------------------------------------------------------
+# Fault sites: where a device consults the injector.
+# ----------------------------------------------------------------------
+#: Geometry programming rejected by the fabric.
+FABRIC_CONFIGURE = "fabric.configure"
+#: On-fabric buffer refill timed out under contention.
+FABRIC_REFILL = "fabric.refill"
+#: A packed cache line failed its integrity check.
+FABRIC_CORRUPT = "fabric.corrupt"
+#: AXI bus / DRAM gather deadline missed.
+DEVICE_TIMEOUT = "device.timeout"
+#: NAND page read failed (uncorrectable ECC).
+FLASH_READ = "flash.read"
+#: In-storage transformation engine busy or hung.
+STORAGE_ENGINE = "storage.engine"
+
+#: Every site a :class:`FaultPlan` may name, with the error it raises.
+SITE_ERRORS: Mapping[str, Tuple[Type[FaultError], str]] = {
+    FABRIC_CONFIGURE: (FabricFaultError, "fabric rejected the geometry configuration"),
+    FABRIC_REFILL: (FabricFaultError, "on-fabric buffer refill timed out"),
+    FABRIC_CORRUPT: (FabricFaultError, "packed cache line failed its integrity check"),
+    DEVICE_TIMEOUT: (DeviceTimeoutError, "device missed its response deadline"),
+    FLASH_READ: (FlashReadError, "NAND page read failed uncorrectable ECC"),
+    STORAGE_ENGINE: (DeviceTimeoutError, "in-storage transformation engine timed out"),
+}
+
+#: All fabric-side sites, for "make the memory fabric flaky" plans.
+FABRIC_SITES = (FABRIC_CONFIGURE, FABRIC_REFILL, FABRIC_CORRUPT, DEVICE_TIMEOUT)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative fault schedule: per-site probabilities plus a seed.
+
+    ``rates`` maps a site name to the per-check fault probability in
+    ``[0, 1]``. ``max_faults`` optionally bounds the total number of
+    faults fired (a "burst then recover" chaos shape); ``None`` means
+    unbounded. The same plan always produces the same schedule for the
+    same sequence of checks.
+    """
+
+    seed: int = 0
+    rates: Mapping[str, float] = field(default_factory=dict)
+    max_faults: Optional[int] = None
+
+    def __post_init__(self):
+        for site, rate in self.rates.items():
+            if site not in SITE_ERRORS:
+                raise ConfigurationError(
+                    f"unknown fault site {site!r}; known: {sorted(SITE_ERRORS)}"
+                )
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"fault rate for {site!r} must be in [0, 1], got {rate}"
+                )
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ConfigurationError(f"max_faults must be >= 0, got {self.max_faults}")
+
+    @classmethod
+    def uniform(
+        cls,
+        rate: float,
+        sites: Tuple[str, ...] = FABRIC_SITES,
+        seed: int = 0,
+        max_faults: Optional[int] = None,
+    ) -> "FaultPlan":
+        """One rate across ``sites`` (default: all memory-fabric sites)."""
+        return cls(seed=seed, rates={s: rate for s in sites}, max_faults=max_faults)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` deterministically.
+
+    Devices call :meth:`check` at their fault sites; when the seeded
+    schedule fires, the site's mapped :class:`~repro.errors.FaultError`
+    subclass is raised. Counters record every consultation and every
+    fault for chaos-run reporting.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self.checks: Dict[str, int] = {}
+        self.fired: Dict[str, int] = {}
+
+    @property
+    def total_fired(self) -> int:
+        """Faults raised so far, across all sites."""
+        return sum(self.fired.values())
+
+    def should_fault(self, site: str) -> bool:
+        """Advance the schedule for one consultation of ``site``."""
+        if site not in SITE_ERRORS:
+            raise ConfigurationError(f"unknown fault site {site!r}")
+        self.checks[site] = self.checks.get(site, 0) + 1
+        rate = self.plan.rates.get(site, 0.0)
+        if rate <= 0.0:
+            return False
+        if (
+            self.plan.max_faults is not None
+            and self.total_fired >= self.plan.max_faults
+        ):
+            return False
+        if self._rng.random() >= rate:
+            return False
+        self.fired[site] = self.fired.get(site, 0) + 1
+        return True
+
+    def check(self, site: str, detail: str = "") -> None:
+        """Raise the site's fault error if the schedule fires."""
+        if self.should_fault(site):
+            exc_type, message = SITE_ERRORS[site]
+            raise exc_type(f"{message}{f' ({detail})' if detail else ''} [site={site}]")
+
+
+class RetryPolicy:
+    """Exponential backoff with bounded, seeded jitter.
+
+    ``backoff(attempt)`` returns ``min(base * multiplier**attempt, cap)``
+    plus a uniform jitter in ``[0, jitter * delay]`` — never more than
+    ``cap * (1 + jitter)`` total, so a chaos run's worst-case retry
+    penalty is computable up front. Units are the caller's (CPU cycles
+    for the memory fabric, microseconds for the storage fabric).
+    """
+
+    def __init__(
+        self,
+        retries: int = 3,
+        base: float = 20_000.0,
+        multiplier: float = 2.0,
+        cap: float = 2_000_000.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+    ):
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries}")
+        if base < 0 or cap < 0:
+            raise ConfigurationError("backoff base and cap must be >= 0")
+        if multiplier < 1.0:
+            raise ConfigurationError(f"multiplier must be >= 1, got {multiplier}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {jitter}")
+        self.retries = retries
+        self.base = base
+        self.multiplier = multiplier
+        self.cap = cap
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        raw = min(self.base * self.multiplier**attempt, self.cap)
+        return raw + raw * self.jitter * self._rng.random()
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker life cycle: CLOSED (healthy) → OPEN (failing,
+    short-circuit to the fallback) → HALF_OPEN (probing recovery)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker guarding one device.
+
+    ``failure_threshold`` consecutive failures open the breaker; while
+    open, :meth:`allow` denies ``cooldown`` calls (each a query that goes
+    straight to the software path), then half-opens and admits a single
+    trial. Trial success closes the breaker; trial failure re-opens it.
+    The simulation has no wall clock, so the cooldown is counted in
+    denied calls rather than seconds — same shape, deterministic.
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown: int = 8):
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 1:
+            raise ConfigurationError(f"cooldown must be >= 1, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._denied_since_open = 0
+        #: Times the breaker tripped CLOSED/HALF_OPEN → OPEN.
+        self.times_opened = 0
+
+    def allow(self) -> bool:
+        """May the protected device be attempted right now?"""
+        if self.state is BreakerState.OPEN:
+            self._denied_since_open += 1
+            if self._denied_since_open >= self.cooldown:
+                self.state = BreakerState.HALF_OPEN
+            return False
+        return True
+
+    def record_success(self) -> None:
+        """The protected device answered: close and reset."""
+        self._consecutive_failures = 0
+        self.state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        """The protected device faulted; may trip the breaker open."""
+        self._consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._trip()
+        elif (
+            self.state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = BreakerState.OPEN
+        self._denied_since_open = 0
+        self.times_opened += 1

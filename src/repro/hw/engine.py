@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.faults import DEVICE_TIMEOUT, FABRIC_REFILL, FaultInjector
 from repro.hw.bus import AxiBus, AxiConfig
 from repro.hw.config import PlatformConfig
 
@@ -57,13 +58,20 @@ class RmTransformReport:
 class RelationalMemoryEngineModel:
     """Prices on-the-fly row→column-group transformation in the fabric."""
 
-    def __init__(self, platform: PlatformConfig, axi: Optional[AxiConfig] = None):
+    def __init__(
+        self,
+        platform: PlatformConfig,
+        axi: Optional[AxiConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
+    ):
         platform.validate()
         self.platform = platform
         self.rm = platform.rm
         self.bus = AxiBus(axi or AxiConfig())
         self._clock_ratio = self.rm.clock_ratio(platform.cpu)
         self._line_bytes = platform.l1.line_bytes
+        #: Optional chaos hook; ``None`` means a perfectly reliable engine.
+        self.fault_injector = fault_injector
 
     def transform(
         self,
@@ -85,6 +93,14 @@ class RelationalMemoryEngineModel:
             raise ConfigurationError(
                 f"packed row width {out_bytes_per_row} outside (0, {row_stride}]"
             )
+        if nrows < 0:
+            raise ConfigurationError(f"row count must be >= 0, got {nrows}")
+        if qualifying_rows is not None and not 0 <= qualifying_rows <= nrows:
+            raise ConfigurationError(
+                f"qualifying_rows {qualifying_rows} outside [0, {nrows}]"
+            )
+        if self.fault_injector is not None:
+            self.fault_injector.check(DEVICE_TIMEOUT, detail="AXI gather")
         emitted = nrows if qualifying_rows is None else qualifying_rows
         out_bytes = emitted * out_bytes_per_row
         out_lines = math.ceil(out_bytes / self._line_bytes) if out_bytes else 0
@@ -116,6 +132,8 @@ class RelationalMemoryEngineModel:
 
         refills = max(0, math.ceil(out_bytes / self.rm.buffer_bytes) - 1) if out_bytes else 0
         stall = refills * self.rm.refill_stall_cycles
+        if refills and self.fault_injector is not None:
+            self.fault_injector.check(FABRIC_REFILL, detail=f"{refills} refills")
 
         return RmTransformReport(
             nrows=nrows,

@@ -14,8 +14,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import StorageError
+from repro.faults import FLASH_READ, STORAGE_ENGINE, FaultInjector
 
 
 @dataclass(frozen=True)
@@ -51,8 +53,14 @@ class FlashConfig:
 class FlashDevice:
     """Prices page reads with die- and channel-level overlap."""
 
-    def __init__(self, config: FlashConfig = FlashConfig()):
+    def __init__(
+        self,
+        config: FlashConfig = FlashConfig(),
+        fault_injector: Optional[FaultInjector] = None,
+    ):
         self.config = config
+        #: Optional chaos hook; ``None`` means a perfectly reliable device.
+        self.fault_injector = fault_injector
         self.pages_read = 0
         self.busy_us = 0.0
 
@@ -66,6 +74,8 @@ class FlashDevice:
             raise StorageError(f"negative page count {n_pages}")
         if n_pages == 0:
             return 0.0
+        if self.fault_injector is not None:
+            self.fault_injector.check(FLASH_READ, detail=f"{n_pages} pages")
         cfg = self.config
         self.pages_read += n_pages
         per_channel = math.ceil(n_pages / cfg.channels)
@@ -89,4 +99,6 @@ class FlashDevice:
         """In-storage transformation time over ``nbytes`` of row data."""
         if nbytes < 0:
             raise StorageError(f"negative byte count {nbytes}")
+        if nbytes and self.fault_injector is not None:
+            self.fault_injector.check(STORAGE_ENGINE, detail=f"{nbytes} bytes")
         return nbytes / (self.config.engine_mb_s * 1e6) * 1e6

@@ -33,7 +33,8 @@ from repro.db.compression.base import CompressedColumn
 from repro.db.schema import TableSchema
 from repro.db.table import Table
 from repro.storage.flash import FlashConfig, FlashDevice
-from repro.errors import StorageError
+from repro.errors import DeviceTimeoutError, FlashReadError, StorageError
+from repro.faults import RetryPolicy
 from repro.hw.config import PlatformConfig
 
 
@@ -140,10 +141,17 @@ class TieredReport:
     #: What a plain (uncompressed rows on flash) read would have cost.
     baseline_pages: int
     baseline_us: float
+    #: Flash read attempts that faulted and were retried.
+    retries: int = 0
+    #: Backoff time spent waiting between flash read retries.
+    retry_us: float = 0.0
+    #: True when the in-storage engine faulted and decompression ran on
+    #: the host CPU instead (compressed blocks shipped over the link).
+    degraded: bool = False
 
     @property
     def total_us(self) -> float:
-        return max(self.device_us, self.decompress_us, self.link_us)
+        return max(self.device_us, self.decompress_us, self.link_us) + self.retry_us
 
     @property
     def speedup_vs_uncompressed(self) -> float:
@@ -152,17 +160,33 @@ class TieredReport:
 
 class TieredFabric:
     """Storage fabric (decompress columns→rows) + memory fabric
-    (rows→ephemeral column groups)."""
+    (rows→ephemeral column groups).
+
+    Resilience: faulted flash page reads are retried under
+    ``retry_policy`` (backoff priced into the report); a faulted
+    in-storage decompression engine degrades to shipping compressed
+    blocks over the host link and decompressing on the host CPU — slower,
+    but the materialized rows are identical.
+    """
+
+    #: Host-CPU decompression throughput used in degraded mode —
+    #: deliberately below the in-storage engine's (no custom logic).
+    HOST_DECOMPRESS_MB_S = 800.0
 
     def __init__(
         self,
         archive: ColumnArchive,
         platform: Optional[PlatformConfig] = None,
         flash: Optional[FlashDevice] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.archive = archive
         self.flash = flash or FlashDevice()
+        # Storage-side backoff is priced in microseconds.
+        self.retry_policy = retry_policy or RetryPolicy(retries=3, base=50.0, cap=5_000.0)
         self.memory_fabric = RelationalMemory(platform)
+        #: Materializations that fell back to host-side decompression.
+        self.degraded_runs = 0
 
     def materialize_rows(
         self, row_lo: int = 0, row_hi: Optional[int] = None
@@ -192,10 +216,21 @@ class TieredFabric:
 
         cfg = self.flash.config
         pages = math.ceil(compressed_read / cfg.page_bytes)
-        device_us = self.flash.read_pages_us(pages)
-        decompress_us = self.flash.engine_us(compressed_read)
+        device_us, retries, retry_us = self._read_with_retry(pages)
+        degraded = False
+        try:
+            decompress_us = self.flash.engine_us(compressed_read)
+        except DeviceTimeoutError:
+            # In-storage engine down: ship the compressed blocks as-is
+            # and decompress on the host CPU (the software path).
+            degraded = True
+            self.degraded_runs += 1
+            decompress_us = compressed_read / (self.HOST_DECOMPRESS_MB_S * 1e6) * 1e6
         host_bytes = (row_hi - row_lo) * archive.schema.row_stride
-        link_us = self.flash.host_transfer_us(host_bytes)
+        if degraded:
+            link_us = self.flash.host_transfer_us(compressed_read)
+        else:
+            link_us = self.flash.host_transfer_us(host_bytes)
 
         baseline_pages = math.ceil(host_bytes / cfg.page_bytes)
         baseline_device = FlashDevice(cfg).read_pages_us(baseline_pages)
@@ -209,8 +244,31 @@ class TieredFabric:
             host_bytes=host_bytes,
             baseline_pages=baseline_pages,
             baseline_us=max(baseline_device, baseline_link),
+            retries=retries,
+            retry_us=retry_us,
+            degraded=degraded,
         )
         return table, report
+
+    def _read_with_retry(self, pages: int) -> Tuple[float, int, float]:
+        """Read ``pages``, retrying faulted attempts with backoff.
+
+        Returns ``(device_us, retries, retry_us)``. A read that faults
+        past the retry budget propagates its :class:`FlashReadError` —
+        there is no software substitute for unreadable media.
+        """
+        policy = self.retry_policy
+        retries = 0
+        retry_us = 0.0
+        for attempt in range(policy.retries + 1):
+            try:
+                return self.flash.read_pages_us(pages), retries, retry_us
+            except FlashReadError:
+                if attempt == policy.retries:
+                    raise
+                retries += 1
+                retry_us += policy.backoff(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def ephemeral(
         self, table: Table, columns: Iterable[str]
