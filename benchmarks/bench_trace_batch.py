@@ -1,0 +1,219 @@
+"""Microbenchmark: batched vs scalar trace-mode simulation on TPC-H Q6.
+
+The batch kernel (:mod:`repro.hw.batch`) must make the event-accurate
+memory model *benchmark-viable*. Two measurements:
+
+1. **Scan** (the headline number): the Q6 lineitem table scan — the
+   rowstore fetch path, a sequential trace over ``nrows * row_stride``
+   bytes — with the batched kernel vs the scalar per-line reference.
+   Acceptance: >=20x at 1M rows, with bit-identical AccessStats,
+   per-level CacheStats, DRAM stats, and prefetcher counters.
+2. **End-to-end**: full Q6 through all three engines in trace mode,
+   cross-checking that cycles, answers, and every hierarchy counter
+   agree between the two kernels (at a reduced row count, since the
+   query-side pandas work is identical in both and only dilutes the
+   ratio).
+
+Run as a script (writes the speedup artifact consumed by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_trace_batch.py \
+        --rows 1000000 --json BENCH_trace.json --min-speedup 20
+
+or under pytest-benchmark (reduced rows)::
+
+    pytest benchmarks/bench_trace_batch.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict
+from typing import Dict
+
+from repro.db.engines import all_engines
+from repro.hw.analytic import TraceMemoryModel
+from repro.hw.config import default_platform
+from repro.workloads.tpch import Q6, generate_lineitem
+
+ENGINES = ("row", "column", "rm")
+
+
+def _hierarchy_snapshot(hierarchy) -> Dict[str, object]:
+    return {
+        "access": asdict(hierarchy.stats),
+        "l1": asdict(hierarchy.l1.stats),
+        "l2": asdict(hierarchy.l2.stats),
+        "dram": asdict(hierarchy.dram.stats),
+        "prefetch_covered": hierarchy.prefetcher.covered,
+        "prefetch_uncovered": hierarchy.prefetcher.uncovered,
+    }
+
+
+def run_scan(nrows: int) -> Dict[str, object]:
+    """Time the Q6 table scan (rowstore fetch path) batch vs scalar."""
+    catalog, _ = generate_lineitem(nrows=16)  # only the schema is needed
+    row_stride = catalog.table("lineitem").schema.row_stride
+    nbytes = nrows * row_stride
+    out: Dict[str, object] = {"rows": nrows, "bytes": nbytes}
+    for label, use_batch in (("batch", True), ("scalar", False)):
+        model = TraceMemoryModel(default_platform(), use_batch=use_batch)
+        base = model.region(("rows", "lineitem"), nbytes)
+        t0 = time.perf_counter()
+        mem = model.sequential(nbytes, base_addr=base)
+        out[f"{label}_seconds"] = time.perf_counter() - t0
+        out[f"{label}_cycles"] = (mem.covered, mem.exposed)
+        out[f"{label}_hierarchy"] = _hierarchy_snapshot(model.hierarchy)
+    out["speedup"] = out["scalar_seconds"] / out["batch_seconds"]
+    out["bit_identical"] = (
+        out["batch_cycles"] == out["scalar_cycles"]
+        and out["batch_hierarchy"] == out["scalar_hierarchy"]
+    )
+    return out
+
+
+def run_q6_engines(nrows: int, use_batch: bool) -> Dict[str, object]:
+    """Execute Q6 on fresh trace-mode engines; returns timings + stats."""
+    catalog, _ = generate_lineitem(nrows=nrows)
+    engines = all_engines(catalog, memory_model="trace")
+    out: Dict[str, object] = {"engines": {}}
+    total = 0.0
+    for name in ENGINES:
+        engine = engines[name]
+        engine.memory.use_batch = use_batch
+        t0 = time.perf_counter()
+        result = engine.execute(Q6)
+        elapsed = time.perf_counter() - t0
+        total += elapsed
+        out["engines"][name] = {
+            "seconds": elapsed,
+            "cycles": result.cycles,
+            "answer": float(result.result.scalar()),
+            "hierarchy": _hierarchy_snapshot(engine.memory.hierarchy),
+        }
+    out["seconds"] = total
+    return out
+
+
+def compare(scan_rows: int, engine_rows: int) -> Dict[str, object]:
+    scan = run_scan(scan_rows)
+    batch = run_q6_engines(engine_rows, use_batch=True)
+    scalar = run_q6_engines(engine_rows, use_batch=False)
+    mismatches = []
+    if not scan["bit_identical"]:
+        mismatches.append("scan: batch/scalar hierarchy state diverged")
+    for name in ENGINES:
+        b, s = batch["engines"][name], scalar["engines"][name]
+        for field in ("cycles", "answer", "hierarchy"):
+            if b[field] != s[field]:
+                mismatches.append(f"{name}.{field}: batch={b[field]} scalar={s[field]}")
+    return {
+        "scan": {
+            "rows": scan["rows"],
+            "bytes": scan["bytes"],
+            "batch_seconds": scan["batch_seconds"],
+            "scalar_seconds": scan["scalar_seconds"],
+            "speedup": scan["speedup"],
+            "cycles": scan["batch_cycles"],
+        },
+        "speedup": scan["speedup"],
+        "bit_identical": not mismatches,
+        "mismatches": mismatches,
+        "q6_end_to_end": {
+            "rows": engine_rows,
+            "batch_seconds": batch["seconds"],
+            "scalar_seconds": scalar["seconds"],
+            "speedup": scalar["seconds"] / batch["seconds"],
+            "engines": {
+                name: {
+                    "batch_seconds": batch["engines"][name]["seconds"],
+                    "scalar_seconds": scalar["engines"][name]["seconds"],
+                    "cycles": batch["engines"][name]["cycles"],
+                }
+                for name in ENGINES
+            },
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="batched vs scalar trace-mode Q6 benchmark"
+    )
+    parser.add_argument("--rows", type=int, default=1_000_000, help="scan rows")
+    parser.add_argument(
+        "--engine-rows",
+        type=int,
+        default=60_000,
+        help="rows for the end-to-end three-engine cross-check",
+    )
+    parser.add_argument("--json", type=str, default="", help="write report here")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit nonzero below this batch-vs-scalar scan speedup",
+    )
+    args = parser.parse_args(argv)
+
+    report = compare(args.rows, args.engine_rows)
+    scan = report["scan"]
+    print(
+        f"Q6 scan, {scan['rows']} rows ({scan['bytes'] / 1e6:.0f} MB): "
+        f"scalar {scan['scalar_seconds']:.3f}s   batch {scan['batch_seconds']:.3f}s   "
+        f"speedup {scan['speedup']:.1f}x"
+    )
+    e2e = report["q6_end_to_end"]
+    print(f"Q6 end-to-end, {e2e['rows']} rows:")
+    for name, e in e2e["engines"].items():
+        print(
+            f"  {name:>6}: scalar {e['scalar_seconds']:8.3f}s   "
+            f"batch {e['batch_seconds']:8.3f}s   "
+            f"({e['scalar_seconds'] / e['batch_seconds']:6.1f}x)"
+        )
+    print(f"bit-identical stats/cycles: {report['bit_identical']}")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {args.json}")
+    if not report["bit_identical"]:
+        print("FAIL: batch and scalar trace results diverged", file=sys.stderr)
+        for m in report["mismatches"]:
+            print(f"  {m}", file=sys.stderr)
+        return 1
+    if args.min_speedup and report["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: scan speedup {report['speedup']:.1f}x < required "
+            f"{args.min_speedup:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point (reduced rows for CI bench runs).
+# ----------------------------------------------------------------------
+def test_trace_batch_speedup(benchmark, save_result):
+    report = benchmark.pedantic(
+        compare, args=(200_000, 20_000), rounds=1, iterations=1
+    )
+    scan = report["scan"]
+    lines = [
+        "trace-batch-speedup",
+        "===================",
+        f"scan rows: {scan['rows']}",
+        f"scan scalar: {scan['scalar_seconds']:.3f}s",
+        f"scan batch: {scan['batch_seconds']:.3f}s",
+        f"scan speedup: {scan['speedup']:.1f}x",
+        f"bit_identical: {report['bit_identical']}",
+    ]
+    save_result("trace_batch", "\n".join(lines))
+    assert report["bit_identical"], report["mismatches"]
+    assert report["speedup"] > 10.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

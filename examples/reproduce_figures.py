@@ -56,7 +56,9 @@ def main(quick: bool = False):
         row_vs_rm = fig7.ratio("row", "rm")
         col_vs_rm = fig7.ratio("column", "rm")
         check("RM is never slower than ROW", all(r >= 1 for r in row_vs_rm))
-        check("RM is never slower than COL", all(c >= 0.99 for c in col_vs_rm))
+        # 2% band, matching tests/test_figures.py: the smallest quick-scale
+        # point is a few thousand rows, where generator noise moves ~1%.
+        check("RM is never slower than COL", all(c >= 0.98 for c in col_vs_rm))
         if query == "Q1":
             check(
                 "Q1 is compute-bound: engines within ~1.5x",

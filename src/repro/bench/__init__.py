@@ -12,9 +12,13 @@ from repro.bench.figures import (
     run_prefetcher_ablation,
     run_rm_clock_ablation,
 )
+from repro.bench.parallel import derive_seed, fanout, merge_experiments
 
 __all__ = [
     "Experiment",
+    "derive_seed",
+    "fanout",
+    "merge_experiments",
     "collect_sections",
     "line_chart",
     "render_markdown",

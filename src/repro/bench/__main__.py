@@ -33,7 +33,7 @@ def _fig5(args) -> None:
 
 
 def _fig6(args) -> None:
-    vs_row, vs_col = run_fig6(nrows=args.nrows)
+    vs_row, vs_col = run_fig6(nrows=args.nrows, processes=args.processes)
     print(vs_row.to_table())
     print()
     print(vs_col.to_table())
@@ -41,7 +41,7 @@ def _fig6(args) -> None:
 
 def _fig7(args) -> None:
     for query in ("Q1", "Q6"):
-        exp = run_fig7(query=query, scale=args.scale)
+        exp = run_fig7(query=query, scale=args.scale, processes=args.processes)
         print(exp.to_table())
         print()
         print(line_chart(exp, labels=["row", "column", "rm"], logscale=True))
@@ -72,6 +72,12 @@ def main(argv=None) -> int:
         help="which experiment to run (or 'report' to consolidate results)",
     )
     parser.add_argument("--nrows", type=int, default=100_000)
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes for grid sweeps (0 = all cores)",
+    )
     parser.add_argument(
         "--scale",
         type=float,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.bench.harness import Experiment, Grid
+from repro.bench.parallel import derive_seed, fanout
 from repro.db.engines import all_engines
 from repro.hw.config import PlatformConfig, default_platform
 from repro.hw.cpu import CpuCostModel
@@ -30,17 +31,66 @@ from repro.workloads.tpch import (
 
 ENGINE_ORDER = ("row", "column", "rm")
 
+#: Per-process engine cache for pool workers: grid points arriving in the
+#: same worker process (or a serial run) reuse one table + engine set
+#: instead of regenerating per point. Keyed by the full table/engine
+#: config, so a new sweep with different parameters rebuilds.
+_WIDE_CACHE: Dict[tuple, Dict[str, object]] = {}
+
+
+def _wide_engines(
+    nrows: int,
+    ncols: int,
+    row_bytes: int,
+    seed: int,
+    platform: Optional[PlatformConfig],
+    memory_model: str,
+):
+    key = (nrows, ncols, row_bytes, seed, memory_model, platform)
+    if key not in _WIDE_CACHE:
+        _WIDE_CACHE.clear()  # one live config per process
+        catalog, _ = make_wide_table(
+            nrows=nrows, ncols=ncols, row_bytes=row_bytes, seed=seed
+        )
+        _WIDE_CACHE[key] = all_engines(
+            catalog, platform or default_platform(), memory_model=memory_model
+        )
+    return _WIDE_CACHE[key]
+
+
+def _fig6_point(args: tuple) -> Tuple[int, int, Dict[str, float]]:
+    """One (selection, projection) grid point — top-level so it pickles."""
+    s, p, nrows, ncols, row_bytes, seed, platform, memory_model = args
+    engines = _wide_engines(nrows, ncols, row_bytes, seed, platform, memory_model)
+    sql = projection_selection_query(p, s)
+    return s, p, {name: engines[name].execute(sql).cycles for name in ENGINE_ORDER}
+
+
+def _fig7_point(args: tuple) -> Tuple[float, int, float, Dict[str, float]]:
+    """One data-size point: regenerate lineitem, run every engine."""
+    mb, nrows, seed, sql, platform, memory_model = args
+    platform = platform or default_platform()
+    catalog, table = generate_lineitem(nrows=nrows, seed=seed)
+    engines = all_engines(catalog, platform, memory_model=memory_model)
+    cpu = CpuCostModel(platform.cpu)
+    seconds = {
+        name: cpu.seconds(engines[name].execute(sql).cycles)
+        for name in ENGINE_ORDER
+    }
+    return mb, nrows, table.nbytes / 1024 / 1024, seconds
+
 
 def run_fig5(
     nrows: int = 200_000,
     max_projectivity: int = 11,
     platform: Optional[PlatformConfig] = None,
+    memory_model: str = "analytic",
 ) -> Experiment:
     """Figure 5: normalized execution time vs projectivity (1..11 of 16
     4-byte columns in 64-byte rows) for ROW / COL / RM."""
     platform = platform or default_platform()
     catalog, _ = make_wide_table(nrows=nrows, ncols=16, row_bytes=64)
-    engines = all_engines(catalog, platform)
+    engines = all_engines(catalog, platform, memory_model=memory_model)
     exp = Experiment(
         name="fig5-projectivity",
         x_label="projectivity",
@@ -67,14 +117,19 @@ def run_fig6(
     max_projected: int = 10,
     max_selection: int = 10,
     platform: Optional[PlatformConfig] = None,
+    memory_model: str = "analytic",
+    seed: int = 42,
+    processes: Optional[int] = 1,
 ) -> Tuple[Grid, Grid]:
     """Figures 6a/6b: RM speedup vs ROW and vs COL over a grid of
-    (#projected columns, #selection columns)."""
-    platform = platform or default_platform()
+    (#projected columns, #selection columns).
+
+    ``processes`` fans the grid points out over a worker pool (``None``
+    or 0 = all cores); every point is a pure function of the sweep
+    parameters, so parallel results are identical to a serial run.
+    """
     ncols = max_projected + max_selection
     row_bytes = max(64, ((ncols * 4 + 63) // 64) * 64)
-    catalog, _ = make_wide_table(nrows=nrows, ncols=ncols, row_bytes=row_bytes)
-    engines = all_engines(catalog, platform)
     note = f"nrows={nrows}, {ncols}x INT32 columns, {row_bytes}B rows"
     vs_row = Grid(
         name="fig6a-rm-speedup-vs-row",
@@ -88,14 +143,14 @@ def run_fig6(
         col_label="#proj",
         notes=note,
     )
-    for s in range(1, max_selection + 1):
-        for p in range(1, max_projected + 1):
-            sql = projection_selection_query(p, s)
-            cycles = {
-                name: engines[name].execute(sql).cycles for name in ENGINE_ORDER
-            }
-            vs_row.set(s, p, cycles["row"] / cycles["rm"])
-            vs_col.set(s, p, cycles["column"] / cycles["rm"])
+    points = [
+        (s, p, nrows, ncols, row_bytes, seed, platform, memory_model)
+        for s in range(1, max_selection + 1)
+        for p in range(1, max_projected + 1)
+    ]
+    for s, p, cycles in fanout(_fig6_point, points, processes=processes):
+        vs_row.set(s, p, cycles["row"] / cycles["rm"])
+        vs_col.set(s, p, cycles["column"] / cycles["rm"])
     return vs_row, vs_col
 
 
@@ -108,33 +163,41 @@ def run_fig7(
     target_mbs: Iterable[float] = FIG7_TARGET_MB,
     scale: float = 1 / 16,
     platform: Optional[PlatformConfig] = None,
+    memory_model: str = "analytic",
+    seed: int = 19920101,
+    processes: Optional[int] = 1,
 ) -> Experiment:
     """Figures 7a/7b: TPC-H Q1/Q6 execution time vs data size.
 
     ``scale`` shrinks the paper's absolute sizes so a full sweep runs in
     CI time (a documented substitution — per-row costs are unchanged and
-    every size remains far beyond the simulated LLC).
+    every size remains far beyond the simulated LLC). Each point's
+    lineitem data is generated from a seed derived purely from ``(seed,
+    point index)``, so runs are reproducible and ``processes > 1``
+    (``None``/0 = all cores) produces exactly the serial results.
     """
     if query not in ("Q1", "Q6"):
         raise ValueError(f"query must be Q1 or Q6, got {query!r}")
     sql, columns = (Q1, Q1_COLUMNS) if query == "Q1" else (Q6, Q6_COLUMNS)
-    platform = platform or default_platform()
-    cpu = CpuCostModel(platform.cpu)
     exp = Experiment(
         name=f"fig7-tpch-{query.lower()}",
         x_label="target column MB (paper scale)",
         y_label="simulated seconds",
         notes=f"scale={scale:g} of the paper's sizes; lineitem rows regenerated per point",
     )
-    for mb in target_mbs:
+    points = []
+    for i, mb in enumerate(target_mbs):
         nrows = rows_for_target_bytes(int(mb * 1024 * 1024 * scale), columns)
-        catalog, table = generate_lineitem(nrows=nrows)
-        engines = all_engines(catalog, platform)
+        points.append(
+            (mb, nrows, derive_seed(seed, i), sql, platform, memory_model)
+        )
+    for mb, nrows, table_mb, seconds in fanout(
+        _fig7_point, points, processes=processes
+    ):
         for name in ENGINE_ORDER:
-            result = engines[name].execute(sql)
-            exp.add_point(mb, name, cpu.seconds(result.cycles))
+            exp.add_point(mb, name, seconds[name])
         exp.add_point(mb, "rows", nrows)
-        exp.add_point(mb, "table_mb", table.nbytes / 1024 / 1024)
+        exp.add_point(mb, "table_mb", table_mb)
     return exp
 
 

@@ -1,0 +1,97 @@
+"""Multiprocessing fan-out for the benchmark harness.
+
+Figure sweeps are embarrassingly parallel: every grid point rebuilds its
+own tables and engines and reports plain floats. :func:`fanout` maps a
+top-level worker over the points in a process pool while guaranteeing the
+two properties the harness needs:
+
+* **Determinism** — each point derives its RNG seed purely from
+  ``(base_seed, point_index)`` via :func:`derive_seed` (a splitmix64
+  round), never from pool scheduling, so serial and parallel runs produce
+  byte-identical :class:`~repro.bench.harness.Experiment` contents.
+* **Order preservation** — results come back in point order regardless of
+  which worker finished first (``Pool.map``, not ``imap_unordered``).
+
+Workers must be module-level functions taking one picklable argument
+(``functools.partial`` over keyword arguments is fine). On platforms
+without ``fork`` the pool falls back to the default start method; workers
+therefore must not rely on inherited globals.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.bench.harness import Experiment
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Deterministic per-point seed: one splitmix64 round over
+    ``base_seed + index``. Pure function — independent of scheduling,
+    stable across processes and Python versions."""
+    z = (base_seed + 0x9E3779B97F4A7C15 * (index + 1)) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def resolve_processes(processes: Optional[int], npoints: int) -> int:
+    """Clamp a requested worker count: ``None``/0 → all cores, never more
+    workers than points, at least one."""
+    if processes is None or processes <= 0:
+        processes = os.cpu_count() or 1
+    return max(1, min(processes, npoints))
+
+
+def fanout(
+    worker: Callable[[T], R],
+    points: Sequence[T],
+    processes: Optional[int] = None,
+) -> List[R]:
+    """Run ``worker`` over ``points``; results in point order.
+
+    ``processes <= 1`` (after clamping) runs serially in-process — the
+    reference behaviour the pool path must reproduce exactly.
+    """
+    n = resolve_processes(processes, len(points))
+    if n <= 1:
+        return [worker(p) for p in points]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        ctx = multiprocessing.get_context()
+    with ctx.Pool(n) as pool:
+        return pool.map(worker, points, chunksize=1)
+
+
+def merge_experiments(parts: Sequence[Experiment], name: str = "") -> Experiment:
+    """Merge per-point experiments (in point order) into one.
+
+    Each part contributes its x-positions and series values; labels met
+    in multiple parts append in order, exactly as a serial runner adding
+    the same points would.
+    """
+    if not parts:
+        raise ValueError("merge_experiments needs at least one part")
+    first = parts[0]
+    merged = Experiment(
+        name=name or first.name,
+        x_label=first.x_label,
+        y_label=first.y_label,
+        notes=first.notes,
+    )
+    for part in parts:
+        for i, x in enumerate(part.x_values):
+            for label, series in part.series.items():
+                if i < len(series.values):
+                    v = series.values[i]
+                    if v == v:  # skip NaN padding
+                        merged.add_point(x, label, v)
+    return merged

@@ -84,7 +84,7 @@ class EphemeralColumnGroup:
         # cache; a corrupt line is detected (never silently served) and
         # surfaces as a fabric fault the caller may retry.
         injector = self._engine.fault_injector
-        if injector is not None:
+        if injector is not None and injector.armed:
             injector.check(FABRIC_CORRUPT, detail=f"{self._packed.shape[0]} lines")
         self._refreshes += 1
         return self

@@ -70,7 +70,7 @@ class RelationalMemory(RelationalFabric):
         fabric_filter: Optional[FabricFilter] = None,
         visibility: Optional[Visibility] = None,
     ) -> EphemeralColumnGroup:
-        if self.fault_injector is not None:
+        if self.fault_injector is not None and self.fault_injector.armed:
             self.fault_injector.check(
                 FABRIC_CONFIGURE, detail=",".join(geometry.field_names)
             )

@@ -134,16 +134,30 @@ class ColumnStoreEngine(Engine):
 
         cpu_cycles = 0.0
         mem = ZERO_COST
+        # Lockstep column streams, keyed so each column keeps a stable
+        # address region across queries (trace mode then sees warm cache
+        # state on repeated scans instead of fresh allocations).
+        tname = table.schema.name
         full_streams: List[int] = []
+        stream_keys: List[tuple] = []
+
+        def add_stream(column: str, size: int) -> None:
+            full_streams.append(size)
+            stream_keys.append(("col", tname, column))
 
         vis = self._visibility(bound, snapshot_ts)
         if vis is not None:
             # Visibility: two timestamp column streams, a vectorized
             # compare pair, one mask intermediate.
-            full_streams.extend([n_slots * 8, n_slots * 8])
+            add_stream("__begin_ts", n_slots * 8)
+            add_stream("__end_ts", n_slots * 8)
             cpu_cycles += cpu.vector_ops(2 * n_slots)
             cpu_cycles += cpu.intermediates(n_slots)
-            mem = mem + self.memory.sequential(n_slots, write=True)
+            mem = mem + self.memory.sequential(
+                n_slots,
+                base_addr=self.memory.region(("mask", tname), n_slots),
+                write=True,
+            )
         visible = n_slots if vis is None else int(np.count_nonzero(vis))
 
         columns = {
@@ -165,7 +179,7 @@ class ColumnStoreEngine(Engine):
         if bound.where is not None:
             sel = qualifying / visible if visible else 0.0
             for c in bound.selection_columns:
-                full_streams.append(n_slots * width_of[c])
+                add_stream(c, n_slots * width_of[c])
             reconstruct_cycles += cpu.reconstructions(
                 visible * len(bound.selection_columns)
             )
@@ -181,20 +195,27 @@ class ColumnStoreEngine(Engine):
                 per_line = max(1, 64 // w)
                 occupancy = 1.0 - (1.0 - density) ** per_line
                 if occupancy >= 0.5:
-                    full_streams.append(int(occupancy * n_slots * w))
+                    add_stream(c, int(occupancy * n_slots * w))
                 else:
                     mem = mem + self.memory.gather(qualifying, n_slots, w)
             reconstruct_cycles += cpu.reconstructions(qualifying * len(proj_only))
         else:
             for c in proj_only:
-                full_streams.append(n_slots * width_of[c])
+                add_stream(c, n_slots * width_of[c])
             reconstruct_cycles += cpu.reconstructions(visible * len(proj_only))
 
         cpu_cycles += (
             qualifying * bound.output_op_count * self.platform.cpu.scalar_op_cycles
         )
 
-        mem = mem + self.memory.multi_stream(full_streams)
+        # A stream over a prefix of a column (lazy projection) reuses the
+        # column's region: `region` keeps one base per key and only grows.
+        full_bytes = {c: n_slots * width_of[c] for c in width_of}
+        base_addrs = [
+            self.memory.region(k, full_bytes.get(k[2], s))
+            for k, s in zip(stream_keys, full_streams)
+        ]
+        mem = mem + self.memory.multi_stream(full_streams, base_addrs=base_addrs)
         ledger.charge_traffic(sum(full_streams))
 
         # Covered streams overlap with the per-row work (including the

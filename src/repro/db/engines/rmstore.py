@@ -355,8 +355,14 @@ class RelationalMemoryEngine(Engine):
         qualifying = emitted if mask is None else int(np.count_nonzero(mask))
 
         # ---------------- consume-side costs ----------------
+        # The packed stream arrives through the fabric's ephemeral buffer
+        # window — one stable region per (table, column-group), reused
+        # across refreshes, not a fresh allocation per query.
         packed_bytes = emitted * geometry.packed_width
-        mem = self.memory.sequential(packed_bytes)
+        window = self.memory.region(
+            ("ephemeral", schema.name, bound.referenced_columns), packed_bytes
+        )
+        mem = self.memory.sequential(packed_bytes, base_addr=window)
         cpu_cycles = self._consume_cpu(
             bound, emitted, qualifying, residual_ops, fabric_filter is not None
         )

@@ -141,9 +141,13 @@ class RowStoreEngine(Engine):
         cpu = self.cpu
 
         # Memory: the full row image streams through the caches — the
-        # projectivity of the query does not reduce traffic one byte.
-        mem = self.memory.sequential(n_slots * table.schema.row_stride)
-        ledger.charge_traffic(n_slots * table.schema.row_stride)
+        # projectivity of the query does not reduce traffic one byte. The
+        # image lives at a stable region so repeated scans in trace mode
+        # revisit the same lines (warm caches) instead of fresh ones.
+        nbytes = n_slots * table.schema.row_stride
+        base = self.memory.region(("rows", table.schema.name), nbytes)
+        mem = self.memory.sequential(nbytes, base_addr=base)
+        ledger.charge_traffic(nbytes)
 
         # CPU: the Volcano interpretation loop over every slot.
         cpu_cycles = cpu.volcano_tuples(n_slots)

@@ -123,6 +123,15 @@ class FaultInjector:
         self._rng = random.Random(plan.seed)
         self.checks: Dict[str, int] = {}
         self.fired: Dict[str, int] = {}
+        #: True iff this plan can ever fire. Hot paths gate their check —
+        #: including any detail-string formatting — behind
+        #: ``inj is not None and inj.armed`` so a disarmed injector costs
+        #: one attribute read per scan, not per-access bookkeeping. Note
+        #: the counters in :attr:`checks` are then *not* advanced; call
+        #: :meth:`should_fault` directly when auditing consultation counts.
+        self.armed = any(r > 0.0 for r in plan.rates.values()) and (
+            plan.max_faults is None or plan.max_faults > 0
+        )
 
     @property
     def total_fired(self) -> int:

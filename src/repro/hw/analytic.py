@@ -28,8 +28,11 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.hw import batch as hwbatch
 from repro.hw.config import PlatformConfig
 from repro.hw.hierarchy import MemoryHierarchy
 
@@ -149,6 +152,17 @@ class MemoryModel(ABC):
     def lines(self, nbytes: float) -> float:
         return nbytes / self.line_bytes
 
+    def region(self, key: Hashable, nbytes: int) -> int:
+        """Stable synthetic base address for a named data region.
+
+        Engines use this so repeated scans of the same structure (the row
+        image, a column, the fabric's ephemeral window) revisit the same
+        addresses and share cache state instead of touching a fresh
+        allocation every query. Models without an address space return 0,
+        which callers pass straight through as ``base_addr`` (the trace
+        model treats 0 as "allocate fresh")."""
+        return 0
+
 
 class AnalyticMemoryModel(MemoryModel):
     """Closed-form costs for cold scans (working set >> LLC)."""
@@ -250,11 +264,29 @@ class TraceMemoryModel(MemoryModel):
     exposed.
     """
 
-    def __init__(self, platform: PlatformConfig, hierarchy: Optional[MemoryHierarchy] = None):
+    def __init__(
+        self,
+        platform: PlatformConfig,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        use_batch: bool = True,
+    ):
         super().__init__(platform)
         self.hierarchy = hierarchy or MemoryHierarchy(platform)
         self._alloc_cursor = 1 << 32  # synthetic address space for streams
         self._rng_state = 0x9E3779B97F4A7C15
+        #: Route charges through the vectorized batch kernel
+        #: (:mod:`repro.hw.batch`). The scalar per-line loops remain
+        #: available (``use_batch=False``) as the reference; both produce
+        #: bit-identical stats and cycles (property-tested).
+        self.use_batch = use_batch
+        self._regions: Dict[Hashable, Tuple[int, int]] = {}
+
+    def region(self, key: Hashable, nbytes: int) -> int:
+        entry = self._regions.get(key)
+        if entry is None or entry[1] < nbytes:
+            entry = (self._alloc(nbytes), nbytes)
+            self._regions[key] = entry
+        return entry[0]
 
     def _alloc(self, nbytes: int) -> int:
         """Carve a fresh region so distinct scans do not alias."""
@@ -290,6 +322,13 @@ class TraceMemoryModel(MemoryModel):
             return ZERO_COST
         if base_addr == 0:
             base_addr = self._alloc(total_bytes)
+        if self.use_batch:
+            lines = hwbatch.sequential_lines(base_addr, total_bytes, self.line_bytes)
+            return self._classified(
+                lambda: self.hierarchy.access_lines_batch(
+                    lines, write=write, stride_hint=self.line_bytes
+                )
+            )
         return self._classified(
             lambda: self.hierarchy.scan_region(base_addr, total_bytes, write=write)
         )
@@ -297,24 +336,40 @@ class TraceMemoryModel(MemoryModel):
     def multi_stream(
         self, stream_bytes: Sequence[int], base_addrs: Optional[Sequence[int]] = None
     ) -> MemCost:
-        sizes = [b for b in stream_bytes if b > 0]
+        # Pair sizes with addresses *before* dropping empty streams, so a
+        # caller-provided base_addrs stays aligned with its stream list.
+        if base_addrs is not None:
+            pairs = [(b, a) for b, a in zip(stream_bytes, base_addrs) if b > 0]
+            sizes = [b for b, _ in pairs]
+            addrs: List[int] = [a for _, a in pairs]
+        else:
+            sizes = [b for b in stream_bytes if b > 0]
+            addrs = [self._alloc(b) for b in sizes]
         if not sizes:
             return ZERO_COST
-        if base_addrs is None:
-            base_addrs = [self._alloc(b) for b in sizes]
+        nlines = [math.ceil(b / self.line_bytes) for b in sizes]
+        cursors = [self.hierarchy.l1.line_of(a) for a in addrs]
+
+        if self.use_batch:
+            lines = hwbatch.interleaved_lines(cursors, nlines)
+            return self._classified(
+                lambda: self.hierarchy.access_lines_batch(
+                    lines, stride_hint=self.line_bytes
+                )
+            )
 
         def run():
-            lines_left = [math.ceil(b / self.line_bytes) for b in sizes]
-            cursors = [self.hierarchy.l1.line_of(a) for a in base_addrs]
+            lines_left = list(nlines)
+            cur = list(cursors)
             cycles = 0.0
             # Lockstep round-robin: one line from each live stream per round.
             while any(n > 0 for n in lines_left):
                 for i in range(len(sizes)):
                     if lines_left[i] > 0:
                         cycles += self.hierarchy.access_lines(
-                            [cursors[i]], stride_hint=self.line_bytes
+                            [cur[i]], stride_hint=self.line_bytes
                         )
-                        cursors[i] += 1
+                        cur[i] += 1
                         lines_left[i] -= 1
             return cycles
 
@@ -331,6 +386,15 @@ class TraceMemoryModel(MemoryModel):
             return ZERO_COST
         if base_addr == 0:
             base_addr = self._alloc(nrows * stride_bytes)
+        if self.use_batch and stride_bytes > 0:
+            lines = hwbatch.strided_lines(
+                base_addr, nrows, stride_bytes, touched_per_row, self.line_bytes
+            )
+            return self._classified(
+                lambda: self.hierarchy.access_lines_batch(
+                    lines, stride_hint=stride_bytes
+                )
+            )
         return self._classified(
             lambda: self.hierarchy.scan_region(
                 base_addr,
@@ -346,6 +410,15 @@ class TraceMemoryModel(MemoryModel):
         base = self._alloc(working_set_bytes)
         nlines = max(1, working_set_bytes // self.line_bytes)
         base_line = self.hierarchy.l1.line_of(base)
+
+        if self.use_batch:
+            states = hwbatch.lcg_states(self._rng_state, n_accesses)
+            offsets = ((states >> np.uint64(33)) % np.uint64(nlines)).astype(np.int64)
+            self._rng_state = int(states[-1])
+            lines = offsets + base_line
+            return self._classified(
+                lambda: self.hierarchy.access_lines_batch(lines, stride_hint=2**20)
+            )
 
         def run():
             cycles = 0.0
@@ -368,12 +441,24 @@ class TraceMemoryModel(MemoryModel):
         base = self._alloc(n_rows * value_bytes)
         base_line = self.hierarchy.l1.line_of(base)
         step = max(1, n_rows // n_candidates)
+        per_line = max(1, self.line_bytes // max(1, value_bytes))
+
+        if self.use_batch:
+            states = hwbatch.lcg_states(self._rng_state, n_candidates)
+            deltas = (
+                np.uint64(1) + (states >> np.uint64(33)) % np.uint64(2 * step - 1)
+            ).astype(np.int64)
+            self._rng_state = int(states[-1])
+            idx = np.cumsum(deltas)
+            lines = base_line + idx // per_line
+            return self._classified(
+                lambda: self.hierarchy.access_lines_batch(lines, stride_hint=2**20)
+            )
 
         def run():
             cycles = 0.0
             state = self._rng_state
             idx = 0
-            per_line = max(1, self.line_bytes // max(1, value_bytes))
             for _ in range(n_candidates):
                 state = (state * 6364136223846793005 + 1442695040888963407) & (
                     2**64 - 1

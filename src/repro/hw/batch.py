@@ -1,0 +1,425 @@
+"""Vectorized batch kernel for the trace-mode memory hierarchy.
+
+The scalar reference path (:meth:`repro.hw.hierarchy.MemoryHierarchy.access_lines`)
+pays one Python dict transaction per cache line, which caps the
+event-accurate model at toy trace sizes. This module simulates the same
+hardware — set-associative LRU caches, the bounded stream prefetcher and
+banked open-row DRAM — over whole numpy arrays of line addresses at once,
+producing **bit-identical** stats, cycles and end state.
+
+The algorithm exploits three structural facts of the hardware:
+
+* **Caches have no cross-set coupling.** Accesses are grouped by cache
+  set (a stable argsort — or a strided slice when the batch is one
+  contiguous ascending run); per-set subsequences are simulated
+  independently. Within a set, the dominant pattern — every tag distinct
+  and none initially resident (a cold scan of a fresh region) — has a
+  closed form: all accesses miss, evictions drain the set's LRU queue in
+  a computable order (initial residents by age, then batch installs
+  FIFO), and only the last ``ways`` installs survive. Groups that see
+  re-references or warm lines fall back to an exact per-access loop that
+  mirrors :meth:`repro.hw.cache.Cache.access_line` tick for tick.
+* **The prefetcher only reacts to L2 misses, in stride runs.** The miss
+  subsequence is segmented into maximal arithmetic runs; a run either
+  continues one stream (coverage is then a closed form of the stream's
+  training count) or allocates one. Runs that another same-stride stream
+  could hijack mid-run (its ``next_line`` falls on a run element) replay
+  through the scalar :meth:`~repro.hw.prefetcher.StreamPrefetcher.observe_miss`.
+* **DRAM banks are independent.** Demand misses group by bank; a row hit
+  is a comparison against the previous row in the same bank's
+  subsequence, fully vectorized.
+
+Because every fallback path replays the exact scalar logic, equality with
+the scalar path holds for *arbitrary* traces (property-tested), while the
+patterns the query engines emit (sequential, strided, lockstep
+multi-stream, LCG random) stay on the vectorized fast paths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.hw.cache import Cache, _Line
+from repro.hw.dram import Dram
+from repro.hw.prefetcher import StreamPrefetcher, _Stream
+
+__all__ = [
+    "batch_cache_access",
+    "batch_dram_demand",
+    "batch_prefetch",
+    "hierarchy_access_lines_batch",
+    "interleaved_lines",
+    "lcg_states",
+    "sequential_lines",
+    "strided_lines",
+]
+
+#: The LCG multiplier/increment of :class:`repro.hw.analytic.TraceMemoryModel`.
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_U64 = np.uint64
+
+
+# ----------------------------------------------------------------------
+# Line-address array builders (the scan paths emit these).
+# ----------------------------------------------------------------------
+def sequential_lines(base_addr: int, total_bytes: int, line_bytes: int) -> np.ndarray:
+    """Line numbers of a contiguous byte region, in scan order."""
+    if total_bytes <= 0:
+        return np.empty(0, dtype=np.int64)
+    shift = line_bytes.bit_length() - 1
+    first = base_addr >> shift
+    last = (base_addr + total_bytes - 1) >> shift
+    return np.arange(first, last + 1, dtype=np.int64)
+
+
+def strided_lines(
+    base_addr: int,
+    nrows: int,
+    stride_bytes: int,
+    touched_per_row: int,
+    line_bytes: int,
+) -> np.ndarray:
+    """Line numbers of a strided row walk (``touched_per_row`` bytes every
+    ``stride_bytes``), in the exact order ``scan_region`` visits them."""
+    if nrows <= 0:
+        return np.empty(0, dtype=np.int64)
+    shift = line_bytes.bit_length() - 1
+    touched = max(1, touched_per_row)
+    starts = base_addr + np.arange(nrows, dtype=np.int64) * stride_bytes
+    firsts = starts >> shift
+    lasts = (starts + touched - 1) >> shift
+    counts = lasts - firsts + 1
+    total = int(counts.sum())
+    if total == nrows:  # no row crosses a line boundary (the common case)
+        return firsts
+    row_base = np.repeat(firsts, counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return row_base + offsets
+
+
+def interleaved_lines(cursors: List[int], nlines: List[int]) -> np.ndarray:
+    """Lockstep round-robin interleave of ascending unit-stride streams:
+    one line from each live stream per round — the order the scalar
+    multi-stream loop produces."""
+    if not cursors:
+        return np.empty(0, dtype=np.int64)
+    c = np.asarray(cursors, dtype=np.int64)
+    ln = np.asarray(nlines, dtype=np.int64)
+    max_len = int(ln.max())
+    rounds = np.arange(max_len, dtype=np.int64)[:, None]
+    grid = c[None, :] + rounds
+    mask = rounds < ln[None, :]
+    return grid[mask]  # row-major: round by round, stream by stream
+
+
+def lcg_states(state0: int, n: int) -> np.ndarray:
+    """The ``n`` successor states of the 64-bit LCG used by the trace
+    model's random/gather walks, as a uint64 array (wraps mod 2**64)."""
+    if n <= 0:
+        return np.empty(0, dtype=_U64)
+    powers = np.empty(n, dtype=_U64)
+    powers[0] = 1
+    if n > 1:
+        with np.errstate(over="ignore"):
+            powers[1:] = np.cumprod(np.full(n - 1, _LCG_A, dtype=_U64))
+    with np.errstate(over="ignore"):
+        geo = np.cumsum(powers, dtype=_U64)  # sum_{j<=k} a^j
+        states = _U64(_LCG_A) * powers * _U64(state0 & (2**64 - 1)) + _U64(_LCG_C) * geo
+    return states
+
+
+# ----------------------------------------------------------------------
+# Cache level: per-set grouping + cold closed form.
+# ----------------------------------------------------------------------
+def _set_groups(
+    idx: np.ndarray, num_sets: int, contiguous: bool, lines: np.ndarray
+) -> List[Tuple[int, np.ndarray]]:
+    """Partition batch positions by cache set, preserving order.
+
+    Returns ``(set_index, positions)`` pairs. For a contiguous ascending
+    run the members of each set form a strided slice — no sort needed.
+    """
+    n = idx.size
+    if contiguous:
+        first = int(lines[0])
+        return [
+            (
+                (first + p0) & (num_sets - 1),
+                np.arange(p0, n, num_sets, dtype=np.int64),
+            )
+            for p0 in range(min(num_sets, n))
+        ]
+    order = np.argsort(idx, kind="stable").astype(np.int64, copy=False)
+    sidx = idx[order]
+    starts = np.flatnonzero(np.r_[True, sidx[1:] != sidx[:-1]])
+    ends = np.r_[starts[1:], n]
+    return [(int(sidx[s]), order[s:e]) for s, e in zip(starts, ends)]
+
+
+def batch_cache_access(
+    cache: Cache,
+    lines: np.ndarray,
+    write: bool,
+    contiguous: bool,
+    batch_distinct: bool,
+) -> np.ndarray:
+    """Access ``lines`` (in order) against one cache level; returns the
+    per-access hit mask. State, stats and LRU ticks end bit-identical to
+    per-access :meth:`~repro.hw.cache.Cache.access_line` calls."""
+    n = lines.size
+    hits = np.zeros(n, dtype=bool)
+    if n == 0:
+        return hits
+    mask = cache._set_mask
+    shift = mask.bit_length()
+    idx = lines & mask
+    tags = lines >> shift
+    tick0 = cache._tick
+    stats = cache.stats
+    ways = cache.config.ways
+
+    n_hits = 0
+    n_miss = 0
+    n_evict = 0
+    n_polluted = 0
+
+    for set_i, pos in _set_groups(idx, cache.config.num_sets, contiguous, lines):
+        cset = cache._sets[set_i]
+        t = tags[pos]
+        m = t.size
+        group_distinct = batch_distinct or m == 1 or np.unique(t).size == m
+        disjoint = not cset
+        if group_distinct and not disjoint:
+            keys = np.fromiter(cset.keys(), dtype=np.int64, count=len(cset))
+            disjoint = not bool(np.isin(t, keys, assume_unique=False).any())
+        if group_distinct and disjoint:
+            # Cold closed form: every access misses; evictions drain the
+            # LRU queue — initial residents oldest-first, then batch
+            # installs FIFO — and only the last `ways` installs survive.
+            n_miss += m
+            r0 = len(cset)
+            excess = r0 + m - ways
+            if excess > 0:
+                n_evict += excess
+                k0 = min(r0, excess)
+                if k0:
+                    victims = sorted(cset.items(), key=lambda kv: kv[1].last_use)[:k0]
+                    for vtag, vline in victims:
+                        del cset[vtag]
+                        if vline.use_count == 0:
+                            n_polluted += 1
+                n_polluted += excess - k0  # batch victims never re-hit
+            surviving = min(ways - len(cset), m)
+            for j in range(m - surviving, m):
+                p = int(pos[j])
+                cset[int(t[j])] = _Line(
+                    tag=int(t[j]), last_use=tick0 + p + 1, dirty=write
+                )
+        else:
+            # Exact replay of Cache.access_line, with the global tick of
+            # each access recovered from its batch position.
+            t_list = t.tolist()
+            p_list = pos.tolist()
+            for j in range(m):
+                tag = t_list[j]
+                tick = tick0 + p_list[j] + 1
+                entry = cset.get(tag)
+                if entry is not None:
+                    n_hits += 1
+                    entry.last_use = tick
+                    entry.use_count += 1
+                    entry.dirty = entry.dirty or write
+                    hits[p_list[j]] = True
+                    continue
+                n_miss += 1
+                if len(cset) >= ways:
+                    victim_tag = min(cset, key=lambda k: cset[k].last_use)
+                    victim = cset.pop(victim_tag)
+                    n_evict += 1
+                    if victim.use_count == 0:
+                        n_polluted += 1
+                cset[tag] = _Line(tag=tag, last_use=tick, dirty=write)
+
+    cache._tick = tick0 + n
+    stats.hits += n_hits
+    stats.misses += n_miss
+    stats.evictions += n_evict
+    stats.polluted_evictions += n_polluted
+    return hits
+
+
+# ----------------------------------------------------------------------
+# Prefetcher: stride-run segmentation.
+# ----------------------------------------------------------------------
+def batch_prefetch(
+    pf: StreamPrefetcher, miss_lines: np.ndarray, stride_bytes: int
+) -> np.ndarray:
+    """Feed the L2-miss subsequence through the stream prefetcher; returns
+    the per-miss coverage mask, bit-identical to per-access
+    :meth:`~repro.hw.prefetcher.StreamPrefetcher.observe_miss` calls."""
+    n = miss_lines.size
+    covered = np.zeros(n, dtype=bool)
+    if n == 0:
+        return covered
+    if stride_bytes > pf.config.max_stride_bytes:
+        # Unprefetchable stride: no stream-table interaction at all.
+        pf._tick += n
+        pf.uncovered += n
+        return covered
+    stride = max(1, stride_bytes // pf.line_bytes) if stride_bytes else 1
+    train = pf.config.train_lines
+    max_streams = pf.config.max_streams
+
+    starts = np.flatnonzero(
+        np.r_[True, miss_lines[1:] != miss_lines[:-1] + stride]
+    ).tolist()
+    ends = starts[1:] + [n]
+    line_list: Optional[List[int]] = None
+
+    for s, e in zip(starts, ends):
+        length = e - s
+        start_line = int(miss_lines[s])
+        streams = pf._streams
+        matched_sid = None
+        hijacked = False
+        for sid, st in streams.items():
+            if st.stride_lines != stride:
+                continue
+            if matched_sid is None and st.next_line == start_line:
+                matched_sid = sid
+                continue
+            delta = st.next_line - start_line
+            if stride <= delta <= (length - 1) * stride and delta % stride == 0:
+                hijacked = True  # another stream sits on a mid-run line
+                break
+        if hijacked:
+            if line_list is None:
+                line_list = miss_lines.tolist()
+            for i in range(s, e):
+                covered[i] = pf.observe_miss(line_list[i], stride_bytes=stride_bytes)
+            continue
+        # Coverage closed form. Access k (0-based) of the run is covered
+        # iff the stream was trained *before* it; training completes on
+        # the match that brings hits to `train` (that access is itself a
+        # demand miss), and an allocation never sets trained even when
+        # train == 1 — so the first covered access is k = max(1, train -
+        # h0) for a matched stream, k = max(2, train) for an allocation.
+        if matched_sid is None:
+            if len(streams) >= max_streams:
+                victim = min(streams, key=lambda k: streams[k].last_use)
+                del streams[victim]
+            sid = pf._next_id
+            pf._next_id += 1
+            st = _Stream(
+                next_line=0, stride_lines=stride, trained=False, hits=0, last_use=0
+            )
+            streams[sid] = st
+            n_cov = max(0, length - max(2, train))
+            st.trained = length >= 2 and length >= train
+            st.hits = length
+        else:
+            st = streams[matched_sid]
+            h0, trained0 = st.hits, st.trained
+            n_cov = length if trained0 else max(0, length - max(1, train - h0))
+            st.trained = trained0 or (h0 + length >= train)
+            st.hits = h0 + length
+        if n_cov:
+            covered[e - n_cov : e] = True
+        pf._tick += length
+        pf.covered += n_cov
+        pf.uncovered += length - n_cov
+        st.next_line = start_line + length * stride
+        st.last_use = pf._tick
+    return covered
+
+
+# ----------------------------------------------------------------------
+# DRAM: per-bank grouping.
+# ----------------------------------------------------------------------
+def batch_dram_demand(dram: Dram, demand_lines: np.ndarray) -> int:
+    """Cost of the demand (uncovered) line accesses, honouring open rows
+    per bank; bit-identical to per-access
+    :meth:`~repro.hw.dram.Dram.access_line` calls."""
+    n = demand_lines.size
+    if n == 0:
+        return 0
+    rows = demand_lines // dram._lines_per_row
+    banks = rows % dram.config.banks
+    order = np.argsort(banks, kind="stable")
+    srows = rows[order]
+    sbanks = banks[order]
+    open0 = np.array(
+        [-1 if r is None else r for r in dram._open_rows], dtype=np.int64
+    )
+    hit = np.empty(n, dtype=bool)
+    if n > 1:
+        hit[1:] = (srows[1:] == srows[:-1]) & (sbanks[1:] == sbanks[:-1])
+    group_starts = np.flatnonzero(np.r_[True, sbanks[1:] != sbanks[:-1]])
+    hit[group_starts] = srows[group_starts] == open0[sbanks[group_starts]]
+    group_ends = np.r_[group_starts[1:], n] - 1
+    for g_end in group_ends.tolist():
+        dram._open_rows[int(sbanks[g_end])] = int(srows[g_end])
+    row_hits = int(np.count_nonzero(hit))
+    row_misses = n - row_hits
+    dram.stats.row_hits += row_hits
+    dram.stats.row_misses += row_misses
+    dram.stats.lines_transferred += n
+    return row_hits * dram.config.row_hit_cycles + row_misses * dram.config.row_miss_cycles
+
+
+# ----------------------------------------------------------------------
+# The full hierarchy kernel.
+# ----------------------------------------------------------------------
+def hierarchy_access_lines_batch(
+    hierarchy, lines, write: bool = False, stride_hint: int = 0
+) -> int:
+    """Batched equivalent of :meth:`MemoryHierarchy.access_lines`.
+
+    Filters the batch through L1 then L2 (order-preserving), runs the L2
+    misses through the prefetcher and prices covered lines at streaming
+    cost and the rest at demand DRAM timing. Every counter — CacheStats
+    per level, prefetcher coverage, DRAM stats, AccessStats — and the
+    cycle total match the scalar loop exactly.
+    """
+    arr = np.ascontiguousarray(np.asarray(lines, dtype=np.int64))
+    n = arr.size
+    if n == 0:
+        return 0
+    platform = hierarchy.platform
+    contiguous = n > 1 and bool(np.all(arr[1:] == arr[:-1] + 1))
+    if contiguous or n == 1:
+        distinct = True
+    else:
+        diffs = arr[1:] - arr[:-1]
+        distinct = bool(np.all(diffs > 0)) or bool(np.all(diffs < 0))
+        if not distinct:
+            distinct = np.unique(arr).size == n
+
+    l1_hits = batch_cache_access(hierarchy.l1, arr, write, contiguous, distinct)
+    n_l1_hits = int(np.count_nonzero(l1_hits))
+    miss1 = arr[~l1_hits]
+    miss1_contig = contiguous and n_l1_hits == 0
+    l2_hits = batch_cache_access(hierarchy.l2, miss1, write, miss1_contig, distinct)
+    n_l2_hits = int(np.count_nonzero(l2_hits))
+    miss2 = miss1[~l2_hits]
+
+    hierarchy.stats.dram_lines += miss2.size
+    covered = batch_prefetch(hierarchy.prefetcher, miss2, stride_hint)
+    n_cov = int(np.count_nonzero(covered))
+    demand = miss2[~covered]
+
+    total = n_l1_hits * platform.l1.hit_cycles
+    total += n_l2_hits * platform.l2.hit_cycles
+    if n_cov:
+        total += hierarchy.dram.stream_cost(n_cov)
+    total += demand.size * platform.l2.hit_cycles
+    total += batch_dram_demand(hierarchy.dram, demand)
+
+    hierarchy.stats.cycles += total
+    hierarchy.stats.accesses += n
+    return int(total)

@@ -99,7 +99,7 @@ class RelationalMemoryEngineModel:
             raise ConfigurationError(
                 f"qualifying_rows {qualifying_rows} outside [0, {nrows}]"
             )
-        if self.fault_injector is not None:
+        if self.fault_injector is not None and self.fault_injector.armed:
             self.fault_injector.check(DEVICE_TIMEOUT, detail="AXI gather")
         emitted = nrows if qualifying_rows is None else qualifying_rows
         out_bytes = emitted * out_bytes_per_row
@@ -132,7 +132,7 @@ class RelationalMemoryEngineModel:
 
         refills = max(0, math.ceil(out_bytes / self.rm.buffer_bytes) - 1) if out_bytes else 0
         stall = refills * self.rm.refill_stall_cycles
-        if refills and self.fault_injector is not None:
+        if refills and self.fault_injector is not None and self.fault_injector.armed:
             self.fault_injector.check(FABRIC_REFILL, detail=f"{refills} refills")
 
         return RmTransformReport(

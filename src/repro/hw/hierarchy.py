@@ -65,6 +65,21 @@ class MemoryHierarchy:
         self.stats.accesses += len(lines)
         return total
 
+    def access_lines_batch(
+        self,
+        lines,
+        write: bool = False,
+        stride_hint: int = 0,
+    ) -> int:
+        """Vectorized :meth:`access_lines`: one numpy batch instead of a
+        Python loop per line, with bit-identical stats, cycles and end
+        state (see :mod:`repro.hw.batch`)."""
+        from repro.hw.batch import hierarchy_access_lines_batch
+
+        return hierarchy_access_lines_batch(
+            self, lines, write=write, stride_hint=stride_hint
+        )
+
     def _access_line(self, line: int, write: bool, stride_hint: int) -> int:
         if self.l1.access_line(line, write=write):
             return self.platform.l1.hit_cycles

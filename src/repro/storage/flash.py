@@ -74,7 +74,7 @@ class FlashDevice:
             raise StorageError(f"negative page count {n_pages}")
         if n_pages == 0:
             return 0.0
-        if self.fault_injector is not None:
+        if self.fault_injector is not None and self.fault_injector.armed:
             self.fault_injector.check(FLASH_READ, detail=f"{n_pages} pages")
         cfg = self.config
         self.pages_read += n_pages
@@ -99,6 +99,6 @@ class FlashDevice:
         """In-storage transformation time over ``nbytes`` of row data."""
         if nbytes < 0:
             raise StorageError(f"negative byte count {nbytes}")
-        if nbytes and self.fault_injector is not None:
+        if nbytes and self.fault_injector is not None and self.fault_injector.armed:
             self.fault_injector.check(STORAGE_ENGINE, detail=f"{nbytes} bytes")
         return nbytes / (self.config.engine_mb_s * 1e6) * 1e6

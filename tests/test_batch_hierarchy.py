@@ -1,0 +1,222 @@
+"""Batched trace kernel vs the scalar reference: exact equivalence.
+
+The whole value of :mod:`repro.hw.batch` is that it is *not* an
+approximation: for any sequence of line batches — mixed strides, writes,
+random scatter, re-references — the batched path must leave the
+hierarchy in the same state (every cache set, prefetcher stream, open
+DRAM row, counter, and tick) and return the same cycle totals as the
+scalar per-line loop. These property tests drive both implementations
+with identical inputs and compare full state snapshots.
+"""
+
+import dataclasses
+import time
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.analytic import TraceMemoryModel
+from repro.hw.config import TEST_PLATFORM, default_platform
+from repro.hw.hierarchy import MemoryHierarchy
+
+
+# ----------------------------------------------------------------------
+# Full-state snapshots (private attributes on purpose: the equivalence
+# claim covers *end state*, not just the public counters).
+# ----------------------------------------------------------------------
+def cache_state(cache):
+    return (
+        cache._tick,
+        dataclasses.asdict(cache.stats),
+        [
+            sorted(
+                (tag, e.last_use, e.use_count, e.dirty)
+                for tag, e in cset.items()
+            )
+            for cset in cache._sets
+        ],
+    )
+
+
+def prefetcher_state(pf):
+    return (
+        pf._tick,
+        pf._next_id,
+        pf.covered,
+        pf.uncovered,
+        sorted(
+            (sid, s.next_line, s.stride_lines, s.trained, s.hits, s.last_use)
+            for sid, s in pf._streams.items()
+        ),
+    )
+
+
+def hierarchy_state(h):
+    return (
+        dataclasses.asdict(h.stats),
+        cache_state(h.l1),
+        cache_state(h.l2),
+        dataclasses.asdict(h.dram.stats),
+        list(h.dram._open_rows),
+        prefetcher_state(h.prefetcher),
+    )
+
+
+def replay(platform, batches, batched: bool):
+    """Run ``[(lines, write, stride_hint), ...]`` through one hierarchy."""
+    h = MemoryHierarchy(platform)
+    cycles = []
+    for lines, write, stride in batches:
+        if batched:
+            c = h.access_lines_batch(
+                np.asarray(lines, dtype=np.int64), write=write, stride_hint=stride
+            )
+        else:
+            c = h.access_lines([int(x) for x in lines], write=write, stride_hint=stride)
+        cycles.append(c)
+    return cycles, hierarchy_state(h)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies: batches that exercise every kernel path —
+# contiguous runs (prefetcher trains), strided runs (set-conflicts),
+# random scatter (warm-group scalar fallback), and re-references.
+# ----------------------------------------------------------------------
+LINE = st.integers(min_value=0, max_value=4096)
+
+
+@st.composite
+def line_batch(draw):
+    kind = draw(st.sampled_from(["seq", "strided", "random", "rerun"]))
+    n = draw(st.integers(min_value=1, max_value=120))
+    start = draw(LINE)
+    if kind == "seq":
+        lines = list(range(start, start + n))
+        stride = 64
+    elif kind == "strided":
+        step = draw(st.integers(min_value=2, max_value=33))
+        lines = list(range(start, start + n * step, step))
+        stride = step * 64
+    elif kind == "rerun":
+        base = draw(st.integers(min_value=0, max_value=64))
+        lines = [base + (i % draw(st.integers(min_value=1, max_value=16))) for i in range(n)]
+        stride = 0
+    else:
+        lines = [draw(LINE) for _ in range(min(n, 40))]
+        stride = draw(st.sampled_from([0, 64, 2**20]))
+    write = draw(st.booleans())
+    return lines, write, stride
+
+
+@st.composite
+def trace_scenario(draw):
+    return draw(st.lists(line_batch(), min_size=1, max_size=6))
+
+
+class TestBatchEqualsScalar:
+    @settings(max_examples=150, deadline=None)
+    @given(trace_scenario())
+    def test_mixed_batches_bit_identical(self, batches):
+        scalar_cycles, scalar_state = replay(TEST_PLATFORM, batches, batched=False)
+        batch_cycles, batch_state = replay(TEST_PLATFORM, batches, batched=True)
+        assert batch_cycles == scalar_cycles
+        assert batch_state == scalar_state
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace_scenario())
+    def test_default_platform_bit_identical(self, batches):
+        scalar_cycles, scalar_state = replay(
+            default_platform(), batches, batched=False
+        )
+        batch_cycles, batch_state = replay(default_platform(), batches, batched=True)
+        assert batch_cycles == scalar_cycles
+        assert batch_state == scalar_state
+
+    def test_empty_batch(self):
+        h = MemoryHierarchy(TEST_PLATFORM)
+        assert h.access_lines_batch(np.empty(0, dtype=np.int64)) == 0
+        assert hierarchy_state(h) == hierarchy_state(MemoryHierarchy(TEST_PLATFORM))
+
+    def test_write_dirtiness_matches(self):
+        batches = [
+            (list(range(0, 50)), True, 64),
+            (list(range(0, 50)), False, 64),
+            (list(range(1000, 1010)), True, 0),
+        ]
+        assert replay(TEST_PLATFORM, batches, True) == replay(
+            TEST_PLATFORM, batches, False
+        )
+
+
+# ----------------------------------------------------------------------
+# Model-level equivalence: the TraceMemoryModel drives the same kernel
+# through its five access shapes (plus the shared LCG stream).
+# ----------------------------------------------------------------------
+@st.composite
+def model_op(draw):
+    kind = draw(st.sampled_from(["seq", "multi", "strided", "random", "gather"]))
+    if kind == "seq":
+        return ("sequential", draw(st.integers(1, 8192)), draw(st.booleans()))
+    if kind == "multi":
+        sizes = draw(st.lists(st.integers(0, 4096), min_size=1, max_size=4))
+        return ("multi_stream", sizes)
+    if kind == "strided":
+        return (
+            "strided",
+            draw(st.integers(1, 200)),  # nrows
+            draw(st.integers(1, 16)) * 16,  # stride
+            draw(st.integers(1, 16)),  # touched
+        )
+    if kind == "random":
+        return ("random", draw(st.integers(1, 200)), draw(st.integers(1, 64)) * 64)
+    n_candidates = draw(st.integers(1, 400))
+    n_rows = draw(st.integers(1, n_candidates))
+    return ("gather", n_candidates, n_rows, draw(st.integers(1, 32)))
+
+
+def apply_op(model, op):
+    name = op[0]
+    if name == "sequential":
+        return model.sequential(op[1], write=op[2])
+    if name == "multi_stream":
+        return model.multi_stream(op[1])
+    if name == "strided":
+        return model.strided(op[1], op[2], op[3])
+    if name == "random":
+        return model.random(op[1], op[2])
+    return model.gather(op[1], op[2], op[3])
+
+
+class TestTraceModelBatchFlag:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(model_op(), min_size=1, max_size=5))
+    def test_use_batch_equivalent(self, ops):
+        fast = TraceMemoryModel(TEST_PLATFORM, use_batch=True)
+        slow = TraceMemoryModel(TEST_PLATFORM, use_batch=False)
+        for op in ops:
+            cf, cs = apply_op(fast, op), apply_op(slow, op)
+            assert (cf.covered, cf.exposed) == (cs.covered, cs.exposed)
+        assert fast._rng_state == slow._rng_state
+        assert hierarchy_state(fast.hierarchy) == hierarchy_state(slow.hierarchy)
+
+
+# ----------------------------------------------------------------------
+# The perf claim, pinned at reduced scale (the 1M-row / >=20x version
+# lives in benchmarks/bench_trace_batch.py).
+# ----------------------------------------------------------------------
+class TestBatchSpeedup:
+    def test_batch_beats_scalar_on_small_trace(self):
+        nbytes = 200_000 * 64  # 200k lines, sequential
+
+        def run(use_batch):
+            model = TraceMemoryModel(default_platform(), use_batch=use_batch)
+            t0 = time.perf_counter()
+            cost = model.sequential(nbytes)
+            return time.perf_counter() - t0, (cost.covered, cost.exposed)
+
+        t_batch, c_batch = run(True)
+        t_scalar, c_scalar = run(False)
+        assert c_batch == c_scalar
+        speedup = t_scalar / t_batch
+        assert speedup > 5.0, f"batch only {speedup:.1f}x faster"

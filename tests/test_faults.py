@@ -429,3 +429,47 @@ class TestRunTransaction:
         slot = run_transaction(mgr, insert_and_commit)
         assert mgr.stats.committed == 1
         assert int(table.begin_ts[slot]) > 0
+
+
+# ----------------------------------------------------------------------
+# Fast path: a disarmed injector must be (nearly) free on hot paths.
+# ----------------------------------------------------------------------
+class TestDisarmedFastPath:
+    def test_zero_rate_plan_is_disarmed(self):
+        assert not FaultInjector(FaultPlan()).armed
+        assert not FaultInjector(FaultPlan(rates={FLASH_READ: 0.0})).armed
+        assert not FaultInjector(
+            FaultPlan(rates={FLASH_READ: 0.5}, max_faults=0)
+        ).armed
+        assert FaultInjector(FaultPlan(rates={FLASH_READ: 0.5})).armed
+
+    def test_disarmed_injector_not_consulted_on_hot_path(self):
+        """Call-site gates skip ``check`` entirely when disarmed, so the
+        hot path never pays the rate lookup / RNG / counter work."""
+        inj = FaultInjector(FaultPlan(rates={DEVICE_TIMEOUT: 0.0}))
+        model = RelationalMemoryEngineModel(default_platform(), fault_injector=inj)
+        for _ in range(50):
+            model.transform(nrows=1000, row_stride=64, out_bytes_per_row=16)
+        assert inj.checks == {}
+
+    def test_disarmed_overhead_below_five_percent(self):
+        """The disarmed predicate on the transform hot path costs <5%
+        versus no injector at all (min-of-trials to suppress CI noise)."""
+        import time as _time
+
+        baseline = RelationalMemoryEngineModel(default_platform())
+        disarmed = RelationalMemoryEngineModel(
+            default_platform(), fault_injector=FaultInjector(FaultPlan())
+        )
+        calls = 3000
+
+        def _trial(model):
+            t0 = _time.perf_counter()
+            for _ in range(calls):
+                model.transform(nrows=500, row_stride=64, out_bytes_per_row=16)
+            return _time.perf_counter() - t0
+
+        _trial(baseline), _trial(disarmed)  # warm-up
+        base = min(_trial(baseline) for _ in range(5))
+        gated = min(_trial(disarmed) for _ in range(5))
+        assert gated < base * 1.05, f"disarmed overhead {gated / base - 1:.1%}"

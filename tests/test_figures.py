@@ -119,8 +119,11 @@ class TestFig7Tpch:
         assert max(fig7_q1.ratio("column", "rm")) < 1.55
 
     def test_q6_rm_fastest(self, fig7_q6):
+        """RM always beats ROW; COL sits at parity or worse. The COL band
+        matches Q1's (2%): at CI scale the smallest point is only a few
+        thousand rows, so generator noise moves the ratio by ~1%."""
         assert all(r > 1.0 for r in fig7_q6.ratio("row", "rm"))
-        assert all(c >= 0.99 for c in fig7_q6.ratio("column", "rm"))
+        assert all(c >= 0.98 for c in fig7_q6.ratio("column", "rm"))
 
     def test_q6_movement_bound_gap_larger_than_q1(self, fig7_q1, fig7_q6):
         assert min(fig7_q6.ratio("row", "rm")) > max(fig7_q1.ratio("row", "rm"))

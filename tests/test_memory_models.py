@@ -173,3 +173,44 @@ class TestAgreement:
             for k in range(1, 9)
         ]
         assert costs == sorted(costs)
+
+
+class TestAgreementAtScale:
+    """100k+ line scans, feasible since the batched trace kernel.
+
+    At this scale the cold-start transient the small-trace tests must
+    tolerate (15-20%) washes out, so the tolerances tighten by an order
+    of magnitude: streams to 1%, strided to 8%. Random scatter keeps a
+    wide band — the analytic closed form deliberately ignores DRAM
+    row-buffer and bank effects that dominate random traffic.
+    """
+
+    @given(st.integers(min_value=100_000, max_value=500_000))
+    @settings(max_examples=5, deadline=None)
+    def test_sequential_agreement_tight(self, nlines):
+        nbytes = nlines * 64
+        a = AnalyticMemoryModel(TEST_PLATFORM).sequential(nbytes).total
+        t = TraceMemoryModel(TEST_PLATFORM).sequential(nbytes).total
+        assert t == pytest.approx(a, rel=0.01)
+
+    @given(
+        st.integers(min_value=1, max_value=TEST_PLATFORM.prefetcher.max_streams),
+        st.integers(min_value=100_000, max_value=250_000),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_multi_stream_agreement_tight(self, k, nlines):
+        sizes = [nlines * 64] * k
+        a = AnalyticMemoryModel(TEST_PLATFORM).multi_stream(sizes).total
+        t = TraceMemoryModel(TEST_PLATFORM).multi_stream(sizes).total
+        assert t == pytest.approx(a, rel=0.01)
+
+    def test_strided_agreement_tight(self):
+        a = AnalyticMemoryModel(TEST_PLATFORM).strided(150_000, 256, 4).total
+        t = TraceMemoryModel(TEST_PLATFORM).strided(150_000, 256, 4).total
+        assert t == pytest.approx(a, rel=0.08)
+
+    def test_random_agreement_bounded(self):
+        ws = 64 * TEST_PLATFORM.l2.size_bytes
+        a = AnalyticMemoryModel(TEST_PLATFORM).random(120_000, ws).total
+        t = TraceMemoryModel(TEST_PLATFORM).random(120_000, ws).total
+        assert t == pytest.approx(a, rel=0.3)
