@@ -43,6 +43,16 @@ from repro.db.engines import (
     all_engines,
 )
 from repro.db.mvcc import Transaction, TransactionManager, run_transaction
+from repro.db.wal import (
+    Checkpoint,
+    Checkpointer,
+    RecoveryReport,
+    RecoveryResult,
+    WalRecord,
+    WalRecordType,
+    WriteAheadLog,
+    recover,
+)
 from repro.faults import (
     BreakerState,
     CircuitBreaker,
@@ -57,6 +67,8 @@ __version__ = "1.0.0"
 __all__ = [
     "BreakerState",
     "Catalog",
+    "Checkpoint",
+    "Checkpointer",
     "CircuitBreaker",
     "Column",
     "ColumnStoreEngine",
@@ -70,6 +82,8 @@ __all__ = [
     "FaultPlan",
     "FieldSlice",
     "PlatformConfig",
+    "RecoveryReport",
+    "RecoveryResult",
     "RelationalFabric",
     "RelationalMemory",
     "RelationalMemoryEngine",
@@ -80,10 +94,14 @@ __all__ = [
     "Transaction",
     "TransactionManager",
     "Visibility",
+    "WalRecord",
+    "WalRecordType",
+    "WriteAheadLog",
     "ZYNQ_ULTRASCALE",
     "all_engines",
     "configure",
     "default_platform",
+    "recover",
     "run_transaction",
     "__version__",
 ]

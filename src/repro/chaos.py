@@ -1,0 +1,512 @@
+"""Crash-point chaos testing for the MVCC durability subsystem.
+
+The durability claim of :mod:`repro.db.wal` is only as strong as the
+worst crash point, so this harness doesn't sample — it *enumerates*: run
+a seeded HTAP-style write mix with the write-ahead log attached, then
+simulate a crash at **every** record boundary of the durable log (plus
+randomized intra-record torn offsets), recover each truncated image, and
+assert the four invariants:
+
+1. **committed-durable** — every transaction whose COMMIT record made it
+   to the media is fully present after recovery;
+2. **uncommitted-invisible** — nothing from transactions without a
+   durable COMMIT is visible to any snapshot;
+3. **oracle-equal** — the recovered visible rows match a brute-force
+   :class:`ShadowOracle` that models snapshot isolation in plain Python
+   dicts (no numpy, no fabric, no shared code with the engine);
+4. **recover-twice-idempotent** — recovering the same image again yields
+   byte-identical frames and the same clock.
+
+A fifth check corrupts a record in the *middle* of the log and demands
+the typed :class:`~repro.errors.WalCorruptionError` rather than a
+silently wrong answer.
+
+Everything is a pure function of the seed, so a failing point replays
+exactly. Run as a script (the CI chaos job does)::
+
+    PYTHONPATH=src python -m repro.chaos --seed 3 --txns 200 --torn 64 \
+        --json chaos_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.mvcc_filter import LIVE_TS, NEVER_TS, visible_mask
+from repro.db.mvcc import TransactionManager
+from repro.db.schema import TableSchema
+from repro.db.table import Table
+from repro.db.wal import (
+    Checkpoint,
+    Checkpointer,
+    WriteAheadLog,
+    recover,
+    scan_records,
+)
+from repro.errors import WalCorruptionError, WriteConflictError
+from repro.storage.ssd import SsdLog
+from repro.workloads.htap import orders_schema
+
+__all__ = [
+    "ShadowOracle",
+    "WorkloadJournal",
+    "ChaosReport",
+    "run_seeded_workload",
+    "check_crash_point",
+    "run_chaos",
+    "table_visible_rows",
+]
+
+#: A logical row state: the row's decoded values, frozen and orderable.
+RowKey = Tuple[Tuple[str, object], ...]
+
+
+def _freeze(values: Dict[str, object]) -> RowKey:
+    return tuple(sorted(values.items()))
+
+
+def table_visible_rows(table: Table, snapshot_ts: int) -> List[RowKey]:
+    """The committed rows a snapshot sees, as a sorted list of row keys."""
+    mask = visible_mask(table.begin_ts, table.end_ts, snapshot_ts)
+    return sorted(_freeze(table.row(int(i))) for i in np.flatnonzero(mask))
+
+
+class ShadowOracle:
+    """Brute-force snapshot-isolation model over Python dict rows.
+
+    Mirrors the slot discipline of :class:`~repro.db.table.Table` — every
+    insert/update appends a version row stamped ``(NEVER, LIVE)``, commit
+    stamps begin/end timestamps, abort leaves invisible garbage — but in
+    ~40 lines of dict-and-list Python with no numpy, no frames, and no
+    shared code with the system under test. The MVCC property tests and
+    the crash-point harness both compare against it.
+    """
+
+    def __init__(self):
+        #: Every version ever staged: ``[values, begin_ts, end_ts]``.
+        self.rows: List[List] = []
+        self._staged: Dict[int, List[Tuple[Optional[int], Optional[int]]]] = {}
+
+    def begin(self, txn_id: int) -> None:
+        self._staged[txn_id] = []
+
+    def insert(self, txn_id: int, values: Dict[str, object]) -> int:
+        slot = len(self.rows)
+        self.rows.append([dict(values), NEVER_TS, LIVE_TS])
+        self._staged[txn_id].append((slot, None))
+        return slot
+
+    def update(self, txn_id: int, old_slot: int, values: Dict[str, object]) -> int:
+        slot = len(self.rows)
+        self.rows.append([dict(values), NEVER_TS, LIVE_TS])
+        self._staged[txn_id].append((slot, old_slot))
+        return slot
+
+    def delete(self, txn_id: int, old_slot: int) -> None:
+        self._staged[txn_id].append((None, old_slot))
+
+    def commit(self, txn_id: int, commit_ts: int) -> None:
+        for new_slot, old_slot in self._staged.pop(txn_id):
+            if new_slot is not None:
+                self.rows[new_slot][1] = commit_ts
+            if old_slot is not None:
+                self.rows[old_slot][2] = commit_ts
+
+    def abort(self, txn_id: int) -> None:
+        self._staged.pop(txn_id, None)
+
+    def visible(self, snapshot_ts: int) -> List[RowKey]:
+        return sorted(
+            _freeze(values)
+            for values, begin, end in self.rows
+            if begin <= snapshot_ts < end
+        )
+
+
+@dataclass
+class WorkloadJournal:
+    """Everything a crash probe needs about one seeded workload run.
+
+    ``commits`` maps each durable COMMIT-record end offset to the oracle
+    state established by that commit; a crash at byte ``b`` must recover
+    exactly the state of the last entry with offset ``<= b``.
+    """
+
+    media: bytes
+    schemas: Dict[str, TableSchema]
+    commits: List[Tuple[int, List[RowKey]]]
+    checkpoint: Optional[Checkpoint] = None
+    #: Oracle/table agreement on the *uncrashed* final state.
+    final_rows: List[RowKey] = field(default_factory=list)
+    txns_run: int = 0
+    conflicts: int = 0
+    deliberate_aborts: int = 0
+
+    def expected_at(self, offset: int) -> List[RowKey]:
+        state: List[RowKey] = []
+        for off, snap in self.commits:
+            if off <= offset:
+                state = snap
+            else:
+                break
+        return state
+
+
+def run_seeded_workload(
+    seed: int,
+    n_txns: int = 200,
+    initial_rows: int = 50,
+    checkpoint_every: Optional[int] = None,
+    fault_injector=None,
+) -> WorkloadJournal:
+    """Drive a seeded order-ledger write mix through a WAL-attached manager.
+
+    Each step is one of: a writer transaction (insert an order, advance a
+    couple of statuses), a deliberate abort, a first-committer-wins
+    conflict pair, or a delete. The :class:`ShadowOracle` shadows every
+    operation; after each successful commit the journal captures
+    ``(durable log offset, oracle visible rows)``. With
+    ``checkpoint_every``, a quiescent checkpoint is taken every that many
+    transactions and the journal restarts from it (crash points then
+    exercise checkpoint + short-log recovery).
+    """
+    rng = np.random.default_rng(seed)
+    schema = orders_schema()
+    table = Table(schema)
+    wal = WriteAheadLog(device=SsdLog(fault_injector=fault_injector))
+    manager = TransactionManager(wal=wal)
+    oracle = ShadowOracle()
+    journal = WorkloadJournal(media=b"", schemas={schema.name: schema}, commits=[])
+    checkpointer = Checkpointer(wal) if checkpoint_every else None
+    next_order = 0
+
+    def new_order() -> dict:
+        nonlocal next_order
+        next_order += 1
+        return {
+            "o_id": next_order,
+            "o_customer": int(rng.integers(1, 100)),
+            "o_amount": float(rng.uniform(1, 200)),
+            "o_status": 0,
+        }
+
+    def committed_slots() -> np.ndarray:
+        return np.flatnonzero(visible_mask(table.begin_ts, table.end_ts, manager.now))
+
+    def journal_commit() -> None:
+        journal.commits.append((wal.durable_bytes, oracle.visible(manager.now)))
+
+    def writer_txn(n_updates: int, abort_it: bool = False) -> None:
+        txn = manager.begin()
+        oracle.begin(txn.txn_id)
+        slot = txn.insert(table, new_order())
+        oracle.insert(txn.txn_id, table.row(slot))
+        live = committed_slots()
+        picks = (
+            rng.choice(live, size=min(n_updates, len(live)), replace=False)
+            if len(live)
+            else []
+        )
+        try:
+            for old in picks:
+                old = int(old)
+                row = table.row(old)
+                row["o_status"] = min(int(row["o_status"]) + 1, 2)
+                new_slot = txn.update(table, old, {"o_status": row["o_status"]})
+                oracle.update(txn.txn_id, old, table.row(new_slot))
+            if abort_it:
+                manager.abort(txn)
+                oracle.abort(txn.txn_id)
+                journal.deliberate_aborts += 1
+            else:
+                manager.commit(txn)
+                oracle.commit(txn.txn_id, txn.commit_ts)
+                journal_commit()
+        except WriteConflictError:
+            oracle.abort(txn.txn_id)
+            journal.conflicts += 1
+
+    def conflict_pair() -> None:
+        live = committed_slots()
+        if not len(live):
+            writer_txn(1)
+            return
+        target = int(rng.choice(live))
+        a, b = manager.begin(), manager.begin()
+        oracle.begin(a.txn_id)
+        oracle.begin(b.txn_id)
+        try:
+            new_a = a.update(table, target, {"o_status": 2})
+            oracle.update(a.txn_id, target, table.row(new_a))
+            manager.commit(a)
+            oracle.commit(a.txn_id, a.commit_ts)
+            journal_commit()
+        except WriteConflictError:
+            oracle.abort(a.txn_id)
+            journal.conflicts += 1
+        try:
+            new_b = b.update(table, target, {"o_status": 1})
+            oracle.update(b.txn_id, target, table.row(new_b))
+            manager.commit(b)
+            oracle.commit(b.txn_id, b.commit_ts)
+            journal_commit()
+        except WriteConflictError:
+            oracle.abort(b.txn_id)
+            journal.conflicts += 1
+        finally:
+            if b.txn_id in manager._active:
+                manager.abort(b)
+                oracle.abort(b.txn_id)
+
+    def delete_txn() -> None:
+        live = committed_slots()
+        if not len(live):
+            return
+        target = int(rng.choice(live))
+        txn = manager.begin()
+        oracle.begin(txn.txn_id)
+        try:
+            txn.delete(table, target)
+            oracle.delete(txn.txn_id, target)
+            manager.commit(txn)
+            oracle.commit(txn.txn_id, txn.commit_ts)
+            journal_commit()
+        except WriteConflictError:
+            oracle.abort(txn.txn_id)
+            journal.conflicts += 1
+
+    # Seed a committed base so updates have targets from the start.
+    seed_txn = manager.begin()
+    oracle.begin(seed_txn.txn_id)
+    for _ in range(initial_rows):
+        s = seed_txn.insert(table, new_order())
+        oracle.insert(seed_txn.txn_id, table.row(s))
+    manager.commit(seed_txn)
+    oracle.commit(seed_txn.txn_id, seed_txn.commit_ts)
+    journal_commit()
+
+    for i in range(n_txns):
+        roll = rng.random()
+        if roll < 0.62:
+            writer_txn(int(rng.integers(0, 3)))
+        elif roll < 0.74:
+            writer_txn(int(rng.integers(1, 3)), abort_it=True)
+        elif roll < 0.88:
+            conflict_pair()
+        else:
+            delete_txn()
+        journal.txns_run += 1
+        if (
+            checkpointer is not None
+            and (i + 1) % checkpoint_every == 0
+            and i + 1 < n_txns  # keep a real log segment after the last one
+        ):
+            journal.checkpoint = checkpointer.checkpoint(manager, [table])
+            # The checkpoint state holds from byte 0 of the truncated log:
+            # even a crash inside the CHECKPOINT marker recovers it.
+            journal.commits = [(0, oracle.visible(manager.now))]
+
+    # Leave one transaction in flight so every crash image contains
+    # uncommitted intents — the uncommitted-invisible invariant must bite.
+    dangling = manager.begin()
+    oracle.begin(dangling.txn_id)
+    s = dangling.insert(table, new_order())
+    oracle.insert(dangling.txn_id, table.row(s))
+    wal.flush()
+
+    journal.media = wal.device.media()
+    journal.final_rows = oracle.visible(manager.now)
+    assert table_visible_rows(table, manager.now) == journal.final_rows, (
+        "workload driver bug: oracle and live table disagree before any crash"
+    )
+    return journal
+
+
+def _recover_image(
+    journal: WorkloadJournal, image: bytes
+):
+    wal = WriteAheadLog(device=SsdLog(initial=image))
+    return recover(wal, checkpoint=journal.checkpoint, schemas=journal.schemas)
+
+
+def check_crash_point(journal: WorkloadJournal, offset: int) -> List[str]:
+    """Crash at byte ``offset`` of the log, recover, check every invariant.
+
+    Returns human-readable violation strings (empty means the point holds).
+    """
+    violations: List[str] = []
+    image = journal.media[:offset]
+    res = _recover_image(journal, image)
+    expected = journal.expected_at(offset)
+    name = next(iter(journal.schemas))
+    table = res.tables.get(name)
+    now = res.manager.now
+
+    visible = table_visible_rows(table, now) if table is not None else []
+    if visible != expected:
+        missing = [r for r in expected if r not in visible]
+        extra = [r for r in visible if r not in expected]
+        violations.append(
+            f"offset {offset}: oracle mismatch "
+            f"({len(missing)} committed rows lost, {len(extra)} phantom rows)"
+        )
+    if table is not None:
+        # Uncommitted-invisible, probed from the future: no snapshot —
+        # even one newer than every recovered timestamp — may see rows the
+        # oracle doesn't know to be committed at this crash point.
+        future = table_visible_rows(table, now + 1_000_000)
+        if future != expected:
+            violations.append(
+                f"offset {offset}: uncommitted writes leak into future snapshots"
+            )
+
+    res2 = _recover_image(journal, image)
+    if res2.manager.now != now:
+        violations.append(
+            f"offset {offset}: second recovery clock {res2.manager.now} != {now}"
+        )
+    t1 = table.frame.tobytes() if table is not None else b""
+    table2 = res2.tables.get(name)
+    t2 = table2.frame.tobytes() if table2 is not None else b""
+    if t1 != t2:
+        violations.append(f"offset {offset}: second recovery is not a no-op")
+    return violations
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one full chaos run (the CI artifact)."""
+
+    seed: int
+    txns: int
+    log_bytes: int = 0
+    records: int = 0
+    commits: int = 0
+    conflicts: int = 0
+    deliberate_aborts: int = 0
+    boundary_points: int = 0
+    torn_points: int = 0
+    corruption_probes: int = 0
+    corruption_detected: int = 0
+    checkpointed: bool = False
+    violations: List[str] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations and self.corruption_detected == self.corruption_probes
+
+    def to_dict(self) -> dict:
+        return {**self.__dict__, "passed": self.passed}
+
+
+def run_chaos(
+    seed: int,
+    n_txns: int = 200,
+    torn_offsets: int = 64,
+    corruption_probes: int = 8,
+    checkpoint_every: Optional[int] = None,
+) -> ChaosReport:
+    """The full suite: every boundary, random torn tails, corruption probes."""
+    t0 = time.perf_counter()
+    journal = run_seeded_workload(
+        seed, n_txns=n_txns, checkpoint_every=checkpoint_every
+    )
+    records, _ = scan_records(journal.media)
+    report = ChaosReport(
+        seed=seed,
+        txns=journal.txns_run,
+        log_bytes=len(journal.media),
+        records=len(records),
+        commits=len(journal.commits),
+        conflicts=journal.conflicts,
+        deliberate_aborts=journal.deliberate_aborts,
+        checkpointed=journal.checkpoint is not None,
+    )
+
+    boundaries = [0] + [end for _, end in records]
+    for offset in boundaries:
+        report.violations.extend(check_crash_point(journal, offset))
+    report.boundary_points = len(boundaries)
+
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    boundary_set = set(boundaries)
+    probed = 0
+    for _ in range(torn_offsets * 20):
+        if probed >= torn_offsets:
+            break
+        offset = int(rng.integers(1, len(journal.media)))
+        if offset in boundary_set:
+            continue
+        report.violations.extend(check_crash_point(journal, offset))
+        probed += 1
+    report.torn_points = probed
+
+    # Mid-log corruption must be *detected*, never silently recovered.
+    # Damage a byte inside any record except the last, so an intact
+    # record always follows the corruption (a damaged final record is,
+    # by design, indistinguishable from a torn tail and discarded).
+    report.corruption_probes = corruption_probes if len(records) >= 2 else 0
+    for _ in range(report.corruption_probes):
+        idx = int(rng.integers(0, len(records) - 1))
+        start = 0 if idx == 0 else records[idx - 1][1]
+        pos = int(rng.integers(start, records[idx][1]))
+        damaged = bytearray(journal.media)
+        damaged[pos] ^= 0xFF
+        try:
+            _recover_image(journal, bytes(damaged))
+        except WalCorruptionError:
+            report.corruption_detected += 1
+
+    report.seconds = time.perf_counter() - t0
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="crash-point chaos suite for the WAL/recovery subsystem"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--txns", type=int, default=200)
+    parser.add_argument("--torn", type=int, default=64, help="random torn offsets")
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="also checkpoint every N txns (0 = no checkpoints)",
+    )
+    parser.add_argument("--json", type=str, default="", help="write the report here")
+    args = parser.parse_args(argv)
+
+    report = run_chaos(
+        args.seed,
+        n_txns=args.txns,
+        torn_offsets=args.torn,
+        checkpoint_every=args.checkpoint_every or None,
+    )
+    print(
+        f"chaos seed={report.seed}: {report.boundary_points} boundary + "
+        f"{report.torn_points} torn crash points over {report.log_bytes} log bytes "
+        f"({report.records} records, {report.commits} commits, "
+        f"{report.conflicts} conflicts), "
+        f"{report.corruption_detected}/{report.corruption_probes} corruptions "
+        f"detected, {len(report.violations)} violations, {report.seconds:.1f}s"
+    )
+    for v in report.violations[:20]:
+        print(f"  VIOLATION: {v}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report.to_dict(), f, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,12 @@ class CostLedger:
     RETRY = "fault_retry"
     #: Cycles attributable to running degraded (software fallback path).
     DEGRADED = "degraded_fallback"
+    #: Write-ahead-log appends (encode + simulated NAND program time).
+    WAL_APPEND = "wal_append"
+    #: Checkpoint snapshot serialization + device write.
+    WAL_CHECKPOINT = "wal_checkpoint"
+    #: Log read-back, checksum validation, and redo during recovery.
+    WAL_RECOVERY = "wal_recovery"
 
     def charge(self, bucket: str, cycles: float) -> None:
         if cycles < 0:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.mvcc_filter import LIVE_TS, NEVER_TS, visible_mask
 from repro.db.table import Table
+from repro.db.wal import WalRecord, WalRecordType, WriteAheadLog
 from repro.errors import (
     TransactionError,
     TransactionStateError,
@@ -64,6 +65,9 @@ class Transaction:
         self._manager = manager
         self._intents: List[_WriteIntent] = []
         self.commit_ts: Optional[int] = None
+        #: True once this txn has emitted any WAL record (BEGIN is lazy:
+        #: read-only transactions cost zero log traffic).
+        self._wal_logged = False
 
     # ------------------------------------------------------------------
     # Reads.
@@ -98,7 +102,9 @@ class Transaction:
         self._require_active()
         self._require_mvcc(table)
         slot = table.append_row(values)  # begin_ts defaults to NEVER
-        self._intents.append(_WriteIntent(table=table, new_slot=slot, old_slot=None))
+        intent = _WriteIntent(table=table, new_slot=slot, old_slot=None)
+        self._intents.append(intent)
+        self._manager._log_write(self, intent)
         return slot
 
     def update(self, table: Table, slot: int, changes: Mapping[str, Any]) -> int:
@@ -112,9 +118,9 @@ class Transaction:
         current = table.row(slot)
         current.update(changes)
         new_slot = table.append_row(current)
-        self._intents.append(
-            _WriteIntent(table=table, new_slot=new_slot, old_slot=slot)
-        )
+        intent = _WriteIntent(table=table, new_slot=new_slot, old_slot=slot)
+        self._intents.append(intent)
+        self._manager._log_write(self, intent)
         return new_slot
 
     def delete(self, table: Table, slot: int) -> None:
@@ -122,7 +128,9 @@ class Transaction:
         self._require_active()
         self._require_mvcc(table)
         self._check_updatable_or_abort(table, slot)
-        self._intents.append(_WriteIntent(table=table, new_slot=None, old_slot=slot))
+        intent = _WriteIntent(table=table, new_slot=None, old_slot=slot)
+        self._intents.append(intent)
+        self._manager._log_write(self, intent)
 
     def _check_updatable_or_abort(self, table: Table, slot: int) -> None:
         try:
@@ -186,13 +194,22 @@ class MvccStats:
 
 
 class TransactionManager:
-    """Issues timestamps and enforces first-committer-wins at commit."""
+    """Issues timestamps and enforces first-committer-wins at commit.
 
-    def __init__(self):
+    Pass ``wal=WriteAheadLog(...)`` to make transactions durable: every
+    write intent and commit is logged through the simulated storage
+    device, and :func:`repro.db.wal.recover` rebuilds this manager's
+    exact committed state after a crash. The default (``wal=None``) is
+    the original purely in-memory behaviour — zero logging cost.
+    """
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None):
         self._clock = 0
         self._active: Dict[int, Transaction] = {}
         self._next_txn_id = 1
         self.stats = MvccStats()
+        #: Optional durability pipe; ``None`` means in-memory only.
+        self.wal = wal
 
     def _tick(self) -> int:
         self._clock += 1
@@ -202,6 +219,59 @@ class TransactionManager:
     def now(self) -> int:
         """The latest issued timestamp — a fresh read-only snapshot."""
         return self._clock
+
+    @property
+    def active_count(self) -> int:
+        """Transactions currently in flight."""
+        return len(self._active)
+
+    @property
+    def next_txn_id(self) -> int:
+        """The id the next :meth:`begin` will issue (checkpoint state)."""
+        return self._next_txn_id
+
+    def restore_state(self, clock: int, next_txn_id: int) -> None:
+        """Reset the timestamp/id generators after crash recovery.
+
+        Only valid on a quiescent manager — recovery constructs a fresh
+        one, so there is never anything in flight to invalidate.
+        """
+        if self._active:
+            raise TransactionError("cannot restore state with active transactions")
+        self._clock = clock
+        self._next_txn_id = next_txn_id
+
+    # ------------------------------------------------------------------
+    # WAL emission (no-ops when ``wal`` is None).
+    # ------------------------------------------------------------------
+    def _log_begin(self, txn: Transaction) -> None:
+        """Lazily emit BEGIN at the first write — read-only txns log nothing."""
+        if txn._wal_logged:
+            return
+        txn._wal_logged = True
+        self.wal.append(
+            WalRecord(WalRecordType.BEGIN, txn.txn_id, start_ts=txn.start_ts)
+        )
+
+    def _log_write(self, txn: Transaction, intent: _WriteIntent) -> None:
+        if self.wal is None:
+            return
+        self._log_begin(txn)
+        row = (
+            b""
+            if intent.new_slot is None
+            else intent.table.row_bytes(intent.new_slot)
+        )
+        self.wal.append(
+            WalRecord(
+                WalRecordType.WRITE,
+                txn.txn_id,
+                table=intent.table.schema.name,
+                new_slot=intent.new_slot,
+                old_slot=intent.old_slot,
+                row_bytes=row,
+            )
+        )
 
     def begin(self) -> Transaction:
         txn = Transaction(self._next_txn_id, self._tick(), self)
@@ -226,6 +296,14 @@ class TransactionManager:
                         "concurrent commit"
                     )
         commit_ts = self._tick()
+        if self.wal is not None and txn._wal_logged:
+            # Write-ahead: the COMMIT record must be durable before any
+            # effect of this transaction is acknowledged. The flush here
+            # is the commit barrier (priced NAND program time).
+            self.wal.append(
+                WalRecord(WalRecordType.COMMIT, txn.txn_id, commit_ts=commit_ts),
+                durable=True,
+            )
         for intent in txn._intents:
             if intent.new_slot is not None:
                 intent.table.stamp_begin(intent.new_slot, commit_ts)
@@ -244,6 +322,10 @@ class TransactionManager:
         if txn.state is TxnState.ABORTED:
             return
         txn._require_active()
+        if self.wal is not None and txn._wal_logged:
+            # Advisory only — a missing ABORT recovers identically (no
+            # COMMIT means no redo), so no flush is needed.
+            self.wal.append(WalRecord(WalRecordType.ABORT, txn.txn_id))
         txn.state = TxnState.ABORTED
         self._active.pop(txn.txn_id, None)
         self.stats.aborted += 1
@@ -291,16 +373,25 @@ def run_transaction(
 
     First-committer-wins makes :class:`~repro.errors.WriteConflictError`
     a *transient* failure: the canonical response is abort, back off, and
-    replay against a fresh snapshot. This helper does exactly that, up to
-    ``retries`` replays with the bounded exponential backoff of
-    ``policy`` (cycles are accounted in ``manager.stats.backoff_cycles``
-    — the simulation has no wall clock to sleep on). ``fn`` must be safe
-    to re-run from scratch; it may commit the transaction itself, or
-    leave it active for this helper to commit. The last conflict
-    propagates when the budget is exhausted.
+    replay against a fresh snapshot. This helper does exactly that with
+    the bounded exponential backoff of ``policy`` (cycles are accounted
+    in ``manager.stats.backoff_cycles`` — the simulation has no wall
+    clock to sleep on). ``fn`` must be safe to re-run from scratch; it
+    may commit the transaction itself, or leave it active for this helper
+    to commit. The last conflict propagates when the budget is exhausted.
+
+    The replay budget: when ``policy`` is given, **its** ``retries``
+    wins and the ``retries`` argument is ignored (one object owns the
+    whole retry shape — budget, backoff, jitter); the bare ``retries``
+    argument only parameterizes the default policy.
+
+    Every exception path aborts the transaction: a non-conflict error
+    from ``fn`` propagates, but never leaks an active transaction that
+    would pin ``oldest_active_snapshot()`` and block ``vacuum`` forever.
     """
     policy = policy or RetryPolicy(retries=retries, base=1_000.0, cap=64_000.0)
-    for attempt in range(retries + 1):
+    budget = policy.retries
+    for attempt in range(budget + 1):
         txn = manager.begin()
         try:
             out = fn(txn)
@@ -310,8 +401,12 @@ def run_transaction(
         except WriteConflictError:
             if txn.state is TxnState.ACTIVE:
                 manager.abort(txn)
-            if attempt == retries:
+            if attempt == budget:
                 raise
             manager.stats.retries += 1
             manager.stats.backoff_cycles += policy.backoff(attempt)
+        except BaseException:
+            if txn.state is TxnState.ACTIVE:
+                manager.abort(txn)
+            raise
     raise AssertionError("unreachable")  # pragma: no cover

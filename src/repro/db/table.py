@@ -186,6 +186,73 @@ class Table:
             self._frame[i, off : off + col.dtype.width] = scalar.view(np.uint8)
         self.version += 1
 
+    def row_bytes(self, i: int) -> bytes:
+        """The raw stored image of one row slot (all columns, stride wide).
+
+        This is the redo payload the write-ahead log records: replaying it
+        with :meth:`write_row_bytes` reproduces the slot exactly.
+        """
+        if not 0 <= i < self.nrows:
+            raise IndexError(i)
+        return bytes(self._frame[i])
+
+    def write_row_bytes(self, i: int, data: bytes) -> None:
+        """Overwrite (or append at) slot ``i`` with a raw row image.
+
+        Idempotent by construction — writing the same bytes to the same
+        slot twice leaves the table unchanged — which is exactly what WAL
+        redo needs. Slots between ``nrows`` and ``i`` are padded invisible
+        (MVCC tables stamp them NEVER/LIVE) so recovery can replay write
+        intents at their original slot indices.
+        """
+        if len(data) != self.schema.row_stride:
+            raise SchemaError(
+                f"row image is {len(data)} bytes, stride is {self.schema.row_stride}"
+            )
+        if i < 0:
+            raise IndexError(i)
+        if i >= self.nrows:
+            self.pad_to(i + 1)
+        self._frame[i] = np.frombuffer(data, dtype=np.uint8)
+        self.version += 1
+
+    def pad_to(self, n: int) -> None:
+        """Extend the table to ``n`` slots of invisible placeholder rows.
+
+        MVCC tables stamp the padding ``(NEVER, LIVE)`` so no snapshot can
+        ever see it; plain tables get zero rows. Used only by WAL recovery
+        to keep replayed slot indices aligned with the runtime's.
+        """
+        if n <= self.nrows:
+            return
+        self._ensure_capacity(n - self.nrows)
+        base, count = self.nrows, n - self.nrows
+        self._frame[base:n] = 0
+        if self.schema.mvcc:
+            self._stamp_bulk(base, count, MVCC_BEGIN, NEVER_TS)
+            self._stamp_bulk(base, count, MVCC_END, LIVE_TS)
+        self.nrows = n
+        self.version += 1
+
+    @classmethod
+    def restore(
+        cls, schema: TableSchema, frame: bytes, nrows: int, version: int = 0
+    ) -> "Table":
+        """Rebuild a table from a checkpoint snapshot (schema + raw frame)."""
+        if len(frame) != nrows * schema.row_stride:
+            raise SchemaError(
+                f"snapshot is {len(frame)} bytes, expected "
+                f"{nrows} rows x {schema.row_stride}"
+            )
+        table = cls(schema, capacity=max(nrows, 1))
+        if nrows:
+            table._frame[:nrows] = np.frombuffer(frame, dtype=np.uint8).reshape(
+                nrows, schema.row_stride
+            )
+        table.nrows = nrows
+        table.version = version
+        return table
+
     def retain(self, keep: np.ndarray) -> None:
         """Compact the table to the rows where ``keep`` is True (used by
         MVCC vacuum). Row slot indices change."""

@@ -84,3 +84,15 @@ class FlashReadError(FaultError, StorageError):
     Also a :class:`StorageError` so existing storage-layer handlers keep
     seeing flash failures without knowing about fault injection.
     """
+
+
+class WalCorruptionError(StorageError):
+    """A write-ahead-log record failed validation on read-back.
+
+    Raised by :func:`repro.db.wal.recover` when a record in the *middle*
+    of the log fails its CRC32 checksum or carries an impossible header —
+    evidence of media corruption rather than a crash. A damaged *tail*
+    (torn final append) is expected after a crash and is discarded
+    silently; corruption with valid records after it must never be: redo
+    past it would silently drop committed transactions.
+    """

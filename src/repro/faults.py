@@ -37,6 +37,8 @@ from repro.errors import (
     FabricFaultError,
     FaultError,
     FlashReadError,
+    ReproError,
+    WalCorruptionError,
 )
 
 # ----------------------------------------------------------------------
@@ -54,15 +56,31 @@ DEVICE_TIMEOUT = "device.timeout"
 FLASH_READ = "flash.read"
 #: In-storage transformation engine busy or hung.
 STORAGE_ENGINE = "storage.engine"
+#: A WAL append crashed mid-record: only a prefix reached the media.
+WAL_TORN = "wal.torn"
+#: A WAL flush lost power mid-flight: a suffix of the *buffered* bytes
+#: never reached the media (partial flush — may span whole records).
+WAL_FLUSH = "wal.flush"
+#: A stored WAL byte came back with a flipped bit (detected by CRC).
+WAL_BITFLIP = "wal.bitflip"
+
+#: Sites that *shape* data instead of raising: the log device consults
+#: :meth:`FaultInjector.should_fault` and applies the corruption itself
+#: (truncating the tail, dropping flushed bytes, flipping a bit), so the
+#: failure surfaces later, at recovery — exactly like real storage.
+WAL_SITES = (WAL_TORN, WAL_FLUSH, WAL_BITFLIP)
 
 #: Every site a :class:`FaultPlan` may name, with the error it raises.
-SITE_ERRORS: Mapping[str, Tuple[Type[FaultError], str]] = {
+SITE_ERRORS: Mapping[str, Tuple[Type[ReproError], str]] = {
     FABRIC_CONFIGURE: (FabricFaultError, "fabric rejected the geometry configuration"),
     FABRIC_REFILL: (FabricFaultError, "on-fabric buffer refill timed out"),
     FABRIC_CORRUPT: (FabricFaultError, "packed cache line failed its integrity check"),
     DEVICE_TIMEOUT: (DeviceTimeoutError, "device missed its response deadline"),
     FLASH_READ: (FlashReadError, "NAND page read failed uncorrectable ECC"),
     STORAGE_ENGINE: (DeviceTimeoutError, "in-storage transformation engine timed out"),
+    WAL_TORN: (WalCorruptionError, "WAL append torn mid-record"),
+    WAL_FLUSH: (WalCorruptionError, "WAL flush lost buffered bytes"),
+    WAL_BITFLIP: (WalCorruptionError, "stored WAL byte read back corrupted"),
 }
 
 #: All fabric-side sites, for "make the memory fabric flaky" plans.
@@ -161,6 +179,18 @@ class FaultInjector:
         if self.should_fault(site):
             exc_type, message = SITE_ERRORS[site]
             raise exc_type(f"{message}{f' ({detail})' if detail else ''} [site={site}]")
+
+    def draw(self, n: int) -> int:
+        """A deterministic integer in ``[0, n)`` from the plan's stream.
+
+        Data-shaping sites (:data:`WAL_SITES`) need not just *whether* a
+        fault fires but *where* — the torn offset, the flipped bit. Drawing
+        from the same seeded stream keeps the whole chaos schedule a pure
+        function of ``(seed, sequence of consultations)``.
+        """
+        if n <= 0:
+            raise ConfigurationError(f"draw needs a positive bound, got {n}")
+        return self._rng.randrange(n)
 
 
 class RetryPolicy:

@@ -7,7 +7,7 @@ from repro.storage.smartssd import (
     StorageEphemeralGroup,
     StorageReport,
 )
-from repro.storage.ssd import ReadReport, SsdTable
+from repro.storage.ssd import ReadReport, SsdLog, SsdTable
 from repro.storage.tiered import ColumnArchive, TieredFabric, TieredReport
 
 __all__ = [
@@ -15,6 +15,7 @@ __all__ = [
     "FlashDevice",
     "ReadReport",
     "RelationalStorage",
+    "SsdLog",
     "SsdTable",
     "StorageEphemeralGroup",
     "StorageReport",

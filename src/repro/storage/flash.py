@@ -29,6 +29,10 @@ class FlashConfig:
     page_bytes: int = 4096
     #: NAND array read latency per page.
     read_page_us: float = 60.0
+    #: NAND array program (write) latency per page — an order of
+    #: magnitude above reads on real flash, which is what makes WAL
+    #: appends a visible cost in the ledger.
+    program_page_us: float = 350.0
     #: Per-channel bus time to move one page from die to controller.
     channel_page_us: float = 4.0
     #: Host link bandwidth. Deliberately below the aggregate internal
@@ -62,6 +66,7 @@ class FlashDevice:
         #: Optional chaos hook; ``None`` means a perfectly reliable device.
         self.fault_injector = fault_injector
         self.pages_read = 0
+        self.pages_written = 0
         self.busy_us = 0.0
 
     def read_pages_us(self, n_pages: int) -> float:
@@ -85,6 +90,28 @@ class FlashDevice:
         # Array reads pipeline behind channel transfers after the first wave.
         total = max(array_us, transfer_us) + min(
             cfg.read_page_us, cfg.channel_page_us
+        )
+        self.busy_us += total
+        return total
+
+    def write_pages_us(self, n_pages: int) -> float:
+        """Service time to program ``n_pages`` sequentially-striped pages.
+
+        Programs stripe like reads: array programs overlap across dies,
+        channel transfers (host/controller -> die) serialize per channel.
+        """
+        if n_pages < 0:
+            raise StorageError(f"negative page count {n_pages}")
+        if n_pages == 0:
+            return 0.0
+        cfg = self.config
+        self.pages_written += n_pages
+        per_channel = math.ceil(n_pages / cfg.channels)
+        array_waves = math.ceil(per_channel / cfg.dies_per_channel)
+        array_us = array_waves * cfg.program_page_us
+        transfer_us = per_channel * cfg.channel_page_us
+        total = max(array_us, transfer_us) + min(
+            cfg.program_page_us, cfg.channel_page_us
         )
         self.busy_us += total
         return total

@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.db.table import Table
+from repro.faults import WAL_BITFLIP, WAL_FLUSH, WAL_TORN, FaultInjector
 from repro.storage.flash import FlashConfig, FlashDevice
 from repro.errors import StorageError
 
@@ -80,3 +81,111 @@ class SsdTable:
             host_bytes=self._page_bytes,
         )
         return self.table.row(slot), report
+
+
+class SsdLog:
+    """An append-only log region on the simulated flash device.
+
+    This is the durability substrate of :mod:`repro.db.wal`: appends are
+    buffered in controller DRAM and reach the NAND media only at
+    :meth:`flush` (the commit barrier), priced through
+    :meth:`FlashDevice.write_pages_us` so every WAL byte costs simulated
+    program time. The append/flush split is what makes crash semantics
+    honest — anything not flushed when the "power fails" is gone.
+
+    With a :class:`~repro.faults.FaultInjector` attached, flushes and
+    read-backs are *shaped* rather than failed loudly, the way real
+    storage betrays you:
+
+    * ``wal.torn`` — the final append of a flush is cut at a seeded
+      intra-record offset (a torn write);
+    * ``wal.flush`` — only a prefix of the whole flushed batch reaches
+      the media (a partial flush, possibly spanning records);
+    * ``wal.bitflip`` — one bit of the returned image is flipped on
+      read-back (detected later by record checksums).
+    """
+
+    def __init__(
+        self,
+        flash: Optional[FlashDevice] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        initial: bytes = b"",
+    ):
+        self.flash = flash or FlashDevice()
+        #: Optional chaos hook; ``None`` means perfectly reliable media.
+        self.fault_injector = fault_injector
+        self._media = bytearray(initial)
+        self._pending: List[bytes] = []
+        self.appends = 0
+        self.flushes = 0
+        self.torn_appends = 0
+        self.partial_flushes = 0
+        self.bitflips = 0
+
+    @property
+    def durable_bytes(self) -> int:
+        """Bytes that have actually reached the media."""
+        return len(self._media)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered in controller DRAM, lost on a crash."""
+        return sum(len(c) for c in self._pending)
+
+    def append(self, data: bytes) -> None:
+        """Buffer one record's bytes for the next flush."""
+        if not data:
+            return
+        self._pending.append(bytes(data))
+        self.appends += 1
+
+    def flush(self) -> float:
+        """Program buffered bytes to media; returns device microseconds."""
+        if not self._pending:
+            return 0.0
+        chunks, self._pending = self._pending, []
+        inj = self.fault_injector
+        if inj is not None and inj.armed and inj.should_fault(WAL_TORN):
+            last = chunks[-1]
+            chunks[-1] = last[: inj.draw(len(last))] if len(last) > 1 else b""
+            self.torn_appends += 1
+        blob = b"".join(chunks)
+        if blob and inj is not None and inj.armed and inj.should_fault(WAL_FLUSH):
+            blob = blob[: inj.draw(len(blob))]
+            self.partial_flushes += 1
+        start = len(self._media)
+        self._media.extend(blob)
+        first_page = start // self.flash.config.page_bytes
+        last_page = max(len(self._media) - 1, start) // self.flash.config.page_bytes
+        us = self.flash.write_pages_us(last_page - first_page + 1) if blob else 0.0
+        self.flushes += 1
+        return us
+
+    def read_all(self) -> Tuple[bytes, float]:
+        """The durable image plus the device+link microseconds to read it."""
+        pages = math.ceil(len(self._media) / self.flash.config.page_bytes)
+        us = self.flash.read_pages_us(pages) + self.flash.host_transfer_us(
+            len(self._media)
+        )
+        data = bytes(self._media)
+        inj = self.fault_injector
+        if data and inj is not None and inj.armed and inj.should_fault(WAL_BITFLIP):
+            pos = inj.draw(len(data) * 8)
+            flipped = bytearray(data)
+            flipped[pos // 8] ^= 1 << (pos % 8)
+            data = bytes(flipped)
+            self.bitflips += 1
+        return data, us
+
+    def media(self) -> bytes:
+        """A copy of the durable image (for crash-point harnesses)."""
+        return bytes(self._media)
+
+    def crash(self) -> None:
+        """Simulate power loss: buffered-but-unflushed bytes vanish."""
+        self._pending.clear()
+
+    def truncate(self, keep: bytes = b"") -> None:
+        """Replace the log with ``keep`` (checkpoint truncation)."""
+        self._pending.clear()
+        self._media = bytearray(keep)

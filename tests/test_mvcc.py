@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.mvcc_filter import LIVE_TS, NEVER_TS
-from repro.db import Catalog, Column, TableSchema
+from repro.db import Catalog, Column, Table, TableSchema
 from repro.db.mvcc import TransactionManager, TxnState
 from repro.db.types import INT64
 from repro.errors import (
@@ -221,3 +221,172 @@ class TestStats:
         assert manager.oldest_active_snapshot() == a.start_ts
         manager.abort(a)
         assert manager.oldest_active_snapshot() == b.start_ts
+
+
+# ----------------------------------------------------------------------
+# run_transaction hygiene: no exception path may leak an active txn.
+# ----------------------------------------------------------------------
+class TestRunTransactionHygiene:
+    def test_non_conflict_exception_aborts_the_transaction(self, mvcc_catalog):
+        """Regression: an arbitrary error from ``fn`` used to leave the
+        transaction in ``_active`` forever, pinning the vacuum horizon."""
+        from repro.db.mvcc import run_transaction
+
+        _, table = mvcc_catalog
+        manager = TransactionManager()
+
+        def boom(txn):
+            txn.insert(table, {"id": 1, "balance": 1})
+            raise ValueError("application bug, not a conflict")
+
+        with pytest.raises(ValueError):
+            run_transaction(manager, boom)
+        assert manager.active_count == 0
+        assert manager.stats.aborted == 1
+        assert manager.stats.retries == 0  # not a conflict: no replay
+        # The horizon advanced past the failed txn, so vacuum reclaims
+        # its garbage instead of being pinned forever.
+        assert manager.oldest_active_snapshot() == manager.now
+        assert manager.vacuum(table) == 1
+        assert table.nrows == 0
+
+    def test_keyboard_interrupt_also_aborts(self, mvcc_catalog):
+        from repro.db.mvcc import run_transaction
+
+        _, table = mvcc_catalog
+        manager = TransactionManager()
+
+        def interrupted(txn):
+            txn.insert(table, {"id": 1, "balance": 1})
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_transaction(manager, interrupted)
+        assert manager.active_count == 0
+
+    def test_policy_budget_wins_over_retries_argument(self):
+        """One object owns the retry shape: an explicit ``policy``'s
+        budget applies and the bare ``retries`` argument is ignored."""
+        from repro.db.mvcc import run_transaction
+        from repro.faults import RetryPolicy
+
+        manager = TransactionManager()
+        attempts = []
+
+        def always_conflict(txn):
+            attempts.append(txn.txn_id)
+            raise WriteConflictError("synthetic")
+
+        with pytest.raises(WriteConflictError):
+            run_transaction(
+                manager, always_conflict, retries=9, policy=RetryPolicy(retries=1)
+            )
+        assert len(attempts) == 2  # 1 try + policy's 1 retry, not 10
+        assert manager.stats.retries == 1
+
+    def test_retries_argument_shapes_the_default_policy(self):
+        from repro.db.mvcc import run_transaction
+
+        manager = TransactionManager()
+        attempts = []
+
+        def always_conflict(txn):
+            attempts.append(txn.txn_id)
+            raise WriteConflictError("synthetic")
+
+        with pytest.raises(WriteConflictError):
+            run_transaction(manager, always_conflict, retries=0)
+        assert len(attempts) == 1
+
+
+# ----------------------------------------------------------------------
+# Property test: randomized interleavings vs the brute-force oracle.
+# ----------------------------------------------------------------------
+class TestVisibilityVsOracle:
+    """Drive random concurrent interleavings through the real manager and
+    the dict-based :class:`~repro.chaos.ShadowOracle` in lockstep, then
+    demand identical visibility at *every* timestamp ever issued."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_interleavings_match_oracle(self, seed):
+        import random
+
+        from repro.chaos import ShadowOracle, table_visible_rows
+        from repro.errors import TransactionError as TxnErr
+
+        rng = random.Random(seed)
+        schema = TableSchema(
+            "accounts", [Column("id", INT64), Column("balance", INT64)], mvcc=True
+        )
+        table = Table(schema)
+        manager = TransactionManager()
+        oracle = ShadowOracle()
+        active = []
+        next_id = 0
+
+        def committed_live():
+            mask = (table.begin_ts != NEVER_TS) & (table.end_ts == LIVE_TS)
+            return list(np.flatnonzero(mask))
+
+        def finish(txn, how):
+            active.remove(txn)
+            if how == "abort":
+                manager.abort(txn)
+                oracle.abort(txn.txn_id)
+                return
+            try:
+                manager.commit(txn)
+                oracle.commit(txn.txn_id, txn.commit_ts)
+            except WriteConflictError:
+                oracle.abort(txn.txn_id)
+
+        for _ in range(150):
+            action = rng.random()
+            if action < 0.25 or not active:
+                if len(active) < 4:
+                    txn = manager.begin()
+                    oracle.begin(txn.txn_id)
+                    active.append(txn)
+                continue
+            txn = rng.choice(active)
+            try:
+                if action < 0.45:
+                    next_id += 1
+                    slot = txn.insert(
+                        table, {"id": next_id, "balance": next_id * 10}
+                    )
+                    oracle.insert(txn.txn_id, table.row(slot))
+                elif action < 0.60:
+                    live = committed_live()
+                    if live:
+                        old = int(rng.choice(live))
+                        new = txn.update(
+                            table, old, {"balance": int(rng.randrange(1000))}
+                        )
+                        oracle.update(txn.txn_id, old, table.row(new))
+                elif action < 0.70:
+                    live = committed_live()
+                    if live:
+                        old = int(rng.choice(live))
+                        txn.delete(table, old)
+                        oracle.delete(txn.txn_id, old)
+                elif action < 0.90:
+                    finish(txn, "commit")
+                else:
+                    finish(txn, "abort")
+            except WriteConflictError:
+                # The manager aborted the txn inside update/delete;
+                # mirror that into the oracle.
+                active.remove(txn)
+                oracle.abort(txn.txn_id)
+            except TxnErr:
+                pass  # double-write on one slot etc.: no state change
+
+        for txn in list(active):
+            finish(txn, rng.choice(["commit", "abort"]))
+
+        assert len(oracle.rows) == table.nrows  # slot-aligned by design
+        for ts in range(manager.now + 2):
+            assert table_visible_rows(table, ts) == oracle.visible(ts), (
+                f"seed {seed}: visibility diverged at ts={ts}"
+            )
