@@ -122,6 +122,17 @@ class ShadowOracle:
     def abort(self, txn_id: int) -> None:
         self._staged.pop(txn_id, None)
 
+    def vacuum(self, horizon: int) -> int:
+        """Mirror :meth:`TransactionManager.vacuum`'s compaction so oracle
+        slot indices keep tracking the compacted table's. Quiescent only —
+        staged intents hold slot indices."""
+        assert not self._staged, "oracle vacuum with staged transactions"
+        before = len(self.rows)
+        self.rows = [
+            r for r in self.rows if r[1] != NEVER_TS and r[2] > horizon
+        ]
+        return before - len(self.rows)
+
     def visible(self, snapshot_ts: int) -> List[RowKey]:
         return sorted(
             _freeze(values)
@@ -148,6 +159,8 @@ class WorkloadJournal:
     txns_run: int = 0
     conflicts: int = 0
     deliberate_aborts: int = 0
+    #: Compacting vacuums taken mid-workload (each one checkpoints).
+    vacuums: int = 0
 
     def expected_at(self, offset: int) -> List[RowKey]:
         state: List[RowKey] = []
@@ -164,6 +177,7 @@ def run_seeded_workload(
     n_txns: int = 200,
     initial_rows: int = 50,
     checkpoint_every: Optional[int] = None,
+    vacuum_every: Optional[int] = None,
     fault_injector=None,
 ) -> WorkloadJournal:
     """Drive a seeded order-ledger write mix through a WAL-attached manager.
@@ -175,7 +189,12 @@ def run_seeded_workload(
     ``(durable log offset, oracle visible rows)``. With
     ``checkpoint_every``, a quiescent checkpoint is taken every that many
     transactions and the journal restarts from it (crash points then
-    exercise checkpoint + short-log recovery).
+    exercise checkpoint + short-log recovery). With ``vacuum_every`` (the
+    CLI default — CI exercises it on every seed), a quiescent compacting
+    vacuum runs every that many transactions — slot indices move, the
+    manager checkpoints behind it, and the oracle compacts in lockstep —
+    so crash points also cover the vacuum/WAL interaction that once
+    silently lost committed rows.
     """
     rng = np.random.default_rng(seed)
     schema = orders_schema()
@@ -184,7 +203,7 @@ def run_seeded_workload(
     manager = TransactionManager(wal=wal)
     oracle = ShadowOracle()
     journal = WorkloadJournal(media=b"", schemas={schema.name: schema}, commits=[])
-    checkpointer = Checkpointer(wal) if checkpoint_every else None
+    checkpointer = Checkpointer(wal)
     next_order = 0
 
     def new_order() -> dict:
@@ -304,7 +323,7 @@ def run_seeded_workload(
             delete_txn()
         journal.txns_run += 1
         if (
-            checkpointer is not None
+            checkpoint_every
             and (i + 1) % checkpoint_every == 0
             and i + 1 < n_txns  # keep a real log segment after the last one
         ):
@@ -312,6 +331,21 @@ def run_seeded_workload(
             # The checkpoint state holds from byte 0 of the truncated log:
             # even a crash inside the CHECKPOINT marker recovers it.
             journal.commits = [(0, oracle.visible(manager.now))]
+        if (
+            vacuum_every
+            and (i + 1) % vacuum_every == 0
+            and i + 1 < n_txns  # keep a real log segment after the last one
+        ):
+            horizon = manager.oldest_active_snapshot()
+            removed = manager.vacuum(table, checkpointer=checkpointer, tables=[table])
+            if removed:
+                # Slots moved: compact the oracle identically, and restart
+                # the journal from the checkpoint vacuum just took (the
+                # stale pre-vacuum log was truncated with it).
+                oracle.vacuum(horizon)
+                journal.vacuums += 1
+                journal.checkpoint = checkpointer.last
+                journal.commits = [(0, oracle.visible(manager.now))]
 
     # Leave one transaction in flight so every crash image contains
     # uncommitted intents — the uncommitted-invisible invariant must bite.
@@ -396,6 +430,7 @@ class ChaosReport:
     corruption_probes: int = 0
     corruption_detected: int = 0
     checkpointed: bool = False
+    vacuums: int = 0
     violations: List[str] = field(default_factory=list)
     seconds: float = 0.0
 
@@ -413,11 +448,15 @@ def run_chaos(
     torn_offsets: int = 64,
     corruption_probes: int = 8,
     checkpoint_every: Optional[int] = None,
+    vacuum_every: Optional[int] = None,
 ) -> ChaosReport:
     """The full suite: every boundary, random torn tails, corruption probes."""
     t0 = time.perf_counter()
     journal = run_seeded_workload(
-        seed, n_txns=n_txns, checkpoint_every=checkpoint_every
+        seed,
+        n_txns=n_txns,
+        checkpoint_every=checkpoint_every,
+        vacuum_every=vacuum_every,
     )
     records, _ = scan_records(journal.media)
     report = ChaosReport(
@@ -429,6 +468,7 @@ def run_chaos(
         conflicts=journal.conflicts,
         deliberate_aborts=journal.deliberate_aborts,
         checkpointed=journal.checkpoint is not None,
+        vacuums=journal.vacuums,
     )
 
     boundaries = [0] + [end for _, end in records]
@@ -482,6 +522,12 @@ def main(argv=None) -> int:
         default=0,
         help="also checkpoint every N txns (0 = no checkpoints)",
     )
+    parser.add_argument(
+        "--vacuum-every",
+        type=int,
+        default=80,
+        help="compacting vacuum (+checkpoint) every N txns (0 = never)",
+    )
     parser.add_argument("--json", type=str, default="", help="write the report here")
     args = parser.parse_args(argv)
 
@@ -490,12 +536,13 @@ def main(argv=None) -> int:
         n_txns=args.txns,
         torn_offsets=args.torn,
         checkpoint_every=args.checkpoint_every or None,
+        vacuum_every=args.vacuum_every or None,
     )
     print(
         f"chaos seed={report.seed}: {report.boundary_points} boundary + "
         f"{report.torn_points} torn crash points over {report.log_bytes} log bytes "
         f"({report.records} records, {report.commits} commits, "
-        f"{report.conflicts} conflicts), "
+        f"{report.conflicts} conflicts, {report.vacuums} vacuums), "
         f"{report.corruption_detected}/{report.corruption_probes} corruptions "
         f"detected, {len(report.violations)} violations, {report.seconds:.1f}s"
     )

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.mvcc_filter import LIVE_TS, NEVER_TS, visible_mask
 from repro.db.table import Table
-from repro.db.wal import WalRecord, WalRecordType, WriteAheadLog
+from repro.db.wal import Checkpointer, WalRecord, WalRecordType, WriteAheadLog
 from repro.errors import (
     TransactionError,
     TransactionStateError,
@@ -338,13 +338,30 @@ class TransactionManager:
             return self._clock
         return min(t.start_ts for t in self._active.values())
 
-    def vacuum(self, table: Table) -> int:
+    def vacuum(
+        self,
+        table: Table,
+        checkpointer: Optional[Checkpointer] = None,
+        tables: Optional[List[Table]] = None,
+    ) -> int:
         """Drop versions no snapshot can see; returns rows removed.
 
         A version is reclaimable when it ended at or before the oldest
         active snapshot, or was never committed (aborted leftovers).
         Compaction moves row slots, so it requires a quiescent system —
         no active transactions (whose write intents hold slot indices).
+
+        With a WAL attached, compaction also invalidates every slot index
+        in the existing log: redoing pre-vacuum WRITE records against the
+        compacted layout (or mixing them with post-vacuum appends) would
+        silently lose committed rows. A ``checkpointer`` on this manager's
+        WAL is therefore *required*; after ``retain`` moves the slots, the
+        compacted image is snapshotted and the stale log truncated, so
+        recovery never sees two slot spaces in one log. ``tables`` lists
+        every WAL-logged table to include in that snapshot (defaults to
+        just ``table``; the vacuumed table is always included). The fresh
+        :class:`~repro.db.wal.Checkpoint` is available as
+        ``checkpointer.last``.
         """
         if not table.schema.mvcc:
             return 0
@@ -352,6 +369,19 @@ class TransactionManager:
             raise TransactionError(
                 "vacuum requires no active transactions (slot indices move)"
             )
+        if self.wal is not None:
+            if checkpointer is None:
+                raise TransactionError(
+                    "vacuum compacts slot indices that WAL records reference: "
+                    "pass checkpointer= (and tables= for every logged table) "
+                    "so the compacted image is snapshotted and the stale log "
+                    "truncated, or detach the WAL first"
+                )
+            if checkpointer.wal is not self.wal:
+                raise TransactionError(
+                    "checkpointer is attached to a different WAL than this "
+                    "manager logs to"
+                )
         horizon = self.oldest_active_snapshot()
         begin = table.begin_ts
         end = table.end_ts
@@ -360,6 +390,11 @@ class TransactionManager:
         if removed:
             table.retain(keep)
             self.stats.versions_vacuumed += removed
+            if self.wal is not None:
+                snap_tables = list(tables) if tables is not None else [table]
+                if all(t is not table for t in snap_tables):
+                    snap_tables.append(table)
+                checkpointer.checkpoint(self, snap_tables)
         return removed
 
 

@@ -30,6 +30,23 @@ corruption, not a crash artifact, and raises
 :class:`~repro.errors.WalCorruptionError`: redo past it would silently
 drop committed transactions.
 
+**Known ambiguity of that policy**: the heuristic cannot tell media
+corruption of the *final* durable record from a crash artifact. A bit
+flip landing on the last record of the log — even a fully flushed
+COMMIT — looks exactly like a torn append and is discarded, so that one
+committed transaction vanishes without a :class:`WalCorruptionError`.
+This is a fundamental limit of checksum-only framing, not an
+implementation bug: with no durable out-of-band state, "the tail never
+made it" and "the tail made it and was then damaged" produce the same
+bytes. Production logs close the gap with per-record sequence numbers
+plus a durable end-of-log pointer (or commit count) kept in a
+superblock, so a missing flushed record is *detected* rather than
+absorbed; this reproduction keeps the single-region log and instead
+bounds the exposure to exactly one record at the tail — checkpoint
+cadence (:class:`Checkpointer`) bounds how much history ever sits in
+that window, and :attr:`RecoveryReport.torn_tail_bytes` makes every
+discard visible to callers and to the chaos harness.
+
 Redo rules (:func:`recover`): replay WRITE intents at their original
 slot indices with begin/end stamps ``(NEVER, LIVE)`` — invisible — then
 stamp ``commit_ts`` when the transaction's COMMIT record is reached.
@@ -234,6 +251,13 @@ def scan_records(data: bytes) -> Tuple[List[Tuple[WalRecord, int]], int]:
     record *followed by an intact one* is mid-log corruption and raises
     :class:`WalCorruptionError` — the typed, loud failure the chaos suite
     demands instead of a silently wrong recovery.
+
+    Caveat (see the module docstring): corruption confined to the final
+    record is indistinguishable from a torn append and is discarded as
+    tail garbage — even if that record was a flushed COMMIT. Callers who
+    must notice use the returned stop offset (``stop < len(data)`` means
+    bytes were dropped) against any out-of-band durable-length knowledge
+    they hold.
     """
     out: List[Tuple[WalRecord, int]] = []
     off = 0
@@ -407,6 +431,8 @@ class Checkpointer:
         self._next_id = 1
         #: Checkpoints taken through this checkpointer.
         self.taken = 0
+        #: The most recent checkpoint (what recovery should start from).
+        self.last: Optional[Checkpoint] = None
 
     def checkpoint(self, manager, tables: List[Table]) -> Checkpoint:
         """Snapshot ``tables`` + ``manager`` state; truncate the log."""
@@ -448,6 +474,7 @@ class Checkpointer:
         )
         self.wal.device.truncate(marker)
         self.taken += 1
+        self.last = cp
         return cp
 
 
@@ -524,7 +551,13 @@ def recover(
     live: Dict[int, List[WalRecord]] = {}
     for rec, _end in records:
         if rec.type is WalRecordType.CHECKPOINT:
-            if checkpoint is not None and rec.checkpoint_id != checkpoint.checkpoint_id:
+            if checkpoint is None:
+                raise WalCorruptionError(
+                    f"log begins at checkpoint {rec.checkpoint_id} but no "
+                    "checkpoint snapshot was supplied: WAL-only redo would "
+                    "silently miss every pre-checkpoint commit"
+                )
+            if rec.checkpoint_id != checkpoint.checkpoint_id:
                 raise WalCorruptionError(
                     f"log begins at checkpoint {rec.checkpoint_id} but snapshot "
                     f"is checkpoint {checkpoint.checkpoint_id}"

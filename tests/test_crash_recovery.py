@@ -53,6 +53,17 @@ class TestAcceptanceChaos:
         assert report.violations == []
         assert report.passed
 
+    def test_chaos_with_vacuum(self):
+        """Compacting vacuums mid-workload (each checkpointing behind
+        itself) must leave every crash point recoverable — the regression
+        the review caught: pre-vacuum WAL records redone against
+        compacted slots silently lost committed rows."""
+        report = run_chaos(seed=4, n_txns=120, torn_offsets=16, vacuum_every=40)
+        assert report.vacuums > 0
+        assert report.checkpointed  # vacuum checkpoints behind itself
+        assert report.violations == []
+        assert report.passed
+
 
 class TestCrashPoints:
     def test_crash_at_zero_recovers_empty(self, journal):

@@ -380,6 +380,94 @@ class TestCheckpointer:
             recover(wal, checkpoint=cp1)
 
 
+class TestVacuumWalInteraction:
+    """Vacuum compacts slot indices; a stale WAL referencing the old slots
+    must never survive it (regression for a committed-row loss: insert 2,
+    delete 1, vacuum, insert 1, recover — a committed row vanished)."""
+
+    def _committed(self, table, ts):
+        return TestRecovery()._committed(table, ts)
+
+    def test_vacuum_with_wal_requires_checkpointer(self):
+        mgr, table, wal, _ = make_manager()
+        t = mgr.begin()
+        s = t.insert(table, {"id": 1, "balance": 1})
+        mgr.commit(t)
+        t = mgr.begin()
+        t.delete(table, s)
+        mgr.commit(t)
+        with pytest.raises(TransactionError):
+            mgr.vacuum(table)
+        # Nothing was compacted by the refused call.
+        assert table.nrows == 1
+        assert mgr.stats.versions_vacuumed == 0
+
+    def test_vacuum_checkpointer_on_other_wal_refused(self):
+        mgr, table, wal, _ = make_manager()
+        with pytest.raises(TransactionError):
+            mgr.vacuum(table, checkpointer=Checkpointer(WriteAheadLog()))
+
+    def test_vacuum_without_wal_needs_no_checkpointer(self):
+        schema = accounts_schema()
+        table = Table(schema)
+        mgr = TransactionManager()  # in-memory manager, original behaviour
+        t = mgr.begin()
+        s = t.insert(table, {"id": 1, "balance": 1})
+        mgr.commit(t)
+        t = mgr.begin()
+        t.delete(table, s)
+        mgr.commit(t)
+        assert mgr.vacuum(table) == 1
+
+    def test_reviewer_repro_vacuum_then_insert_recovers(self):
+        """The exact committed-durable violation: the vacuum checkpoint
+        must truncate the stale log so post-vacuum slots never collide
+        with pre-vacuum WRITE records during redo."""
+        mgr, table, wal, schema = make_manager()
+        ckp = Checkpointer(wal)
+        t = mgr.begin()
+        s0 = t.insert(table, {"id": 1, "balance": 10})
+        t.insert(table, {"id": 2, "balance": 20})
+        mgr.commit(t)
+        t = mgr.begin()
+        t.delete(table, s0)
+        mgr.commit(t)
+        assert mgr.vacuum(table, checkpointer=ckp) == 1
+        assert ckp.last is not None
+        t = mgr.begin()
+        t.insert(table, {"id": 3, "balance": 30})
+        mgr.commit(t)
+        res = recover(wal, checkpoint=ckp.last)
+        rows = self._committed(res.tables[schema.name], res.manager.now)
+        assert rows == self._committed(table, mgr.now)
+        assert {dict(r)["id"] for r in rows} == {2, 3}
+        # And recovery stays idempotent across the vacuum boundary.
+        res2 = recover(wal, checkpoint=ckp.last)
+        assert np.array_equal(
+            res.tables[schema.name].frame, res2.tables[schema.name].frame
+        )
+
+    def test_vacuum_noop_takes_no_checkpoint(self):
+        mgr, table, wal, _ = make_manager()
+        ckp = Checkpointer(wal)
+        t = mgr.begin()
+        t.insert(table, {"id": 1, "balance": 1})
+        mgr.commit(t)
+        assert mgr.vacuum(table, checkpointer=ckp) == 0
+        assert ckp.taken == 0  # nothing moved, the log is still valid
+
+    def test_checkpoint_marker_without_snapshot_refused(self):
+        """A log that begins at a checkpoint cannot be recovered WAL-only:
+        redo would silently miss every pre-checkpoint commit."""
+        mgr, table, wal, schema = make_manager()
+        t = mgr.begin()
+        t.insert(table, {"id": 1, "balance": 1})
+        mgr.commit(t)
+        Checkpointer(wal).checkpoint(mgr, [table])
+        with pytest.raises(WalCorruptionError):
+            recover(wal, schemas={schema.name: schema})
+
+
 class TestTableSnapshotHelpers:
     def test_row_bytes_round_trip(self):
         table = Table(accounts_schema())
