@@ -17,7 +17,10 @@ Run:  python examples/htap_mvcc.py
 
 from repro import TransactionManager
 from repro.db import Catalog
+from repro.db.engines import RelationalMemoryEngine
+from repro.db.wal import WriteAheadLog
 from repro.errors import WriteConflictError
+from repro.obs import Trace, Tracer
 from repro.workloads.htap import HtapDriver, orders_schema
 
 
@@ -78,6 +81,47 @@ def htap_demo():
     )
 
 
+def trace_demo():
+    """One OLTP transaction and one fabric OLAP scan, side by side, as
+    span trees — the same data, the two halves of HTAP."""
+    print("\n=== span traces: an OLTP commit next to an OLAP scan ===")
+    catalog = Catalog()
+    table = catalog.create_table(orders_schema("orders"))
+    tracer = Tracer()
+    manager = TransactionManager(wal=WriteAheadLog(), tracer=tracer)
+
+    for i in range(50):
+        txn = manager.begin()
+        txn.insert(
+            table,
+            {"o_id": i, "o_customer": i % 7, "o_amount": 10.0 * i, "o_status": 0},
+        )
+        manager.commit(txn)
+
+    # Trace one representative write transaction end to end.
+    txn = manager.begin()
+    txn.insert(
+        table, {"o_id": 999, "o_customer": 3, "o_amount": 42.0, "o_status": 0}
+    )
+    with tracer.span("oltp.txn", layer="txn") as oltp_root:
+        manager.commit(txn)
+    oltp = Trace(oltp_root)
+
+    # And one analytic query at the fresh snapshot, through the fabric —
+    # no conversion step, the hardware applies visibility on the fly.
+    engine = RelationalMemoryEngine(catalog, tracer=tracer)
+    olap = engine.execute(
+        "SELECT sum(o_amount) AS revenue FROM orders WHERE o_status = 0",
+        snapshot_ts=manager.now,
+    ).trace
+
+    print("\nOLTP commit (WAL append + flush barrier nested inside):")
+    print(oltp.render())
+    print("\nOLAP ephemeral scan over the same rows (fabric spans):")
+    print(olap.render())
+
+
 if __name__ == "__main__":
     conflict_demo()
     htap_demo()
+    trace_demo()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file (the ``Trace.to_chrome_json``
+output) against the trace-event format Perfetto and ``chrome://tracing``
+accept.
+
+Checks, in order:
+
+1. top level is an object with a ``traceEvents`` array;
+2. every event has ``name``/``ph``/``pid``/``tid``; phases are limited
+   to ``X`` (complete) and ``M`` (metadata);
+3. complete events carry non-negative numeric ``ts``/``dur``;
+4. every complete event nests inside the widest one (children never
+   overflow their parent on the timeline);
+5. ``args`` values are JSON scalars/containers (already guaranteed by
+   ``json.load``, but ``NaN``/``Infinity`` are rejected — Perfetto's
+   strict parser refuses them).
+
+Exit status 0 when the file is loadable, 1 with a message otherwise::
+
+    python scripts/check_trace_schema.py TRACE_q6.json
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+
+REQUIRED = {"name", "ph", "pid", "tid"}
+PHASES = {"X", "M"}
+
+
+def _fail(msg: str) -> "int":
+    print(f"FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def _finite_numbers(value, path: str):
+    """Yield an error string for any non-finite float in ``value``."""
+    if isinstance(value, float) and not math.isfinite(value):
+        yield f"{path}: non-finite number {value!r}"
+    elif isinstance(value, dict):
+        for k, v in value.items():
+            yield from _finite_numbers(v, f"{path}.{k}")
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            yield from _finite_numbers(v, f"{path}[{i}]")
+
+
+def check(path: str) -> int:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return _fail(f"{path}: {exc}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return _fail("top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return _fail("'traceEvents' must be a non-empty array")
+
+    complete = []
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            return _fail(f"{where}: not an object")
+        missing = REQUIRED - set(event)
+        if missing:
+            return _fail(f"{where}: missing {sorted(missing)}")
+        if event["ph"] not in PHASES:
+            return _fail(f"{where}: unexpected phase {event['ph']!r}")
+        for err in _finite_numbers(event.get("args", {}), f"{where}.args"):
+            return _fail(err)
+        if event["ph"] != "X":
+            continue
+        for key in ("ts", "dur"):
+            v = event.get(key)
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+                return _fail(f"{where}: bad {key}={v!r}")
+        complete.append(event)
+
+    if not complete:
+        return _fail("no complete ('X') events")
+    root = max(complete, key=lambda e: e["dur"])
+    lo, hi = root["ts"], root["ts"] + root["dur"]
+    for event in complete:
+        if event["ts"] < lo - 1e-6 or event["ts"] + event["dur"] > hi + 1e-6:
+            return _fail(
+                f"event {event['name']!r} [{event['ts']}, "
+                f"{event['ts'] + event['dur']}] overflows the root span "
+                f"[{lo}, {hi}]"
+            )
+
+    spans = len(complete)
+    print(f"OK: {path} — {spans} spans, root {root['name']!r} {root['dur']:g}us")
+    return 0
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return check(argv[1])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -61,6 +61,7 @@ from repro.faults import (
     RetryPolicy,
 )
 from repro.hw import PlatformConfig, ZYNQ_ULTRASCALE, default_platform
+from repro.obs import Span, Trace, Tracer
 
 __version__ = "1.0.0"
 
@@ -89,8 +90,11 @@ __all__ = [
     "RelationalMemoryEngine",
     "RetryPolicy",
     "RowStoreEngine",
+    "Span",
     "Table",
     "TableSchema",
+    "Trace",
+    "Tracer",
     "Transaction",
     "TransactionManager",
     "Visibility",

@@ -13,6 +13,29 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs import Trace
+
+
+def write_trace(trace: Trace, path: str, indent: int = 2) -> str:
+    """Dump a query trace as Chrome trace-event JSON; returns the path.
+
+    The file loads directly in Perfetto / ``chrome://tracing``. Bench
+    targets use this to attach one representative trace per figure next
+    to the result tables.
+    """
+    with open(path, "w") as f:
+        f.write(trace.to_chrome_json(indent=indent))
+        f.write("\n")
+    return path
+
+
+def trace_summary(trace: Trace, top: int = 5) -> Dict[str, float]:
+    """The ``top`` spans by inclusive cycles — a flat dict for tables."""
+    spans = sorted(
+        trace.root.walk(), key=lambda s: s.total_cycles, reverse=True
+    )
+    return {s.name: s.total_cycles for s in spans[:top]}
+
 
 @dataclass
 class Series:

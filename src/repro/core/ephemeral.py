@@ -29,6 +29,7 @@ from repro.core.selection import FabricFilter
 from repro.errors import GeometryError
 from repro.faults import FABRIC_CORRUPT
 from repro.hw.engine import RelationalMemoryEngineModel, RmTransformReport
+from repro.obs import Tracer, maybe_span
 
 
 @dataclass(frozen=True)
@@ -54,12 +55,14 @@ class EphemeralColumnGroup:
         engine: RelationalMemoryEngineModel,
         fabric_filter: Optional[FabricFilter] = None,
         visibility: Optional[Visibility] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self._frame = frame
         self.geometry = geometry
         self._engine = engine
         self._filter = fabric_filter
         self._visibility = visibility
+        self._tracer = tracer
         self._packed: Optional[np.ndarray] = None
         self._report: Optional[RmTransformReport] = None
         self._refreshes = 0
@@ -69,24 +72,46 @@ class EphemeralColumnGroup:
     # ------------------------------------------------------------------
     def refresh(self) -> "EphemeralColumnGroup":
         """(Re)run the on-the-fly transformation against the base frame."""
-        mask = self._current_mask()
-        qualifying = None if mask is None else int(np.count_nonzero(mask))
-        self._packed = pack(self._frame, self.geometry, row_mask=mask)
-        self._report = self._engine.transform(
-            nrows=self._frame.shape[0],
-            row_stride=self.geometry.row_stride,
-            out_bytes_per_row=self.geometry.packed_width,
-            qualifying_rows=qualifying,
-            mvcc_filter=self._visibility is not None,
-            fabric_predicates=len(self._filter) if self._filter else 0,
-        )
-        # The fabric checksums every packed line it pushes toward the
-        # cache; a corrupt line is detected (never silently served) and
-        # surfaces as a fabric fault the caller may retry.
-        injector = self._engine.fault_injector
-        if injector is not None and injector.armed:
-            injector.check(FABRIC_CORRUPT, detail=f"{self._packed.shape[0]} lines")
-        self._refreshes += 1
+        with maybe_span(
+            self._tracer,
+            "fabric.refresh",
+            layer="fabric",
+            rows_in=self._frame.shape[0],
+        ) as span:
+            mask = self._current_mask()
+            qualifying = None if mask is None else int(np.count_nonzero(mask))
+            with maybe_span(self._tracer, "fabric.pack", layer="fabric"):
+                self._packed = pack(self._frame, self.geometry, row_mask=mask)
+            self._report = self._engine.transform(
+                nrows=self._frame.shape[0],
+                row_stride=self.geometry.row_stride,
+                out_bytes_per_row=self.geometry.packed_width,
+                qualifying_rows=qualifying,
+                mvcc_filter=self._visibility is not None,
+                fabric_predicates=len(self._filter) if self._filter else 0,
+            )
+            span.set_attrs(rows_out=self._packed.shape[0])
+            span.add_counters(
+                {
+                    "refills": self._report.refills,
+                    "out_bytes": self._report.out_bytes,
+                    "fabric_dram_bytes": self._report.dram_bytes_touched,
+                }
+            )
+            # The fabric pipeline's extent on the timeline (produce +
+            # stalls); the consuming engine charges the exposed share.
+            span.set_duration(
+                self._report.produce_cycles + self._report.refill_stall_cycles
+            )
+            # The fabric checksums every packed line it pushes toward the
+            # cache; a corrupt line is detected (never silently served) and
+            # surfaces as a fabric fault the caller may retry.
+            injector = self._engine.fault_injector
+            if injector is not None and injector.armed:
+                injector.check(
+                    FABRIC_CORRUPT, detail=f"{self._packed.shape[0]} lines"
+                )
+            self._refreshes += 1
         return self
 
     def _current_mask(self) -> Optional[np.ndarray]:

@@ -26,6 +26,7 @@ from repro.errors import GeometryError
 from repro.faults import FABRIC_CONFIGURE, FaultInjector
 from repro.hw.config import PlatformConfig, default_platform
 from repro.hw.engine import RelationalMemoryEngineModel
+from repro.obs import Tracer, maybe_span
 
 
 class RelationalFabric(ABC):
@@ -55,12 +56,15 @@ class RelationalMemory(RelationalFabric):
         self,
         platform: Optional[PlatformConfig] = None,
         fault_injector: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.platform = platform or default_platform()
         self.fault_injector = fault_injector
         self.engine = RelationalMemoryEngineModel(
             self.platform, fault_injector=fault_injector
         )
+        #: Observability hook: configure/refresh/pack open spans here.
+        self.tracer = tracer
 
     def configure(
         self,
@@ -70,24 +74,31 @@ class RelationalMemory(RelationalFabric):
         fabric_filter: Optional[FabricFilter] = None,
         visibility: Optional[Visibility] = None,
     ) -> EphemeralColumnGroup:
-        if self.fault_injector is not None and self.fault_injector.armed:
-            self.fault_injector.check(
-                FABRIC_CONFIGURE, detail=",".join(geometry.field_names)
+        with maybe_span(
+            self.tracer,
+            "fabric.geometry",
+            layer="fabric",
+            columns=",".join(geometry.field_names),
+        ):
+            if self.fault_injector is not None and self.fault_injector.armed:
+                self.fault_injector.check(
+                    FABRIC_CONFIGURE, detail=",".join(geometry.field_names)
+                )
+            if fabric_filter is not None and base_geometry is None:
+                # Predicates must be resolvable; default to the projected
+                # geometry and fail early if a field is missing.
+                base_geometry = geometry
+                for name in fabric_filter.fields():
+                    geometry.field(name)  # raises GeometryError when absent
+            group = EphemeralColumnGroup(
+                frame=frame,
+                geometry=geometry,
+                engine=self.engine,
+                fabric_filter=fabric_filter,
+                visibility=visibility,
+                tracer=self.tracer,
             )
-        if fabric_filter is not None and base_geometry is None:
-            # Predicates must be resolvable; default to the projected
-            # geometry and fail early if a field is missing.
-            base_geometry = geometry
-            for name in fabric_filter.fields():
-                geometry.field(name)  # raises GeometryError when absent
-        group = EphemeralColumnGroup(
-            frame=frame,
-            geometry=geometry,
-            engine=self.engine,
-            fabric_filter=fabric_filter,
-            visibility=visibility,
-        )
-        group._filter_geometry = base_geometry or geometry
+            group._filter_geometry = base_geometry or geometry
         return group
 
 

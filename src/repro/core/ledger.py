@@ -4,12 +4,23 @@ Every engine run fills one :class:`CostLedger` with named buckets so the
 benchmark harness and the examples can report not just totals but the
 *decomposition* the paper argues about (data movement vs compute vs
 fabric overheads).
+
+A ledger can carry a :class:`repro.obs.Tracer`; every charge is then
+*also* recorded as an event on the tracer's currently-open span, giving
+the hierarchical attribution of :mod:`repro.obs` without changing the
+flat accounting in any way — the dict accumulation below is exactly what
+it was before spans existed, so totals stay bit-identical whether or not
+a tracer is attached (property-tested in
+``tests/test_trace_equivalence.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Tracer
 
 
 @dataclass
@@ -18,6 +29,10 @@ class CostLedger:
 
     buckets: Dict[str, float] = field(default_factory=dict)
     dram_bytes: float = 0.0
+    #: Optional observability hook: charges dual-write to this tracer's
+    #: current span. Excluded from equality — two ledgers with the same
+    #: buckets are the same cost, traced or not.
+    tracer: Optional["Tracer"] = field(default=None, compare=False, repr=False)
 
     # Canonical bucket names used across the engines.
     CPU = "cpu"
@@ -37,13 +52,34 @@ class CostLedger:
     #: Log read-back, checksum validation, and redo during recovery.
     WAL_RECOVERY = "wal_recovery"
 
+    #: Every bucket the simulator charges, in report order. ``breakdown``
+    #: returns all of them — including zeros — so reports never silently
+    #: drop a dimension.
+    KNOWN_BUCKETS = (
+        CPU,
+        MEMORY,
+        FABRIC,
+        STALL,
+        CONFIGURE,
+        RECONSTRUCT,
+        RETRY,
+        DEGRADED,
+        WAL_APPEND,
+        WAL_CHECKPOINT,
+        WAL_RECOVERY,
+    )
+
     def charge(self, bucket: str, cycles: float) -> None:
         if cycles < 0:
             raise ValueError(f"negative charge {cycles} to {bucket!r}")
         self.buckets[bucket] = self.buckets.get(bucket, 0.0) + cycles
+        if self.tracer is not None:
+            self.tracer.record(bucket, cycles)
 
     def charge_traffic(self, nbytes: float) -> None:
         self.dram_bytes += nbytes
+        if self.tracer is not None:
+            self.tracer.record_traffic(nbytes)
 
     @property
     def total_cycles(self) -> float:
@@ -58,11 +94,19 @@ class CostLedger:
         self.dram_bytes += other.dram_bytes
 
     def breakdown(self) -> Dict[str, float]:
-        """Bucket → fraction of the total, for reports."""
+        """Bucket → fraction of the total, for reports.
+
+        Always covers every :data:`KNOWN_BUCKETS` entry (plus any ad-hoc
+        bucket actually charged); on a zero-total ledger every fraction
+        is 0.0 rather than the dict being empty, so degraded/empty runs
+        still render a full table.
+        """
         total = self.total_cycles
+        names = list(self.KNOWN_BUCKETS)
+        names.extend(sorted(set(self.buckets) - set(names)))
         if total == 0:
-            return {}
-        return {name: cycles / total for name, cycles in sorted(self.buckets.items())}
+            return {name: 0.0 for name in names}
+        return {name: self.buckets.get(name, 0.0) / total for name in names}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         inner = ", ".join(f"{k}={v:.0f}" for k, v in sorted(self.buckets.items()))

@@ -38,6 +38,7 @@ from repro.errors import ExecutionError
 from repro.hw.analytic import AnalyticMemoryModel, MemoryModel, TraceMemoryModel
 from repro.hw.config import PlatformConfig, default_platform
 from repro.hw.cpu import CpuCostModel
+from repro.obs import Span, Trace, Tracer, active, maybe_span
 
 
 @dataclass
@@ -54,6 +55,10 @@ class ExecutionResult:
     #: True when the engine's native access path faulted and the answer
     #: was produced by the software fallback (rowstore scan) instead.
     degraded: bool = False
+    #: Hierarchical cost attribution (present when the engine carries an
+    #: enabled :class:`repro.obs.Tracer`). ``trace.to_ledger()`` folds
+    #: back to ``ledger`` bit-identically.
+    trace: Optional[Trace] = None
 
     @property
     def cycles(self) -> float:
@@ -74,6 +79,7 @@ class Engine(ABC):
         platform: Optional[PlatformConfig] = None,
         memory_model: str = "analytic",
         threads: int = 1,
+        tracer: Optional[Tracer] = None,
     ):
         self.catalog = catalog
         self.platform = platform or default_platform()
@@ -91,6 +97,24 @@ class Engine(ABC):
             self.memory = TraceMemoryModel(self.platform)
         else:
             raise ExecutionError(f"unknown memory model {memory_model!r}")
+        #: Observability hook: when set (and enabled), every execute()
+        #: builds a span tree and returns it as ``ExecutionResult.trace``.
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Observability plumbing.
+    # ------------------------------------------------------------------
+    def _span(self, name: str, probe=None, **attrs):
+        """A span under this engine's tracer (the shared no-op when
+        tracing is off — the only cost then is this predicate)."""
+        return maybe_span(self.tracer, name, probe=probe, **attrs)
+
+    def _hw_probe(self):
+        """Hardware-counter probe for spans: cache/DRAM deltas in trace
+        mode, nothing in analytic mode (it has no event counters)."""
+        if isinstance(self.memory, TraceMemoryModel):
+            return self.memory.hierarchy.counters
+        return None
 
     # ------------------------------------------------------------------
     # Parallel scan charging, shared by every engine's access path.
@@ -132,11 +156,40 @@ class Engine(ABC):
         plain tables.
         """
         bound = self.bind(query) if isinstance(query, str) else query
-        ledger = CostLedger()
-        columns, visible, mask = self._fetch(bound, snapshot_ts, ledger)
-        qualifying = visible if mask is None else int(np.count_nonzero(mask))
-        self._charge_post_scan(bound, visible, qualifying, ledger)
-        result = run_vector(bound, columns, mask=mask)
+        ledger = CostLedger(tracer=active(self.tracer))
+        with self._span(
+            "query",
+            engine=self.name,
+            table=bound.table.schema.name,
+            layer="engine",
+        ) as root:
+            with self._span(
+                "scan",
+                probe=self._hw_probe(),
+                table=bound.table.schema.name,
+                mode=self.access_path,
+            ) as scan:
+                columns, visible, mask = self._fetch(bound, snapshot_ts, ledger)
+                qualifying = (
+                    visible if mask is None else int(np.count_nonzero(mask))
+                )
+                scan.set_attrs(
+                    rows_in=bound.table.nrows,
+                    rows_out=qualifying,
+                    mode=self.access_path,
+                )
+            self._charge_post_scan(bound, visible, qualifying, ledger)
+            # The answer path (repro.db.exec) is shared and uncosted —
+            # its cycles were charged per-operator above — but it still
+            # appears in the trace so the tree shows where answers form.
+            with self._span("answer", layer="exec", mode="vector") as ans:
+                result = run_vector(bound, columns, mask=mask)
+                ans.set_attrs(rows_out=result.nrows)
+            root.set_attrs(
+                rows_out=result.nrows,
+                visible_rows=visible,
+                qualifying_rows=qualifying,
+            )
         return ExecutionResult(
             engine=self.name,
             result=result,
@@ -144,6 +197,7 @@ class Engine(ABC):
             plan=explain(bound, access_path=self.access_path),
             visible_rows=visible,
             qualifying_rows=qualifying,
+            trace=Trace(root) if isinstance(root, Span) else None,
         )
 
     def bind(self, sql: str) -> BoundQuery:
@@ -188,6 +242,69 @@ class Engine(ABC):
             out[name] = values if vis is None else values[vis]
         return out
 
+    def _apply_filter(
+        self,
+        bound: BoundQuery,
+        columns: Dict[str, np.ndarray],
+        visible: int,
+    ) -> Tuple[Optional[np.ndarray], int]:
+        """Evaluate the WHERE clause over decoded columns.
+
+        Returns ``(mask_or_None, qualifying_row_count)`` and tags the
+        current span with the selectivity — shared by every access path
+        so the filter instrumentation lives in exactly one place.
+        """
+        mask = apply_where(bound, columns)
+        qualifying = visible if mask is None else int(np.count_nonzero(mask))
+        with self._span(
+            "filter", rows_in=visible, rows_out=qualifying
+        ) as span:
+            if bound.where is not None:
+                span.set_attrs(
+                    selectivity=(qualifying / visible if visible else 0.0)
+                )
+        return mask, qualifying
+
+    def _scan_preamble(
+        self,
+        bound: BoundQuery,
+        snapshot_ts: Optional[int],
+        column_source=None,
+    ) -> Tuple[
+        Optional[np.ndarray], int, Dict[str, np.ndarray], Optional[np.ndarray], int
+    ]:
+        """The shared head of every engine's scan: MVCC visibility mask,
+        column decode, WHERE evaluation.
+
+        ``column_source(name)`` overrides where a column's full array
+        comes from (the column store reads its replica instead of the
+        base table). Pure bookkeeping — no ledger charges and no memory
+        model calls, so each engine's cost recipe stays byte-for-byte
+        where it was.
+
+        Returns ``(vis, visible, columns, mask, qualifying)``.
+        """
+        table = bound.table
+        vis = self._visibility(bound, snapshot_ts)
+        visible = table.nrows if vis is None else int(np.count_nonzero(vis))
+        with self._span(
+            "visibility", rows_in=table.nrows, rows_out=visible
+        ):
+            pass
+        if column_source is None:
+            columns = self._decoded_columns(bound, vis)
+        else:
+            columns = {
+                name: (
+                    column_source(name)
+                    if vis is None
+                    else column_source(name)[vis]
+                )
+                for name in bound.referenced_columns
+            }
+        mask, qualifying = self._apply_filter(bound, columns, visible)
+        return vis, visible, columns, mask, qualifying
+
     def _charge_post_scan(
         self, bound: BoundQuery, visible: int, qualifying: int, ledger: CostLedger
     ) -> None:
@@ -200,20 +317,34 @@ class Engine(ABC):
         n = self.threads
         if bound.join is not None:
             build_n = bound.join.table.nrows
-            ledger.charge(CostLedger.CPU, cpu.hash_probes(build_n + qualifying) / n)
-            probe = self.memory.random(
-                qualifying, build_n * 16  # key + payload pointer per entry
-            )
-            ledger.charge(CostLedger.MEMORY, probe.total / n)
+            with self._span(
+                "join", rows_in=qualifying, build_rows=build_n
+            ):
+                ledger.charge(
+                    CostLedger.CPU, cpu.hash_probes(build_n + qualifying) / n
+                )
+                probe = self.memory.random(
+                    qualifying, build_n * 16  # key + payload pointer per entry
+                )
+                ledger.charge(CostLedger.MEMORY, probe.total / n)
         if bound.group_by or bound.has_aggregates:
-            ledger.charge(CostLedger.CPU, cpu.hash_probes(qualifying) / n)
-            ledger.charge(
-                CostLedger.CPU,
-                cpu.aggregate_updates(qualifying * bound.aggregate_count) / n,
-            )
+            with self._span(
+                "aggregate",
+                rows_in=qualifying,
+                aggregates=bound.aggregate_count,
+            ):
+                ledger.charge(CostLedger.CPU, cpu.hash_probes(qualifying) / n)
+                ledger.charge(
+                    CostLedger.CPU,
+                    cpu.aggregate_updates(qualifying * bound.aggregate_count) / n,
+                )
         n_out = qualifying if not (bound.group_by or bound.has_aggregates) else 0
         if bound.distinct and n_out > 0:
-            ledger.charge(CostLedger.CPU, cpu.hash_probes(n_out) / n)
+            with self._span("distinct", rows_in=n_out):
+                ledger.charge(CostLedger.CPU, cpu.hash_probes(n_out) / n)
         if bound.order_by and n_out > 1:
-            comparisons = n_out * math.log2(n_out) * len(bound.order_by)
-            ledger.charge(CostLedger.CPU, cpu.predicates(int(comparisons)) / n)
+            with self._span(
+                "sort", rows_in=n_out, keys=len(bound.order_by)
+            ):
+                comparisons = n_out * math.log2(n_out) * len(bound.order_by)
+                ledger.charge(CostLedger.CPU, cpu.predicates(int(comparisons)) / n)

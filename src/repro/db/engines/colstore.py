@@ -31,7 +31,6 @@ from repro.db.engines.base import Engine
 from repro.db.catalog import Catalog
 from repro.db.plan.binder import BoundQuery
 from repro.db.table import Table
-from repro.db.exec.vector import apply_where
 from repro.errors import ExecutionError
 from repro.hw.analytic import MemCost, ZERO_COST
 from repro.hw.config import PlatformConfig
@@ -111,10 +110,20 @@ class ColumnStoreEngine(Engine):
     def _synced_replica(self, table: Table) -> ColumnarReplica:
         replica = self.replica_of(table)
         if replica.is_stale:
-            self.conversion_ledger.charge(
-                "layout_conversion", replica.conversion_cost_cycles(self)
-            )
-            replica.sync()
+            # Conversion is HTAP bookkeeping, priced on its own ledger —
+            # the span carries its extent on the timeline but no query
+            # charges (the query ledger never included conversion).
+            with self._span(
+                "replica.sync",
+                table=table.schema.name,
+                rows_in=table.nrows,
+                stale_rows=replica.stale_rows,
+                layer="replica",
+            ) as span:
+                cost = replica.conversion_cost_cycles(self)
+                self.conversion_ledger.charge("layout_conversion", cost)
+                replica.sync()
+                span.set_duration(cost)
         return replica
 
     def _fetch(
@@ -132,6 +141,12 @@ class ColumnStoreEngine(Engine):
             c: table.schema.column(c).dtype.width for c in bound.referenced_columns
         }
 
+        # Visibility + decode + WHERE — the shared preamble; the cost
+        # recipe below prices these steps (streams, intermediates).
+        vis, visible, columns, mask, qualifying = self._scan_preamble(
+            bound, snapshot_ts, column_source=replica.column
+        )
+
         cpu_cycles = 0.0
         mem = ZERO_COST
         # Lockstep column streams, keyed so each column keeps a stable
@@ -145,7 +160,6 @@ class ColumnStoreEngine(Engine):
             full_streams.append(size)
             stream_keys.append(("col", tname, column))
 
-        vis = self._visibility(bound, snapshot_ts)
         if vis is not None:
             # Visibility: two timestamp column streams, a vectorized
             # compare pair, one mask intermediate.
@@ -158,14 +172,6 @@ class ColumnStoreEngine(Engine):
                 base_addr=self.memory.region(("mask", tname), n_slots),
                 write=True,
             )
-        visible = n_slots if vis is None else int(np.count_nonzero(vis))
-
-        columns = {
-            name: (replica.column(name) if vis is None else replica.column(name)[vis])
-            for name in bound.referenced_columns
-        }
-        mask = apply_where(bound, columns)
-        qualifying = visible if mask is None else int(np.count_nonzero(mask))
 
         # Per-row consumption loop over the lockstep column streams (the
         # paper's COL kernel: values of k separate arrays stitched back

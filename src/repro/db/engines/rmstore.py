@@ -34,10 +34,10 @@ from repro.db.engines.base import Engine
 from repro.db.catalog import Catalog
 from repro.db.expr import ColumnRef, Compare, Expr, Literal
 from repro.db.plan.binder import BoundQuery
-from repro.db.exec.vector import apply_where
 from repro.errors import ExecutionError, FaultError
 from repro.faults import CircuitBreaker, FaultInjector, RetryPolicy
 from repro.hw.config import PlatformConfig
+from repro.obs import Span, Trace, active, maybe_span
 
 _PUSHABLE_OPS = {
     "<": CompareOp.LT,
@@ -77,7 +77,9 @@ class RelationalMemoryEngine(Engine):
         self.consumption = consumption
         self.pushdown = pushdown
         self.aggregate_pushdown = aggregate_pushdown
-        self.fabric = RelationalMemory(self.platform, fault_injector=fault_injector)
+        self.fabric = RelationalMemory(
+            self.platform, fault_injector=fault_injector, tracer=self.tracer
+        )
         self.retry_policy = retry_policy or RetryPolicy()
         self.breaker = breaker or CircuitBreaker()
         #: When True (the default), a query whose fabric path faults past
@@ -103,8 +105,28 @@ class RelationalMemoryEngine(Engine):
     def execute(self, query, snapshot_ts=None):
         """Run one query; on fabric faults, retry with backoff and —
         past the retry budget or with the breaker open — re-execute on
-        the rowstore scan path over the same base data."""
+        the rowstore scan path over the same base data.
+
+        The whole dispatch (every attempt, the retry penalties, a
+        possible degraded re-execution) runs under one ``dispatch`` span,
+        so a traced degraded query shows the faulted attempts next to the
+        answer that replaced them. ``result.trace`` is that dispatch
+        tree; on the fault-free path it has a single ``query`` child.
+        """
         bound = self.bind(query) if isinstance(query, str) else query
+        tracer = active(self.tracer)
+        with maybe_span(
+            tracer, "dispatch", engine=self.name, layer="engine"
+        ) as dispatch:
+            result = self._dispatch(bound, snapshot_ts)
+            dispatch.set_attrs(
+                mode=self._last_access_path, degraded=result.degraded
+            )
+        if isinstance(dispatch, Span):
+            result.trace = Trace(dispatch)
+        return result
+
+    def _dispatch(self, bound, snapshot_ts):
         policy = self.retry_policy
         penalty = 0.0
         last_fault: Optional[FaultError] = None
@@ -139,7 +161,8 @@ class RelationalMemoryEngine(Engine):
 
         if self._fallback_engine is None:
             self._fallback_engine = RowStoreEngine(
-                self.catalog, self.platform, threads=self.threads
+                self.catalog, self.platform, threads=self.threads,
+                tracer=self.tracer,
             )
         self.fallbacks += 1
         self._last_access_path = "degraded-rowstore-scan"
@@ -245,11 +268,25 @@ class RelationalMemoryEngine(Engine):
             mvcc_filter=mask is not None and schema.mvcc,
             fabric_predicates=len(pushed),
         )
-        ledger = CostLedger()
-        ledger.charge(CostLedger.CONFIGURE, report.configure_cycles)
-        ledger.charge(CostLedger.FABRIC, report.produce_cycles)
-        ledger.charge(CostLedger.CPU, 2 * self.platform.cpu.volcano_tuple_cycles)
-        ledger.charge_traffic(report.dram_bytes_touched)
+        ledger = CostLedger(tracer=active(self.tracer))
+        with self._span(
+            "fabric.aggregate",
+            table=schema.name,
+            layer="fabric",
+            rows_in=table.nrows,
+            rows_out=1,
+            predicate=output.kind,
+        ) as span:
+            ledger.charge(CostLedger.CONFIGURE, report.configure_cycles)
+            ledger.charge(CostLedger.FABRIC, report.produce_cycles)
+            ledger.charge(CostLedger.CPU, 2 * self.platform.cpu.volcano_tuple_cycles)
+            ledger.charge_traffic(report.dram_bytes_touched)
+            span.add_counters(
+                {
+                    "fabric_dram_bytes": report.dram_bytes_touched,
+                    "refills": report.refills,
+                }
+            )
         visible = table.nrows if mask is None else int(np.count_nonzero(mask))
         return ExecutionResult(
             engine=self.name,
@@ -339,20 +376,36 @@ class RelationalMemoryEngine(Engine):
 
                 residual_ops = sum(op_count(r) for r in residual)
 
-        group = self.fabric.configure(
-            table.frame,
-            geometry,
-            base_geometry=schema.full_geometry(),
-            fabric_filter=fabric_filter,
-            visibility=visibility,
-        )
-        group.refresh()
-        report = group.report
-        emitted = group.length
+        with self._span(
+            "fabric.transform",
+            table=schema.name,
+            layer="fabric",
+            rows_in=table.nrows,
+            pushed_predicates=0 if fabric_filter is None else len(
+                fabric_filter.predicates
+            ),
+        ) as fspan:
+            group = self.fabric.configure(
+                table.frame,
+                geometry,
+                base_geometry=schema.full_geometry(),
+                fabric_filter=fabric_filter,
+                visibility=visibility,
+            )
+            group.refresh()
+            report = group.report
+            emitted = group.length
+            fspan.set_attrs(rows_out=emitted)
+            fspan.add_counters(
+                {
+                    "fabric_dram_bytes": report.dram_bytes_touched,
+                    "out_bytes": report.out_bytes,
+                    "refills": report.refills,
+                }
+            )
 
         columns = self._decode_group(bound, group)
-        mask = apply_where(bound, columns)
-        qualifying = emitted if mask is None else int(np.count_nonzero(mask))
+        mask, qualifying = self._apply_filter(bound, columns, emitted)
 
         # ---------------- consume-side costs ----------------
         # The packed stream arrives through the fabric's ephemeral buffer
@@ -371,12 +424,18 @@ class RelationalMemoryEngine(Engine):
         # the fabric's production pipeline overlaps the whole consume side.
         # (The fabric engine itself is a single shared unit: its produce
         # rate does not scale with CPU threads.)
-        consume = self._charge_scan(ledger, mem, cpu=cpu_cycles)
+        with self._span(
+            "consume", mode=self.consumption, rows_in=emitted
+        ) as cspan:
+            consume = self._charge_scan(ledger, mem, cpu=cpu_cycles)
+            cspan.set_attrs(mode=self.last_consumption)
         exposed_fabric = max(0.0, report.produce_cycles - consume)
 
-        ledger.charge(CostLedger.FABRIC, exposed_fabric)
-        ledger.charge(CostLedger.STALL, report.refill_stall_cycles)
-        ledger.charge(CostLedger.CONFIGURE, report.configure_cycles)
+        with self._span("fabric.produce", layer="fabric"):
+            ledger.charge(CostLedger.FABRIC, exposed_fabric)
+            ledger.charge(CostLedger.STALL, report.refill_stall_cycles)
+        with self._span("fabric.configure", layer="fabric"):
+            ledger.charge(CostLedger.CONFIGURE, report.configure_cycles)
         ledger.charge_traffic(report.dram_bytes_touched)
         return columns, emitted, mask
 

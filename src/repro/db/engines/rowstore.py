@@ -27,7 +27,6 @@ from repro.core.ledger import CostLedger
 from repro.db.engines.base import Engine
 from repro.db.expr import ColumnRef, Compare, Literal
 from repro.db.plan.binder import BoundQuery
-from repro.db.exec.vector import apply_where
 
 
 class RowStoreEngine(Engine):
@@ -112,7 +111,7 @@ class RowStoreEngine(Engine):
         for name in bound.referenced_columns:
             values = table.column_values(name)
             columns[name] = values[slots]
-        mask = apply_where(bound, columns)
+        mask, _ = self._apply_filter(bound, columns, len(slots))
         self._last_access_path = "index-probe"
         self.index_answered += 1
         return columns, len(slots), mask
@@ -140,6 +139,12 @@ class RowStoreEngine(Engine):
         n_slots = table.nrows
         cpu = self.cpu
 
+        # Visibility + decode + WHERE — pure bookkeeping, shared across
+        # engines, charged nothing (the cost recipe below prices it).
+        vis, visible, columns, mask, qualifying = self._scan_preamble(
+            bound, snapshot_ts
+        )
+
         # Memory: the full row image streams through the caches — the
         # projectivity of the query does not reduce traffic one byte. The
         # image lives at a stable region so repeated scans in trace mode
@@ -151,18 +156,11 @@ class RowStoreEngine(Engine):
 
         # CPU: the Volcano interpretation loop over every slot.
         cpu_cycles = cpu.volcano_tuples(n_slots)
-
-        vis = self._visibility(bound, snapshot_ts)
         if vis is not None:
             # Timestamp visibility is evaluated on the CPU: two extracted
             # fields and two comparisons per slot.
             cpu_cycles += cpu.field_extracts(2 * n_slots)
             cpu_cycles += cpu.predicates(2 * n_slots)
-        visible = n_slots if vis is None else int(np.count_nonzero(vis))
-
-        columns = self._decoded_columns(bound, vis)
-        mask = apply_where(bound, columns)
-        qualifying = visible if mask is None else int(np.count_nonzero(mask))
 
         # Selection: extract the predicate's fields and evaluate it for
         # every visible tuple; one data-dependent branch per tuple.

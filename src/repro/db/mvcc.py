@@ -30,6 +30,7 @@ from repro.errors import (
     WriteConflictError,
 )
 from repro.faults import RetryPolicy
+from repro.obs import Tracer, maybe_span
 
 
 class TxnState(enum.Enum):
@@ -203,13 +204,26 @@ class TransactionManager:
     the original purely in-memory behaviour — zero logging cost.
     """
 
-    def __init__(self, wal: Optional[WriteAheadLog] = None):
+    def __init__(
+        self,
+        wal: Optional[WriteAheadLog] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         self._clock = 0
         self._active: Dict[int, Transaction] = {}
         self._next_txn_id = 1
         self.stats = MvccStats()
         #: Optional durability pipe; ``None`` means in-memory only.
         self.wal = wal
+        #: Observability hook: commit/abort/vacuum open spans here, with
+        #: the WAL's append/flush spans nesting inside them. A WAL that
+        #: has no tracer of its own adopts this one, so one wiring point
+        #: covers the whole durability path.
+        self.tracer = tracer
+        if tracer is not None and wal is not None and wal.tracer is None:
+            wal.tracer = tracer
+            if wal.ledger.tracer is None:
+                wal.ledger.tracer = tracer
 
     def _tick(self) -> int:
         self._clock += 1
@@ -283,37 +297,48 @@ class TransactionManager:
     def commit(self, txn: Transaction) -> int:
         """Validate and commit; returns the commit timestamp."""
         txn._require_active()
-        # First-committer-wins validation: every superseded version must
-        # still be live (no one committed an ending in between).
-        for intent in txn._intents:
-            if intent.old_slot is not None:
-                end = int(intent.table.end_ts[intent.old_slot])
-                if end != LIVE_TS:
-                    self.stats.conflicts += 1
-                    self.abort(txn)
-                    raise WriteConflictError(
-                        f"slot {intent.old_slot} superseded at ts {end} by a "
-                        "concurrent commit"
-                    )
-        commit_ts = self._tick()
-        if self.wal is not None and txn._wal_logged:
-            # Write-ahead: the COMMIT record must be durable before any
-            # effect of this transaction is acknowledged. The flush here
-            # is the commit barrier (priced NAND program time).
-            self.wal.append(
-                WalRecord(WalRecordType.COMMIT, txn.txn_id, commit_ts=commit_ts),
-                durable=True,
-            )
-        for intent in txn._intents:
-            if intent.new_slot is not None:
-                intent.table.stamp_begin(intent.new_slot, commit_ts)
-                self.stats.versions_created += 1
-            if intent.old_slot is not None:
-                intent.table.stamp_end(intent.old_slot, commit_ts)
-        txn.state = TxnState.COMMITTED
-        txn.commit_ts = commit_ts
-        self._active.pop(txn.txn_id, None)
-        self.stats.committed += 1
+        with maybe_span(
+            self.tracer,
+            "txn.commit",
+            layer="txn",
+            txn_id=txn.txn_id,
+            intents=len(txn._intents),
+        ) as span:
+            # First-committer-wins validation: every superseded version must
+            # still be live (no one committed an ending in between).
+            for intent in txn._intents:
+                if intent.old_slot is not None:
+                    end = int(intent.table.end_ts[intent.old_slot])
+                    if end != LIVE_TS:
+                        self.stats.conflicts += 1
+                        span.set_attrs(conflict=True)
+                        self.abort(txn)
+                        raise WriteConflictError(
+                            f"slot {intent.old_slot} superseded at ts {end} by a "
+                            "concurrent commit"
+                        )
+            commit_ts = self._tick()
+            if self.wal is not None and txn._wal_logged:
+                # Write-ahead: the COMMIT record must be durable before any
+                # effect of this transaction is acknowledged. The flush here
+                # is the commit barrier (priced NAND program time).
+                self.wal.append(
+                    WalRecord(
+                        WalRecordType.COMMIT, txn.txn_id, commit_ts=commit_ts
+                    ),
+                    durable=True,
+                )
+            for intent in txn._intents:
+                if intent.new_slot is not None:
+                    intent.table.stamp_begin(intent.new_slot, commit_ts)
+                    self.stats.versions_created += 1
+                if intent.old_slot is not None:
+                    intent.table.stamp_end(intent.old_slot, commit_ts)
+            txn.state = TxnState.COMMITTED
+            txn.commit_ts = commit_ts
+            self._active.pop(txn.txn_id, None)
+            self.stats.committed += 1
+            span.set_attrs(commit_ts=commit_ts)
         return commit_ts
 
     def abort(self, txn: Transaction) -> None:
@@ -322,13 +347,16 @@ class TransactionManager:
         if txn.state is TxnState.ABORTED:
             return
         txn._require_active()
-        if self.wal is not None and txn._wal_logged:
-            # Advisory only — a missing ABORT recovers identically (no
-            # COMMIT means no redo), so no flush is needed.
-            self.wal.append(WalRecord(WalRecordType.ABORT, txn.txn_id))
-        txn.state = TxnState.ABORTED
-        self._active.pop(txn.txn_id, None)
-        self.stats.aborted += 1
+        with maybe_span(
+            self.tracer, "txn.abort", layer="txn", txn_id=txn.txn_id
+        ):
+            if self.wal is not None and txn._wal_logged:
+                # Advisory only — a missing ABORT recovers identically (no
+                # COMMIT means no redo), so no flush is needed.
+                self.wal.append(WalRecord(WalRecordType.ABORT, txn.txn_id))
+            txn.state = TxnState.ABORTED
+            self._active.pop(txn.txn_id, None)
+            self.stats.aborted += 1
 
     # ------------------------------------------------------------------
     # Garbage collection.
@@ -382,19 +410,27 @@ class TransactionManager:
                     "checkpointer is attached to a different WAL than this "
                     "manager logs to"
                 )
-        horizon = self.oldest_active_snapshot()
-        begin = table.begin_ts
-        end = table.end_ts
-        keep = (begin != NEVER_TS) & (end > horizon)
-        removed = int(table.nrows - np.count_nonzero(keep))
-        if removed:
-            table.retain(keep)
-            self.stats.versions_vacuumed += removed
-            if self.wal is not None:
-                snap_tables = list(tables) if tables is not None else [table]
-                if all(t is not table for t in snap_tables):
-                    snap_tables.append(table)
-                checkpointer.checkpoint(self, snap_tables)
+        with maybe_span(
+            self.tracer,
+            "txn.vacuum",
+            layer="txn",
+            table=table.schema.name,
+            rows_in=table.nrows,
+        ) as span:
+            horizon = self.oldest_active_snapshot()
+            begin = table.begin_ts
+            end = table.end_ts
+            keep = (begin != NEVER_TS) & (end > horizon)
+            removed = int(table.nrows - np.count_nonzero(keep))
+            if removed:
+                table.retain(keep)
+                self.stats.versions_vacuumed += removed
+                if self.wal is not None:
+                    snap_tables = list(tables) if tables is not None else [table]
+                    if all(t is not table for t in snap_tables):
+                        snap_tables.append(table)
+                    checkpointer.checkpoint(self, snap_tables)
+            span.set_attrs(rows_out=table.nrows, removed=removed)
         return removed
 
 
@@ -428,20 +464,28 @@ def run_transaction(
     budget = policy.retries
     for attempt in range(budget + 1):
         txn = manager.begin()
-        try:
-            out = fn(txn)
-            if txn.state is TxnState.ACTIVE:
-                manager.commit(txn)
-            return out
-        except WriteConflictError:
-            if txn.state is TxnState.ACTIVE:
-                manager.abort(txn)
-            if attempt == budget:
+        with maybe_span(
+            manager.tracer,
+            "txn.attempt",
+            layer="txn",
+            txn_id=txn.txn_id,
+            attempt=attempt,
+        ) as span:
+            try:
+                out = fn(txn)
+                if txn.state is TxnState.ACTIVE:
+                    manager.commit(txn)
+                return out
+            except WriteConflictError:
+                if txn.state is TxnState.ACTIVE:
+                    manager.abort(txn)
+                span.set_attrs(conflict=True)
+                if attempt == budget:
+                    raise
+                manager.stats.retries += 1
+                manager.stats.backoff_cycles += policy.backoff(attempt)
+            except BaseException:
+                if txn.state is TxnState.ACTIVE:
+                    manager.abort(txn)
                 raise
-            manager.stats.retries += 1
-            manager.stats.backoff_cycles += policy.backoff(attempt)
-        except BaseException:
-            if txn.state is TxnState.ACTIVE:
-                manager.abort(txn)
-            raise
     raise AssertionError("unreachable")  # pragma: no cover

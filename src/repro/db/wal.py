@@ -69,6 +69,7 @@ from repro.core.ledger import CostLedger
 from repro.db.schema import TableSchema
 from repro.db.table import Table
 from repro.errors import TransactionError, WalCorruptionError
+from repro.obs import Tracer, maybe_span
 from repro.storage.ssd import SsdLog
 
 __all__ = [
@@ -305,11 +306,16 @@ class WriteAheadLog:
         device: Optional[SsdLog] = None,
         ledger: Optional[CostLedger] = None,
         cycles_per_us: float = DEFAULT_CYCLES_PER_US,
+        tracer: Optional[Tracer] = None,
     ):
         self.device = device or SsdLog()
-        self.ledger = ledger or CostLedger()
+        self.ledger = ledger or CostLedger(tracer=tracer)
         self.cycles_per_us = cycles_per_us
         self.stats = WalStats()
+        #: Observability hook: append/flush/checkpoint/recovery spans.
+        self.tracer = tracer
+        if tracer is not None and self.ledger.tracer is None:
+            self.ledger.tracer = tracer
 
     # ------------------------------------------------------------------
     # Appending.
@@ -321,39 +327,51 @@ class WriteAheadLog:
         record once it reaches the media.
         """
         data = encode_record(rec)
-        self.device.append(data)
-        self.stats.records += 1
-        self.stats.bytes_appended += len(data)
-        if rec.type is WalRecordType.COMMIT:
-            self.stats.commits_logged += 1
-        elif rec.type is WalRecordType.ABORT:
-            self.stats.aborts_logged += 1
-        elif rec.type is WalRecordType.WRITE:
-            self.stats.writes_logged += 1
-        self.ledger.charge(
-            CostLedger.WAL_APPEND, ENCODE_CYCLES_PER_BYTE * len(data)
-        )
-        lsn = self.device.durable_bytes + self.device.pending_bytes
-        if durable:
-            self.flush()
+        with maybe_span(
+            self.tracer,
+            "wal.append",
+            layer="wal",
+            record=rec.type.name,
+            nbytes=len(data),
+        ):
+            self.device.append(data)
+            self.stats.records += 1
+            self.stats.bytes_appended += len(data)
+            if rec.type is WalRecordType.COMMIT:
+                self.stats.commits_logged += 1
+            elif rec.type is WalRecordType.ABORT:
+                self.stats.aborts_logged += 1
+            elif rec.type is WalRecordType.WRITE:
+                self.stats.writes_logged += 1
+            self.ledger.charge(
+                CostLedger.WAL_APPEND, ENCODE_CYCLES_PER_BYTE * len(data)
+            )
+            lsn = self.device.durable_bytes + self.device.pending_bytes
+            if durable:
+                self.flush()
         return lsn
 
     def flush(self) -> None:
         """Force buffered records to the media (priced NAND programs)."""
-        us = self.device.flush()
-        self.stats.flushes += 1
-        self.ledger.charge(CostLedger.WAL_APPEND, us * self.cycles_per_us)
+        with maybe_span(self.tracer, "wal.flush", layer="wal") as span:
+            us = self.device.flush()
+            self.stats.flushes += 1
+            self.ledger.charge(CostLedger.WAL_APPEND, us * self.cycles_per_us)
+            span.add_counter("device_us", us)
 
     # ------------------------------------------------------------------
     # Reading back.
     # ------------------------------------------------------------------
     def read_image(self) -> bytes:
         """The durable log image, with read-back cost in ``wal_recovery``."""
-        data, us = self.device.read_all()
-        self.ledger.charge(
-            CostLedger.WAL_RECOVERY,
-            us * self.cycles_per_us + DECODE_CYCLES_PER_BYTE * len(data),
-        )
+        with maybe_span(self.tracer, "wal.read_image", layer="wal") as span:
+            data, us = self.device.read_all()
+            self.ledger.charge(
+                CostLedger.WAL_RECOVERY,
+                us * self.cycles_per_us + DECODE_CYCLES_PER_BYTE * len(data),
+            )
+            span.set_attrs(nbytes=len(data))
+            span.add_counter("device_us", us)
         return data
 
     def records(self) -> List[WalRecord]:
@@ -455,24 +473,34 @@ class Checkpointer:
                 version=table.version,
             )
         cp.crc = cp.compute_crc()
-        # Price the snapshot write: serialize + program every frame byte.
-        page = self.wal.device.flash.config.page_bytes
-        pages = -(-max(cp.nbytes, 1) // page)
-        us = self.wal.device.flash.write_pages_us(pages)
-        self.wal.ledger.charge(
-            CostLedger.WAL_CHECKPOINT,
-            us * self.wal.cycles_per_us + ENCODE_CYCLES_PER_BYTE * cp.nbytes,
-        )
-        # Truncate: the new log begins with the CHECKPOINT record.
-        marker = encode_record(
-            WalRecord(
-                WalRecordType.CHECKPOINT,
-                checkpoint_id=cp.checkpoint_id,
-                clock=cp.clock,
-                next_txn_id=cp.next_txn_id,
+        with maybe_span(
+            self.wal.tracer,
+            "wal.checkpoint",
+            layer="wal",
+            checkpoint_id=cp.checkpoint_id,
+            nbytes=cp.nbytes,
+            tables=len(cp.snapshots),
+        ) as span:
+            # Price the snapshot write: serialize + program every frame byte.
+            page = self.wal.device.flash.config.page_bytes
+            pages = -(-max(cp.nbytes, 1) // page)
+            us = self.wal.device.flash.write_pages_us(pages)
+            self.wal.ledger.charge(
+                CostLedger.WAL_CHECKPOINT,
+                us * self.wal.cycles_per_us + ENCODE_CYCLES_PER_BYTE * cp.nbytes,
             )
-        )
-        self.wal.device.truncate(marker)
+            span.add_counter("device_us", us)
+            span.add_counter("pages_written", pages)
+            # Truncate: the new log begins with the CHECKPOINT record.
+            marker = encode_record(
+                WalRecord(
+                    WalRecordType.CHECKPOINT,
+                    checkpoint_id=cp.checkpoint_id,
+                    clock=cp.clock,
+                    next_txn_id=cp.next_txn_id,
+                )
+            )
+            self.wal.device.truncate(marker)
         self.taken += 1
         self.last = cp
         return cp
@@ -524,6 +552,27 @@ def recover(
     same log (normal restart); the default leaves it detached (what a
     what-if crash probe wants).
     """
+    with maybe_span(
+        wal.tracer,
+        "wal.recover",
+        layer="wal",
+        with_checkpoint=checkpoint is not None,
+    ) as span:
+        result = _recover_impl(wal, checkpoint, schemas, attach_wal)
+        span.set_attrs(
+            records_scanned=result.report.records_scanned,
+            committed_redone=result.report.committed_redone,
+            torn_tail_bytes=result.report.torn_tail_bytes,
+        )
+    return result
+
+
+def _recover_impl(
+    wal: WriteAheadLog,
+    checkpoint: Optional[Checkpoint],
+    schemas: Optional[Mapping[str, TableSchema]],
+    attach_wal: bool,
+) -> RecoveryResult:
     from repro.db.mvcc import TransactionManager  # local: avoid import cycle
 
     report = RecoveryReport()

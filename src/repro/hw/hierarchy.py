@@ -142,3 +142,22 @@ class MemoryHierarchy:
             "prefetch_covered": self.prefetcher.covered,
             "prefetch_uncovered": self.prefetcher.uncovered,
         }
+
+    def counters(self) -> dict:
+        """Flat numeric snapshot of every hardware counter.
+
+        This is the probe format :class:`repro.obs.Tracer` spans consume:
+        snapshotted at span open, diffed at close, so each span carries
+        exactly the cache/prefetcher/DRAM activity of its own work.
+        """
+        return {
+            "l1_hits": self.l1.stats.hits,
+            "l1_misses": self.l1.stats.misses,
+            "l2_hits": self.l2.stats.hits,
+            "l2_misses": self.l2.stats.misses,
+            "dram_row_hits": self.dram.stats.row_hits,
+            "dram_row_misses": self.dram.stats.row_misses,
+            "dram_lines": self.stats.dram_lines,
+            "prefetch_covered": self.prefetcher.covered,
+            "prefetch_uncovered": self.prefetcher.uncovered,
+        }

@@ -1,0 +1,26 @@
+"""repro.obs — the span-based observability spine.
+
+See :mod:`repro.obs.span` for the tracing model and
+:mod:`repro.obs.trace` for rendering/export. Quick use::
+
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    engines = all_engines(catalog, tracer=tracer)
+    result = engines["rm"].execute(query)
+    print(result.trace.render())              # EXPLAIN ANALYZE table
+    open("trace.json", "w").write(result.trace.to_chrome_json())
+"""
+
+from repro.obs.span import NULL_SPAN, Probe, Span, Tracer, active, maybe_span
+from repro.obs.trace import Trace
+
+__all__ = [
+    "NULL_SPAN",
+    "Probe",
+    "Span",
+    "Trace",
+    "Tracer",
+    "active",
+    "maybe_span",
+]

@@ -1,0 +1,228 @@
+"""Query traces: aggregation, rendering, and Chrome trace-event export.
+
+A :class:`Trace` wraps one completed root :class:`~repro.obs.span.Span`
+and gives it three faces:
+
+* :meth:`Trace.to_ledger` — replay every charge event in global sequence
+  order into a fresh :class:`~repro.core.ledger.CostLedger`. Because the
+  replay visits events in exactly the order the original ledger was
+  charged, the float fold order is identical and the resulting buckets,
+  ``total_cycles`` and ``dram_bytes`` are bit-identical to the flat
+  accounting (the bucket-compatibility invariant).
+* :meth:`Trace.render` — an ``EXPLAIN ANALYZE``-style table: one row per
+  span with subtree cycles, rows in/out, DRAM bytes, and L1/L2 hit rates
+  where the span carried hardware counters.
+* :meth:`Trace.to_chrome_json` — Chrome trace-event JSON ("X" complete
+  events, 1 simulated microsecond per cycle) loadable in Perfetto or
+  ``chrome://tracing``. Children are laid head-to-tail inside their
+  parent so the timeline mirrors the cost tree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.span import Span
+
+#: Spans whose subtree is this fraction of the root or more get flagged
+#: in the rendered plan, mirroring EXPLAIN ANALYZE's "actual time" focus.
+_HOT_FRACTION = 0.5
+
+
+class Trace:
+    """One completed query/transaction trace rooted at ``root``."""
+
+    def __init__(self, root: Span):
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # Bucket-compatible aggregation.
+    # ------------------------------------------------------------------
+    def to_ledger(self) -> "CostLedger":
+        """Fold every leaf event back into a flat ledger.
+
+        Events across the whole tree are replayed in the tracer's global
+        sequence order — the same order the original ledger consumed them
+        — so the result is bit-identical to the flat accounting, not just
+        numerically close.
+        """
+        from repro.core.ledger import CostLedger
+
+        charges: List[Tuple[int, str, float]] = []
+        traffic: List[Tuple[int, float]] = []
+        for span in self.root.walk():
+            charges.extend(span.events)
+            traffic.extend(span.traffic)
+        ledger = CostLedger()
+        for _, bucket, cycles in sorted(charges, key=lambda e: e[0]):
+            ledger.charge(bucket, cycles)
+        for _, nbytes in sorted(traffic, key=lambda e: e[0]):
+            ledger.charge_traffic(nbytes)
+        return ledger
+
+    @property
+    def total_cycles(self) -> float:
+        return self.root.total_cycles
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.root.total_dram_bytes
+
+    def find(self, name: str) -> Optional[Span]:
+        return self.root.find(name)
+
+    def find_all(self, name: str) -> List[Span]:
+        return self.root.find_all(name)
+
+    # ------------------------------------------------------------------
+    # EXPLAIN ANALYZE rendering.
+    # ------------------------------------------------------------------
+    def render(self, counters: bool = True) -> str:
+        """Render the span tree as an ``EXPLAIN ANALYZE``-style table."""
+        rows: List[Tuple[str, str, str, str, str]] = []
+        root_cycles = self.root.total_cycles
+        for span in self.root.walk():
+            label = "  " * span.depth + span.name
+            detail = _describe(span)
+            if detail:
+                label += f" ({detail})"
+            if (
+                span is not self.root
+                and root_cycles > 0
+                and span.total_cycles >= _HOT_FRACTION * root_cycles
+            ):
+                label += " *"
+            rows.append(
+                (
+                    label,
+                    _fmt_cycles(span.total_cycles),
+                    _fmt_rows(span),
+                    _fmt_bytes(span.total_dram_bytes),
+                    _fmt_hits(span) if counters else "",
+                )
+            )
+        headers = ("operator", "cycles", "rows", "dram", "cache")
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows)) for i in range(5)
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+            "  ".join("-" * w for w in widths),
+        ]
+        for r in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+        lines.append(
+            f"total: {self.root.total_cycles:,.0f} cycles, "
+            f"{self.root.total_dram_bytes:,.0f} DRAM bytes"
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Chrome trace-event export.
+    # ------------------------------------------------------------------
+    def to_chrome_json(
+        self, pid: int = 1, tid: int = 1, indent: Optional[int] = None
+    ) -> str:
+        """Serialize as Chrome trace-event JSON (Perfetto-loadable).
+
+        Each span becomes one complete ("X") event. One ledger cycle maps
+        to one trace microsecond; children are placed head-to-tail from
+        their parent's start so nesting renders as stacked slices.
+        """
+        events: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": "repro.obs"},
+            }
+        ]
+
+        def place(span: Span, start: float) -> None:
+            args: Dict[str, Any] = {}
+            if span.attrs:
+                args.update(
+                    {k: v for k, v in span.attrs.items() if _jsonable(v)}
+                )
+            buckets = span.bucket_totals(subtree=False)
+            if buckets:
+                args["buckets"] = buckets
+            if span.counters:
+                args["counters"] = span.counters
+            if span.self_dram_bytes:
+                args["dram_bytes"] = span.self_dram_bytes
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": start,
+                    "dur": max(span.duration_cycles, 0.0),
+                    "pid": pid,
+                    "tid": tid,
+                    "cat": span.attrs.get("layer", "sim"),
+                    "args": args,
+                }
+            )
+            cursor = start
+            for child in span.children:
+                place(child, cursor)
+                cursor += child.duration_cycles
+
+        place(self.root, 0.0)
+        doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+        return json.dumps(doc, indent=indent, sort_keys=False)
+
+
+def _jsonable(v: Any) -> bool:
+    return isinstance(v, (str, int, float, bool)) or v is None
+
+
+def _describe(span: Span) -> str:
+    parts = []
+    for key in ("table", "column", "predicate", "mode", "engine"):
+        if key in span.attrs:
+            parts.append(f"{key}={span.attrs[key]}")
+    return ", ".join(parts)
+
+
+def _fmt_cycles(c: float) -> str:
+    return f"{c:,.0f}"
+
+
+def _fmt_rows(span: Span) -> str:
+    rin = span.attrs.get("rows_in")
+    rout = span.attrs.get("rows_out")
+    if rin is None and rout is None:
+        return ""
+    if rin is None:
+        return f"{rout}"
+    if rout is None:
+        return f"{rin}"
+    return f"{rin}->{rout}"
+
+
+def _fmt_bytes(b: float) -> str:
+    if not b:
+        return ""
+    if b >= 1 << 20:
+        return f"{b / (1 << 20):.1f} MiB"
+    if b >= 1 << 10:
+        return f"{b / (1 << 10):.1f} KiB"
+    return f"{b:,.0f} B"
+
+
+def _fmt_hits(span: Span) -> str:
+    """L1/L2 hit rates from probe counters, when present."""
+    out = []
+    for level in ("l1", "l2"):
+        hits = span.counters.get(f"{level}_hits")
+        misses = span.counters.get(f"{level}_misses")
+        if hits is None and misses is None:
+            continue
+        total = (hits or 0.0) + (misses or 0.0)
+        if total <= 0:
+            continue
+        out.append(f"{level.upper()} {100.0 * (hits or 0.0) / total:.0f}%")
+    return " ".join(out)

@@ -27,6 +27,7 @@ from repro.core.geometry import DataGeometry
 from repro.core.mvcc_filter import visible_mask
 from repro.core.packer import pack
 from repro.core.selection import FabricAggregate, FabricFilter
+from repro.obs import Tracer, maybe_span
 from repro.storage.flash import FlashDevice
 from repro.storage.ssd import ReadReport, SsdTable
 from repro.errors import StorageError
@@ -80,9 +81,12 @@ class StorageEphemeralGroup:
 class RelationalStorage(RelationalFabric):
     """Ephemeral column groups served from inside the SSD."""
 
-    def __init__(self, ssd_table: SsdTable):
+    def __init__(self, ssd_table: SsdTable, tracer: Optional[Tracer] = None):
         self.ssd = ssd_table
         self.flash: FlashDevice = ssd_table.flash
+        #: Observability hook: pushdown/aggregate reads open spans here.
+        #: Storage spans tick in device microseconds, not CPU cycles.
+        self.tracer = tracer
 
     def configure(
         self,
@@ -98,17 +102,34 @@ class RelationalStorage(RelationalFabric):
             raise StorageError("frame does not match the device-resident table")
         base_geometry = base_geometry or geometry
 
-        mask = None
-        if visibility is not None:
-            mask = visible_mask(
-                visibility.begin_ts, visibility.end_ts, visibility.snapshot_ts
-            )
-        if fabric_filter is not None:
-            fmask = fabric_filter.evaluate(frame, base_geometry)
-            mask = fmask if mask is None else (mask & fmask)
+        with maybe_span(
+            self.tracer,
+            "storage.pushdown",
+            layer="storage",
+            columns=",".join(geometry.field_names),
+            rows_in=table.nrows,
+        ) as span:
+            mask = None
+            if visibility is not None:
+                mask = visible_mask(
+                    visibility.begin_ts, visibility.end_ts, visibility.snapshot_ts
+                )
+            if fabric_filter is not None:
+                fmask = fabric_filter.evaluate(frame, base_geometry)
+                mask = fmask if mask is None else (mask & fmask)
 
-        packed = pack(frame, geometry, row_mask=mask)
-        report = self._price(packed.shape[0], geometry)
+            packed = pack(frame, geometry, row_mask=mask)
+            report = self._price(packed.shape[0], geometry)
+            span.set_attrs(rows_out=packed.shape[0])
+            span.add_counters(
+                {
+                    "device_us": report.device_us,
+                    "engine_us": report.engine_us,
+                    "link_us": report.link_us,
+                    "host_bytes": report.host_bytes,
+                }
+            )
+            span.set_duration(report.total_us)
         return StorageEphemeralGroup(packed=packed, geometry=geometry, report=report)
 
     def aggregate(
@@ -120,13 +141,29 @@ class RelationalStorage(RelationalFabric):
         """§IV-B taken to storage: ship only the aggregation result."""
         table = self.ssd.table
         frame = table.frame
-        mask = (
-            fabric_filter.evaluate(frame, geometry)
-            if fabric_filter is not None
-            else None
-        )
-        value = aggregate.evaluate(frame, geometry, mask=mask)
-        report = self._price(0, geometry, result_bytes=8)
+        with maybe_span(
+            self.tracer,
+            "storage.aggregate",
+            layer="storage",
+            rows_in=table.nrows,
+            rows_out=1,
+        ) as span:
+            mask = (
+                fabric_filter.evaluate(frame, geometry)
+                if fabric_filter is not None
+                else None
+            )
+            value = aggregate.evaluate(frame, geometry, mask=mask)
+            report = self._price(0, geometry, result_bytes=8)
+            span.add_counters(
+                {
+                    "device_us": report.device_us,
+                    "engine_us": report.engine_us,
+                    "link_us": report.link_us,
+                    "host_bytes": report.host_bytes,
+                }
+            )
+            span.set_duration(report.total_us)
         return value, report
 
     def _price(

@@ -36,6 +36,7 @@ from repro.storage.flash import FlashConfig, FlashDevice
 from repro.errors import DeviceTimeoutError, FlashReadError, StorageError
 from repro.faults import RetryPolicy
 from repro.hw.config import PlatformConfig
+from repro.obs import Tracer, maybe_span
 
 
 @dataclass
@@ -179,12 +180,17 @@ class TieredFabric:
         platform: Optional[PlatformConfig] = None,
         flash: Optional[FlashDevice] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.archive = archive
         self.flash = flash or FlashDevice()
         # Storage-side backoff is priced in microseconds.
         self.retry_policy = retry_policy or RetryPolicy(retries=3, base=50.0, cap=5_000.0)
-        self.memory_fabric = RelationalMemory(platform)
+        self.memory_fabric = RelationalMemory(platform, tracer=tracer)
+        #: Observability hook, shared with the memory fabric: cold→warm
+        #: materializations and the downstream ephemeral groups appear in
+        #: the same trace. Storage spans tick in device microseconds.
+        self.tracer = tracer
         #: Materializations that fell back to host-side decompression.
         self.degraded_runs = 0
 
@@ -198,56 +204,82 @@ class TieredFabric:
         if not 0 <= row_lo <= row_hi <= archive.nrows:
             raise StorageError(f"row range [{row_lo}, {row_hi}) out of bounds")
 
-        table = Table(archive.schema, capacity=max(1, row_hi - row_lo))
-        columns: Dict[str, np.ndarray] = {}
-        compressed_read = 0
-        for col in archive.schema.user_columns:
-            arch = archive.column(col.name)
-            values = arch.decode_range(row_lo, row_hi)
-            # Range decode touches whole blocks; charge proportionally.
-            fraction = (row_hi - row_lo) / archive.nrows if archive.nrows else 0
-            compressed_read += math.ceil(arch.stored_bytes * fraction)
-            if col.dtype.np_dtype is None:
-                columns[col.name] = values.view(f"S{col.dtype.width}").reshape(-1)
+        with maybe_span(
+            self.tracer,
+            "storage.materialize",
+            layer="storage",
+            rows_in=archive.nrows,
+            rows_out=row_hi - row_lo,
+        ) as span:
+            table = Table(archive.schema, capacity=max(1, row_hi - row_lo))
+            columns: Dict[str, np.ndarray] = {}
+            compressed_read = 0
+            with maybe_span(self.tracer, "storage.decompress", layer="storage"):
+                for col in archive.schema.user_columns:
+                    arch = archive.column(col.name)
+                    values = arch.decode_range(row_lo, row_hi)
+                    # Range decode touches whole blocks; charge proportionally.
+                    fraction = (row_hi - row_lo) / archive.nrows if archive.nrows else 0
+                    compressed_read += math.ceil(arch.stored_bytes * fraction)
+                    if col.dtype.np_dtype is None:
+                        columns[col.name] = values.view(f"S{col.dtype.width}").reshape(-1)
+                    else:
+                        columns[col.name] = values.astype(col.dtype.np_dtype)
+                if row_hi > row_lo:
+                    table.append_arrays(columns)
+
+            cfg = self.flash.config
+            pages = math.ceil(compressed_read / cfg.page_bytes)
+            with maybe_span(
+                self.tracer, "storage.read", layer="storage", pages=pages
+            ) as read_span:
+                device_us, retries, retry_us = self._read_with_retry(pages)
+                read_span.add_counters({"device_us": device_us, "retries": retries})
+                read_span.set_duration(device_us + retry_us)
+            degraded = False
+            try:
+                decompress_us = self.flash.engine_us(compressed_read)
+            except DeviceTimeoutError:
+                # In-storage engine down: ship the compressed blocks as-is
+                # and decompress on the host CPU (the software path).
+                degraded = True
+                self.degraded_runs += 1
+                decompress_us = compressed_read / (self.HOST_DECOMPRESS_MB_S * 1e6) * 1e6
+            host_bytes = (row_hi - row_lo) * archive.schema.row_stride
+            if degraded:
+                link_us = self.flash.host_transfer_us(compressed_read)
             else:
-                columns[col.name] = values.astype(col.dtype.np_dtype)
-        if row_hi > row_lo:
-            table.append_arrays(columns)
+                link_us = self.flash.host_transfer_us(host_bytes)
+            with maybe_span(
+                self.tracer, "storage.link", layer="storage"
+            ) as link_span:
+                link_span.add_counters({"link_us": link_us, "host_bytes": host_bytes})
+                link_span.set_duration(link_us)
 
-        cfg = self.flash.config
-        pages = math.ceil(compressed_read / cfg.page_bytes)
-        device_us, retries, retry_us = self._read_with_retry(pages)
-        degraded = False
-        try:
-            decompress_us = self.flash.engine_us(compressed_read)
-        except DeviceTimeoutError:
-            # In-storage engine down: ship the compressed blocks as-is
-            # and decompress on the host CPU (the software path).
-            degraded = True
-            self.degraded_runs += 1
-            decompress_us = compressed_read / (self.HOST_DECOMPRESS_MB_S * 1e6) * 1e6
-        host_bytes = (row_hi - row_lo) * archive.schema.row_stride
-        if degraded:
-            link_us = self.flash.host_transfer_us(compressed_read)
-        else:
-            link_us = self.flash.host_transfer_us(host_bytes)
-
-        baseline_pages = math.ceil(host_bytes / cfg.page_bytes)
-        baseline_device = FlashDevice(cfg).read_pages_us(baseline_pages)
-        baseline_link = FlashDevice(cfg).host_transfer_us(host_bytes)
-        report = TieredReport(
-            compressed_bytes_read=compressed_read,
-            pages_read=pages,
-            device_us=device_us,
-            decompress_us=decompress_us,
-            link_us=link_us,
-            host_bytes=host_bytes,
-            baseline_pages=baseline_pages,
-            baseline_us=max(baseline_device, baseline_link),
-            retries=retries,
-            retry_us=retry_us,
-            degraded=degraded,
-        )
+            baseline_pages = math.ceil(host_bytes / cfg.page_bytes)
+            baseline_device = FlashDevice(cfg).read_pages_us(baseline_pages)
+            baseline_link = FlashDevice(cfg).host_transfer_us(host_bytes)
+            report = TieredReport(
+                compressed_bytes_read=compressed_read,
+                pages_read=pages,
+                device_us=device_us,
+                decompress_us=decompress_us,
+                link_us=link_us,
+                host_bytes=host_bytes,
+                baseline_pages=baseline_pages,
+                baseline_us=max(baseline_device, baseline_link),
+                retries=retries,
+                retry_us=retry_us,
+                degraded=degraded,
+            )
+            span.set_attrs(degraded=degraded)
+            span.add_counters(
+                {
+                    "compressed_bytes_read": compressed_read,
+                    "decompress_us": decompress_us,
+                }
+            )
+            span.set_duration(report.total_us)
         return table, report
 
     def _read_with_retry(self, pages: int) -> Tuple[float, int, float]:

@@ -73,8 +73,12 @@ class TestCostLedger:
         assert sum(breakdown.values()) == pytest.approx(1.0)
         assert breakdown["b"] == pytest.approx(0.7)
 
-    def test_empty_breakdown(self):
-        assert CostLedger().breakdown() == {}
+    def test_empty_breakdown_covers_all_buckets(self):
+        # A zero-total ledger still reports every known bucket (at 0.0)
+        # instead of an empty dict, so degraded/empty runs render a table.
+        breakdown = CostLedger().breakdown()
+        assert set(CostLedger.KNOWN_BUCKETS) <= set(breakdown)
+        assert all(v == 0.0 for v in breakdown.values())
 
 
 class TestRmEngineModel:

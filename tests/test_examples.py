@@ -38,6 +38,8 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "first committer wins" in out
         assert "freshness lag" in out
+        assert "oltp.txn" in out  # OLTP span tree
+        assert "fabric.refresh" in out  # OLAP span tree
 
     def test_physical_design(self, capsys, monkeypatch):
         run_example("physical_design.py", monkeypatch=monkeypatch)

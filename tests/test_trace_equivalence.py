@@ -1,0 +1,119 @@
+"""Property: the hierarchical trace is a *lossless refinement* of the
+flat cost buckets.
+
+Replaying every charge event of a trace in sequence order must rebuild
+``result.ledger`` exactly — same buckets, same total, same DRAM bytes,
+bit for bit (float folds happen in the same order, so the equality is
+``==``, not ``approx``). And attaching a tracer must not perturb the
+numbers an untraced run produces.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Catalog, Column, TableSchema
+from repro.db.engines import all_engines
+from repro.db.types import CHAR, INT64
+from repro.obs import Tracer
+from repro.workloads.tpch import Q6, generate_lineitem
+
+N_ROWS = 200
+COLUMNS = ("a", "b", "c", "d")
+ENGINES = ("row", "column", "rm")
+MODELS = ("analytic", "trace")
+
+
+def build_catalog(seed: int):
+    schema = TableSchema(
+        "fuzz",
+        [Column(name, INT64) for name in COLUMNS] + [Column("g", CHAR(1))],
+    )
+    catalog = Catalog()
+    table = catalog.create_table(schema)
+    rng = np.random.default_rng(seed)
+    table.append_arrays(
+        {
+            **{name: rng.integers(0, 50, N_ROWS) for name in COLUMNS},
+            "g": rng.choice(np.array([b"x", b"y", b"z"], dtype="S1"), N_ROWS),
+        }
+    )
+    return catalog
+
+
+@st.composite
+def queries(draw):
+    """Small fault-free query pool: every engine shape (project, filter,
+    aggregate, group, distinct, sort) with drawn constants."""
+    shape = draw(st.sampled_from(["project", "agg", "group", "distinct"]))
+    lo = draw(st.integers(min_value=0, max_value=40))
+    hi = lo + draw(st.integers(min_value=0, max_value=15))
+    where = draw(
+        st.sampled_from(
+            [
+                "",
+                f" WHERE a < {hi}",
+                f" WHERE b BETWEEN {lo} AND {hi}",
+                f" WHERE a < {hi} AND c >= {lo}",
+            ]
+        )
+    )
+    if shape == "project":
+        return f"SELECT a, b FROM fuzz{where} ORDER BY a, b, c, d LIMIT 25"
+    if shape == "agg":
+        return f"SELECT sum(a * b) AS s, count(*) AS n FROM fuzz{where}"
+    if shape == "group":
+        return f"SELECT g, sum(a + c) AS s FROM fuzz{where} GROUP BY g ORDER BY g"
+    return f"SELECT DISTINCT g, d FROM fuzz{where}"
+
+
+def _assert_ledgers_identical(replayed, ledger):
+    assert replayed.buckets == ledger.buckets, (
+        replayed.buckets,
+        ledger.buckets,
+    )
+    assert list(replayed.buckets) == list(ledger.buckets)  # fold order too
+    assert replayed.total_cycles == ledger.total_cycles
+    assert replayed.dram_bytes == ledger.dram_bytes
+
+
+class TestTraceEquivalence:
+    @pytest.mark.parametrize("model", MODELS)
+    @given(sql=queries(), seed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_trace_replay_rebuilds_ledger(self, model, sql, seed):
+        catalog = build_catalog(seed)
+        for name, engine in all_engines(
+            catalog, memory_model=model, tracer=Tracer()
+        ).items():
+            out = engine.execute(sql)
+            assert out.trace is not None, (name, sql)
+            _assert_ledgers_identical(out.trace.to_ledger(), out.ledger)
+
+    @pytest.mark.parametrize("model", MODELS)
+    @given(sql=queries())
+    @settings(max_examples=15, deadline=None)
+    def test_tracing_does_not_perturb_buckets(self, model, sql):
+        catalog = build_catalog(3)
+        plain = all_engines(catalog, memory_model=model)
+        traced = all_engines(catalog, memory_model=model, tracer=Tracer())
+        for name in ENGINES:
+            a = plain[name].execute(sql).ledger
+            b = traced[name].execute(sql).ledger
+            assert a.buckets == b.buckets, (name, sql)
+            assert a.total_cycles == b.total_cycles
+            assert a.dram_bytes == b.dram_bytes
+
+
+class TestQ6Equivalence:
+    """The paper's data-movement query, every engine × memory model."""
+
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_q6(self, name, model):
+        catalog, _ = generate_lineitem(nrows=1_500, seed=11)
+        engine = all_engines(catalog, memory_model=model, tracer=Tracer())[name]
+        out = engine.execute(Q6)
+        _assert_ledgers_identical(out.trace.to_ledger(), out.ledger)
+        assert out.ledger.dram_bytes > 0
