@@ -7,25 +7,47 @@ observes. The fabric's promise (§I, §III-A): fresh data, one layout, no
 conversion bookkeeping.
 
 Run: pytest benchmarks/bench_htap.py --benchmark-only
+
+Run standalone to also emit the metrics time series (interference over
+simulated time — the steady-state figure the paper motivates)::
+
+    PYTHONPATH=src python benchmarks/bench_htap.py \\
+        --json METRICS_htap.json --chart
 """
 
+import argparse
+import sys
+
 from repro.bench.harness import Experiment
+from repro.obs import MetricsRegistry
 from repro.workloads.htap import HtapDriver
 
 ROUNDS = 5
 TXNS_PER_ROUND = 120
+#: Sampling cadence of the standalone metrics run, in simulated cycles.
+SAMPLE_INTERVAL_CYCLES = 2_000_000
+
+#: The series the standalone chart shows: MVCC churn vs the column
+#: store's conversion pressure vs the engines' scan volume.
+CHART_SERIES = [
+    "mvcc_versions_created",
+    "mvcc_chain_len_max",
+    'engine_rows_scanned{engine="column"}',
+    'engine_rows_scanned{engine="rm"}',
+]
 
 
-def _run():
-    driver = HtapDriver(initial_rows=20_000, seed=31)
-    stats = driver.run_mixed(rounds=ROUNDS, txns_per_round=TXNS_PER_ROUND)
+def _run(metrics=None, rounds=ROUNDS, txns_per_round=TXNS_PER_ROUND,
+         initial_rows=20_000, seed=31):
+    driver = HtapDriver(initial_rows=initial_rows, seed=seed, metrics=metrics)
+    stats = driver.run_mixed(rounds=rounds, txns_per_round=txns_per_round)
 
     exp = Experiment(
         name="htap-freshness-and-cost",
         x_label="engine",
         y_label="cycles / rows",
         notes=(
-            f"{ROUNDS} rounds x {TXNS_PER_ROUND} txns; "
+            f"{rounds} rounds x {txns_per_round} txns; "
             f"{stats.commits} commits, {stats.aborts} aborts"
         ),
     )
@@ -52,3 +74,64 @@ def test_htap_single_layout_wins(benchmark, save_result):
     # reads the base data and never is.
     assert stats.mean_freshness_lag > 0
     assert stats.commits > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="HTAP run with a sampled metrics time series."
+    )
+    parser.add_argument("--rounds", type=int, default=ROUNDS)
+    parser.add_argument("--txns", type=int, default=TXNS_PER_ROUND)
+    parser.add_argument("--rows", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=31)
+    parser.add_argument(
+        "--interval", type=float, default=SAMPLE_INTERVAL_CYCLES,
+        help="sampling interval in simulated cycles",
+    )
+    parser.add_argument(
+        "--json", default=None, help="write the metrics time series here"
+    )
+    parser.add_argument(
+        "--prometheus", default=None,
+        help="write the end-of-run Prometheus exposition here",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="print the interference-over-time ASCII chart",
+    )
+    args = parser.parse_args(argv)
+
+    metrics = MetricsRegistry()
+    sampler = metrics.attach_sampler(interval_cycles=args.interval)
+    exp, stats = _run(
+        metrics=metrics,
+        rounds=args.rounds,
+        txns_per_round=args.txns,
+        initial_rows=args.rows,
+        seed=args.seed,
+    )
+    sampler.sample_now()  # final flush so the series covers the whole run
+
+    print(exp.to_table())
+    print(
+        f"samples: {len(sampler.series)} every {args.interval:g} cycles "
+        f"({metrics.cycles:,.0f} simulated cycles total)"
+    )
+    if args.json:
+        with open(args.json, "w") as f:
+            f.write(sampler.series.to_json(indent=2))
+        print(f"metrics time series -> {args.json}")
+    if args.prometheus:
+        with open(args.prometheus, "w") as f:
+            f.write(metrics.to_prometheus())
+        print(f"prometheus exposition -> {args.prometheus}")
+    if args.chart:
+        from repro.bench.chart import metrics_chart
+
+        print()
+        print(metrics_chart(sampler.series, CHART_SERIES))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,8 +27,9 @@ def run_query(name, sql, catalog, cpu):
         res = engine.execute(sql)
         results[ename] = res
         ms = cpu.seconds(res.cycles) * 1e3
-        top = sorted(res.ledger.buckets.items(), key=lambda kv: -kv[1])[:3]
-        breakdown = ", ".join(f"{k}={v/res.cycles:.0%}" for k, v in top if v)
+        fractions = res.ledger.breakdown()
+        top = sorted(fractions.items(), key=lambda kv: -kv[1])[:3]
+        breakdown = ", ".join(f"{k}={v:.0%}" for k, v in top if v)
         print(
             f"{ename:8} {res.cycles:14,.0f} cycles  {ms:8.2f} sim-ms   "
             f"[{breakdown}]"

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Gate benchmark results against committed baselines.
+
+Compares each BENCH_*.json produced by a bench run against the file of
+the same name under ``--baseline-dir``, using the ordered tolerance spec
+in ``--tolerances`` (see :mod:`repro.bench.regress` for the rule
+format). Deterministic simulated metrics (cycles, bytes, record counts)
+gate tightly; wall-clock metrics are ignored — CI machines are noise.
+
+Exit status: 0 when every file passes, 1 on any regression, 2 on usage
+errors (missing baseline, unreadable spec)::
+
+    PYTHONPATH=src python scripts/bench_compare.py \\
+        --baseline-dir benchmarks/baselines \\
+        --tolerances benchmarks/baselines/tolerances.json \\
+        --report REGRESS_report.json \\
+        BENCH_trace.json BENCH_recovery.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench.regress import compare, load_spec  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff benchmark JSON against committed baselines."
+    )
+    parser.add_argument("current", nargs="+", help="BENCH_*.json files to check")
+    parser.add_argument(
+        "--baseline-dir",
+        default="benchmarks/baselines",
+        help="directory holding baseline files with matching basenames",
+    )
+    parser.add_argument(
+        "--tolerances",
+        default=None,
+        help="tolerance spec JSON (default: <baseline-dir>/tolerances.json)",
+    )
+    parser.add_argument(
+        "--report", default=None, help="write the full comparison report here"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print every finding, not just drifts"
+    )
+    args = parser.parse_args(argv)
+
+    spec_path = args.tolerances or os.path.join(
+        args.baseline_dir, "tolerances.json"
+    )
+    try:
+        rules = load_spec(spec_path)
+    except (OSError, ValueError, TypeError, json.JSONDecodeError) as exc:
+        print(f"ERROR: cannot load tolerance spec {spec_path}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    reports = []
+    failed = False
+    for cur_path in args.current:
+        name = os.path.basename(cur_path)
+        base_path = os.path.join(args.baseline_dir, name)
+        try:
+            with open(base_path) as f:
+                baseline = json.load(f)
+        except OSError as exc:
+            print(f"ERROR: no baseline for {name}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            with open(cur_path) as f:
+                current = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"ERROR: cannot read current result {cur_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        report = compare(name, baseline, current, rules)
+        reports.append(report)
+        print(report.render(verbose=args.verbose))
+        failed = failed or report.failed
+
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump([r.to_json_obj() for r in reports], f, indent=2)
+
+    if failed:
+        total = sum(len(r.regressions) for r in reports)
+        print(f"\nFAIL: {total} regression(s) against baseline", file=sys.stderr)
+        return 1
+    print("\nOK: all benchmark metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

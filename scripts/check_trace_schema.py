@@ -1,23 +1,31 @@
 #!/usr/bin/env python
-"""Validate a Chrome trace-event JSON file (the ``Trace.to_chrome_json``
-output) against the trace-event format Perfetto and ``chrome://tracing``
-accept.
+"""Validate an observability JSON artifact.
 
-Checks, in order:
+Two formats are recognized by content, not filename:
 
-1. top level is an object with a ``traceEvents`` array;
-2. every event has ``name``/``ph``/``pid``/``tid``; phases are limited
-   to ``X`` (complete) and ``M`` (metadata);
-3. complete events carry non-negative numeric ``ts``/``dur``;
-4. every complete event nests inside the widest one (children never
-   overflow their parent on the timeline);
-5. ``args`` values are JSON scalars/containers (already guaranteed by
-   ``json.load``, but ``NaN``/``Infinity`` are rejected — Perfetto's
-   strict parser refuses them).
+* Chrome trace-event files (``Trace.to_chrome_json`` output) are checked
+  against the format Perfetto and ``chrome://tracing`` accept:
 
-Exit status 0 when the file is loadable, 1 with a message otherwise::
+  1. top level is an object with a ``traceEvents`` array;
+  2. every event has ``name``/``ph``/``pid``/``tid``; phases are limited
+     to ``X`` (complete) and ``M`` (metadata);
+  3. complete events carry non-negative numeric ``ts``/``dur``;
+  4. every complete event nests inside the widest one (children never
+     overflow their parent on the timeline);
+  5. ``args`` values are JSON scalars/containers (already guaranteed by
+     ``json.load``, but ``NaN``/``Infinity`` are rejected — Perfetto's
+     strict parser refuses them).
+
+* Metrics time-series files (``MetricsTimeSeries.to_json`` output,
+  ``"schema": "repro.metrics/v1"``) are checked for: a positive
+  ``interval_cycles``; strictly increasing finite ``ticks``; a
+  rectangular ``series`` map whose columns match the tick count and
+  hold only finite numbers or ``null`` (the pre-registration backfill).
+
+Exit status 0 when the file is valid, 1 with a message otherwise::
 
     python scripts/check_trace_schema.py TRACE_q6.json
+    python scripts/check_trace_schema.py METRICS_htap.json
 """
 
 from __future__ import annotations
@@ -47,6 +55,45 @@ def _finite_numbers(value, path: str):
             yield from _finite_numbers(v, f"{path}[{i}]")
 
 
+def check_metrics(path: str, doc: dict) -> int:
+    interval = doc.get("interval_cycles")
+    if not isinstance(interval, (int, float)) or not math.isfinite(interval) \
+            or interval <= 0:
+        return _fail(f"interval_cycles must be a positive number, got {interval!r}")
+
+    ticks = doc.get("ticks")
+    if not isinstance(ticks, list):
+        return _fail("'ticks' must be an array")
+    prev = None
+    for i, t in enumerate(ticks):
+        if not isinstance(t, (int, float)) or not math.isfinite(t):
+            return _fail(f"ticks[{i}]: bad timestamp {t!r}")
+        if prev is not None and t <= prev:
+            return _fail(f"ticks[{i}]: {t!r} not after {prev!r}")
+        prev = t
+
+    series = doc.get("series")
+    if not isinstance(series, dict):
+        return _fail("'series' must be an object")
+    for name, column in series.items():
+        if not isinstance(column, list) or len(column) != len(ticks):
+            got = len(column) if isinstance(column, list) else type(column).__name__
+            return _fail(
+                f"series {name!r}: expected {len(ticks)} samples, got {got}"
+            )
+        for i, v in enumerate(column):
+            if v is None:  # backfill before the instrument existed
+                continue
+            if not isinstance(v, (int, float)) or not math.isfinite(v):
+                return _fail(f"series {name!r}[{i}]: bad sample {v!r}")
+
+    print(
+        f"OK: {path} — {len(series)} series x {len(ticks)} samples, "
+        f"every {interval:g} cycles"
+    )
+    return 0
+
+
 def check(path: str) -> int:
     try:
         with open(path) as f:
@@ -54,6 +101,10 @@ def check(path: str) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         return _fail(f"{path}: {exc}")
 
+    if isinstance(doc, dict) and str(doc.get("schema", "")).startswith(
+        "repro.metrics"
+    ):
+        return check_metrics(path, doc)
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         return _fail("top level must be an object with 'traceEvents'")
     events = doc["traceEvents"]

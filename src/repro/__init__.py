@@ -61,7 +61,7 @@ from repro.faults import (
     RetryPolicy,
 )
 from repro.hw import PlatformConfig, ZYNQ_ULTRASCALE, default_platform
-from repro.obs import Span, Trace, Tracer
+from repro.obs import MetricsRegistry, Span, Trace, Tracer
 
 __version__ = "1.0.0"
 
@@ -82,6 +82,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FieldSlice",
+    "MetricsRegistry",
     "PlatformConfig",
     "RecoveryReport",
     "RecoveryResult",

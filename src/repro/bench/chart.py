@@ -69,3 +69,47 @@ def line_chart(
     )
     lines.append(" " * 12 + legend)
     return "\n".join(lines)
+
+
+def metrics_chart(
+    series,
+    names: Optional[Sequence[str]] = None,
+    width: int = 64,
+    height: int = 16,
+    normalize: bool = True,
+) -> str:
+    """Render series of a :class:`repro.obs.MetricsTimeSeries` over
+    simulated time — the interference-over-time figure the HTAP bench
+    emits.
+
+    ``normalize`` scales each series to its own max so counters of very
+    different magnitudes (version churn vs cache misses) share one
+    canvas; the legend carries the true final value of each.
+    """
+    if not series.ticks:
+        return "(no samples)"
+    names = list(names) if names is not None else sorted(series.series)[:4]
+    names = [n for n in names if n in series.series]
+    if not names:
+        return "(no matching series)"
+
+    exp = Experiment(
+        name="metrics over simulated time",
+        x_label="cycles",
+        y_label="normalized value" if normalize else "value",
+    )
+    finals = {}
+    for label in names:
+        values = [v for v in series.series[label] if v is not None]
+        peak = max((abs(v) for v in values), default=0.0)
+        finals[label] = values[-1] if values else 0.0
+        for tick, value in zip(series.ticks, series.series[label]):
+            if value is None:
+                continue
+            y = value / peak if normalize and peak else value
+            exp.add_point(f"{tick:g}", label, y)
+    chart = line_chart(exp, labels=names, width=width, height=height)
+    legend = "\n".join(
+        f"  {label}: final={finals[label]:g}" for label in names
+    )
+    return chart + "\n" + legend

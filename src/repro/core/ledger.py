@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.obs import Tracer
+    from repro.obs import MetricsRegistry, Tracer
 
 
 @dataclass
@@ -33,6 +33,13 @@ class CostLedger:
     #: current span. Excluded from equality — two ledgers with the same
     #: buckets are the same cost, traced or not.
     tracer: Optional["Tracer"] = field(default=None, compare=False, repr=False)
+    #: Optional metrics hook: every charge advances this registry's
+    #: *simulated clock* (driving its time-series sampler). Like the
+    #: tracer, excluded from equality and a pure observer — the dict
+    #: accumulation below never changes.
+    metrics: Optional["MetricsRegistry"] = field(
+        default=None, compare=False, repr=False
+    )
 
     # Canonical bucket names used across the engines.
     CPU = "cpu"
@@ -75,6 +82,8 @@ class CostLedger:
         self.buckets[bucket] = self.buckets.get(bucket, 0.0) + cycles
         if self.tracer is not None:
             self.tracer.record(bucket, cycles)
+        if self.metrics is not None:
+            self.metrics.advance(cycles)
 
     def charge_traffic(self, nbytes: float) -> None:
         self.dram_bytes += nbytes

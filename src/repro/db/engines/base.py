@@ -38,7 +38,15 @@ from repro.errors import ExecutionError
 from repro.hw.analytic import AnalyticMemoryModel, MemoryModel, TraceMemoryModel
 from repro.hw.config import PlatformConfig, default_platform
 from repro.hw.cpu import CpuCostModel
-from repro.obs import Span, Trace, Tracer, active, maybe_span
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    Trace,
+    Tracer,
+    active,
+    active_metrics,
+    maybe_span,
+)
 
 
 @dataclass
@@ -59,6 +67,10 @@ class ExecutionResult:
     #: enabled :class:`repro.obs.Tracer`). ``trace.to_ledger()`` folds
     #: back to ``ledger`` bit-identically.
     trace: Optional[Trace] = None
+    #: The engine's :class:`repro.obs.MetricsRegistry` (None when metrics
+    #: are off): export ``metrics.to_prometheus()`` after the run, or
+    #: read the sampled time series from ``metrics.sampler.series``.
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def cycles(self) -> float:
@@ -80,6 +92,7 @@ class Engine(ABC):
         memory_model: str = "analytic",
         threads: int = 1,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.catalog = catalog
         self.platform = platform or default_platform()
@@ -100,6 +113,33 @@ class Engine(ABC):
         #: Observability hook: when set (and enabled), every execute()
         #: builds a span tree and returns it as ``ExecutionResult.trace``.
         self.tracer = tracer
+        #: Metrics hook: query ledgers drive this registry's simulated
+        #: clock, and the engine registers its PMU-style collectors on
+        #: it (the shared None fast path when metrics are off).
+        self.metrics = active_metrics(metrics)
+        if self.metrics is not None:
+            self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Create this engine's instruments and collectors (metrics on)."""
+        from repro.obs.collectors import register_hierarchy
+        from repro.obs.metrics import fmt_name
+
+        reg = self.metrics
+        self._m_queries = reg.counter(
+            fmt_name("engine_queries", engine=self.name),
+            help="Queries executed by this engine",
+        )
+        self._m_rows_scanned = reg.counter(
+            fmt_name("engine_rows_scanned", engine=self.name),
+            help="Rows visible to (and scanned by) the access path",
+        )
+        self._m_rows_filtered = reg.counter(
+            fmt_name("engine_rows_filtered", engine=self.name),
+            help="Scanned rows eliminated by the WHERE clause",
+        )
+        if isinstance(self.memory, TraceMemoryModel):
+            register_hierarchy(reg, self.memory.hierarchy, engine=self.name)
 
     # ------------------------------------------------------------------
     # Observability plumbing.
@@ -156,7 +196,7 @@ class Engine(ABC):
         plain tables.
         """
         bound = self.bind(query) if isinstance(query, str) else query
-        ledger = CostLedger(tracer=active(self.tracer))
+        ledger = CostLedger(tracer=active(self.tracer), metrics=self.metrics)
         with self._span(
             "query",
             engine=self.name,
@@ -178,6 +218,10 @@ class Engine(ABC):
                     rows_out=qualifying,
                     mode=self.access_path,
                 )
+            if self.metrics is not None:
+                self._m_queries.inc()
+                self._m_rows_scanned.inc(visible)
+                self._m_rows_filtered.inc(visible - qualifying)
             self._charge_post_scan(bound, visible, qualifying, ledger)
             # The answer path (repro.db.exec) is shared and uncosted —
             # its cycles were charged per-operator above — but it still
@@ -198,6 +242,7 @@ class Engine(ABC):
             visible_rows=visible,
             qualifying_rows=qualifying,
             trace=Trace(root) if isinstance(root, Span) else None,
+            metrics=self.metrics,
         )
 
     def bind(self, sql: str) -> BoundQuery:

@@ -94,8 +94,10 @@ class ColumnStoreEngine(Engine):
         super().__init__(catalog, platform, **kw)
         self._replicas: Dict[str, ColumnarReplica] = {}
         #: Cycles spent converting layouts (outside queries) — the HTAP
-        #: bookkeeping cost the fabric eliminates.
-        self.conversion_ledger = CostLedger()
+        #: bookkeeping cost the fabric eliminates. Conversion work still
+        #: advances the metrics clock: it is simulated time the system
+        #: spends, even though no query ledger carries it.
+        self.conversion_ledger = CostLedger(metrics=self.metrics)
 
     @property
     def access_path(self) -> str:

@@ -94,6 +94,19 @@ class RelationalMemoryEngine(Engine):
         self.fallbacks = 0
         self._last_access_path = "ephemeral-scan"
         self._fallback_engine = None
+        if self.metrics is not None:
+            from repro.obs.collectors import (
+                register_breaker,
+                register_fault_injector,
+                register_rm_engine,
+            )
+
+            register_rm_engine(self.metrics, self.fabric.engine, engine=self.name)
+            register_breaker(self.metrics, self.breaker, engine=self.name)
+            if fault_injector is not None:
+                register_fault_injector(
+                    self.metrics, fault_injector, engine=self.name
+                )
 
     @property
     def access_path(self) -> str:
@@ -162,7 +175,7 @@ class RelationalMemoryEngine(Engine):
         if self._fallback_engine is None:
             self._fallback_engine = RowStoreEngine(
                 self.catalog, self.platform, threads=self.threads,
-                tracer=self.tracer,
+                tracer=self.tracer, metrics=self.metrics,
             )
         self.fallbacks += 1
         self._last_access_path = "degraded-rowstore-scan"

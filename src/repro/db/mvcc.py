@@ -30,7 +30,7 @@ from repro.errors import (
     WriteConflictError,
 )
 from repro.faults import RetryPolicy
-from repro.obs import Tracer, maybe_span
+from repro.obs import MetricsRegistry, Tracer, active_metrics, maybe_span
 
 
 class TxnState(enum.Enum):
@@ -208,6 +208,7 @@ class TransactionManager:
         self,
         wal: Optional[WriteAheadLog] = None,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self._clock = 0
         self._active: Dict[int, Transaction] = {}
@@ -224,6 +225,22 @@ class TransactionManager:
             wal.tracer = tracer
             if wal.ledger.tracer is None:
                 wal.ledger.tracer = tracer
+        #: Metrics hook: the manager exposes its MVCC statistics through
+        #: a collector and feeds a per-commit write-set-size histogram.
+        #: A WAL without metrics of its own adopts this registry too —
+        #: one wiring point covers the whole durability path.
+        self.metrics = active_metrics(metrics)
+        self._m_intents = None
+        if self.metrics is not None:
+            from repro.obs.collectors import register_mvcc
+
+            register_mvcc(self.metrics, self)
+            self._m_intents = self.metrics.histogram(
+                "mvcc_txn_intents",
+                help="Write intents per committed transaction",
+            )
+            if wal is not None:
+                wal.attach_metrics(self.metrics)
 
     def _tick(self) -> int:
         self._clock += 1
@@ -338,6 +355,8 @@ class TransactionManager:
             txn.commit_ts = commit_ts
             self._active.pop(txn.txn_id, None)
             self.stats.committed += 1
+            if self._m_intents is not None:
+                self._m_intents.observe(len(txn._intents))
             span.set_attrs(commit_ts=commit_ts)
         return commit_ts
 

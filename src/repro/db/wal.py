@@ -69,7 +69,7 @@ from repro.core.ledger import CostLedger
 from repro.db.schema import TableSchema
 from repro.db.table import Table
 from repro.errors import TransactionError, WalCorruptionError
-from repro.obs import Tracer, maybe_span
+from repro.obs import MetricsRegistry, Tracer, maybe_span
 from repro.storage.ssd import SsdLog
 
 __all__ = [
@@ -307,6 +307,7 @@ class WriteAheadLog:
         ledger: Optional[CostLedger] = None,
         cycles_per_us: float = DEFAULT_CYCLES_PER_US,
         tracer: Optional[Tracer] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ):
         self.device = device or SsdLog()
         self.ledger = ledger or CostLedger(tracer=tracer)
@@ -316,6 +317,31 @@ class WriteAheadLog:
         self.tracer = tracer
         if tracer is not None and self.ledger.tracer is None:
             self.ledger.tracer = tracer
+        #: Metrics hook: WAL charges drive the simulated clock, flushes
+        #: feed the fsync-barrier latency histogram, and the log/device
+        #: counters are exposed through a collector.
+        self.metrics: Optional["MetricsRegistry"] = None
+        self._m_fsync = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """Wire this WAL into ``registry`` (idempotent; also called when
+        a :class:`~repro.db.mvcc.TransactionManager` adopts the WAL)."""
+        from repro.obs import active_metrics
+        from repro.obs.collectors import register_wal
+
+        reg = active_metrics(registry)
+        if reg is None or self.metrics is not None:
+            return
+        self.metrics = reg
+        if self.ledger.metrics is None:
+            self.ledger.metrics = reg
+        self._m_fsync = reg.histogram(
+            "wal_fsync_cycles",
+            help="Commit-barrier flush latency in simulated CPU cycles",
+        )
+        register_wal(reg, self)
 
     # ------------------------------------------------------------------
     # Appending.
@@ -357,6 +383,8 @@ class WriteAheadLog:
             us = self.device.flush()
             self.stats.flushes += 1
             self.ledger.charge(CostLedger.WAL_APPEND, us * self.cycles_per_us)
+            if self._m_fsync is not None:
+                self._m_fsync.observe(us * self.cycles_per_us)
             span.add_counter("device_us", us)
 
     # ------------------------------------------------------------------

@@ -369,6 +369,19 @@ def batch_dram_demand(dram: Dram, demand_lines: np.ndarray) -> int:
     dram.stats.row_hits += row_hits
     dram.stats.row_misses += row_misses
     dram.stats.lines_transferred += n
+    # Per-bank counters, identical to what the scalar access_line loop
+    # would have accumulated (read by repro.obs.collectors).
+    nbanks = dram.config.banks
+    per_bank_lines = np.bincount(sbanks, minlength=nbanks)
+    per_bank_hits = np.bincount(sbanks[hit], minlength=nbanks)
+    for b in range(nbanks):
+        lines_b = int(per_bank_lines[b])
+        if not lines_b:
+            continue
+        hits_b = int(per_bank_hits[b])
+        dram.bank_lines[b] += lines_b
+        dram.bank_row_hits[b] += hits_b
+        dram.bank_row_misses[b] += lines_b - hits_b
     return row_hits * dram.config.row_hit_cycles + row_misses * dram.config.row_miss_cycles
 
 

@@ -46,6 +46,16 @@ class Dram:
         self.stats = DramStats()
         self._open_rows: List[Optional[int]] = [None] * config.banks
         self._lines_per_row = config.row_bytes // line_bytes
+        # Per-bank demand-access counters (PMU-style; read by
+        # repro.obs.collectors, never on the hot path). Kept outside
+        # DramStats so aggregate-stats equality checks stay unchanged.
+        # Only bank-attributable accesses count here: access_line and
+        # batch_cost know their bank; stream/gather costs are amortized
+        # closed forms with no per-bank attribution in either the scalar
+        # or the batched kernel (which must stay bit-identical).
+        self.bank_row_hits: List[int] = [0] * config.banks
+        self.bank_row_misses: List[int] = [0] * config.banks
+        self.bank_lines: List[int] = [0] * config.banks
 
     def _bank_row(self, line: int) -> tuple:
         row = line // self._lines_per_row
@@ -56,11 +66,14 @@ class Dram:
         """Cost, in CPU cycles, of one demand line access."""
         bank, row = self._bank_row(line)
         self.stats.lines_transferred += 1
+        self.bank_lines[bank] += 1
         if self._open_rows[bank] == row:
             self.stats.row_hits += 1
+            self.bank_row_hits[bank] += 1
             return self.config.row_hit_cycles
         self._open_rows[bank] = row
         self.stats.row_misses += 1
+        self.bank_row_misses[bank] += 1
         return self.config.row_miss_cycles
 
     def stream_cost(self, lines: int) -> int:
@@ -79,12 +92,15 @@ class Dram:
         for line in lines:
             bank, row = self._bank_row(line)
             self.stats.lines_transferred += 1
+            self.bank_lines[bank] += 1
             if self._open_rows[bank] == row:
                 self.stats.row_hits += 1
+                self.bank_row_hits[bank] += 1
                 per_bank[bank] += self.config.row_hit_cycles
             else:
                 self._open_rows[bank] = row
                 self.stats.row_misses += 1
+                self.bank_row_misses[bank] += 1
                 per_bank[bank] += self.config.row_miss_cycles
         return max(per_bank) if any(per_bank) else 0
 
@@ -104,3 +120,6 @@ class Dram:
     def reset(self) -> None:
         self.stats = DramStats()
         self._open_rows = [None] * self.config.banks
+        self.bank_row_hits = [0] * self.config.banks
+        self.bank_row_misses = [0] * self.config.banks
+        self.bank_lines = [0] * self.config.banks

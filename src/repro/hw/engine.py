@@ -72,6 +72,15 @@ class RelationalMemoryEngineModel:
         self._line_bytes = platform.l1.line_bytes
         #: Optional chaos hook; ``None`` means a perfectly reliable engine.
         self.fault_injector = fault_injector
+        # Cumulative activity counters, PMU-style: one increment per
+        # transform (coarse-grained), read by repro.obs.collectors.
+        self.transforms = 0
+        self.total_out_bytes = 0
+        self.total_produce_cycles = 0.0
+        self.total_stall_cycles = 0.0
+        self.total_refills = 0
+        self.total_dram_bytes = 0.0
+        self.last_out_bytes = 0
 
     def transform(
         self,
@@ -134,6 +143,14 @@ class RelationalMemoryEngineModel:
         stall = refills * self.rm.refill_stall_cycles
         if refills and self.fault_injector is not None and self.fault_injector.armed:
             self.fault_injector.check(FABRIC_REFILL, detail=f"{refills} refills")
+
+        self.transforms += 1
+        self.total_out_bytes += out_bytes
+        self.total_produce_cycles += produce
+        self.total_stall_cycles += stall
+        self.total_refills += refills
+        self.total_dram_bytes += dram_bytes
+        self.last_out_bytes = out_bytes
 
         return RmTransformReport(
             nrows=nrows,

@@ -1,26 +1,55 @@
-"""repro.obs — the span-based observability spine.
+"""repro.obs — the span-based observability spine plus simulated-time
+metrics.
 
-See :mod:`repro.obs.span` for the tracing model and
-:mod:`repro.obs.trace` for rendering/export. Quick use::
+See :mod:`repro.obs.span` for the tracing model, :mod:`repro.obs.trace`
+for rendering/export, :mod:`repro.obs.metrics` for PMU-style counters/
+gauges/histograms sampled on the simulated clock, and
+:mod:`repro.obs.collectors` for the per-layer collector wiring. Quick
+use::
 
-    from repro.obs import Tracer
+    from repro.obs import MetricsRegistry, Tracer
 
     tracer = Tracer()
     engines = all_engines(catalog, tracer=tracer)
     result = engines["rm"].execute(query)
     print(result.trace.render())              # EXPLAIN ANALYZE table
     open("trace.json", "w").write(result.trace.to_chrome_json())
+
+    metrics = MetricsRegistry()
+    metrics.attach_sampler(interval_cycles=1_000_000)
+    engines = all_engines(catalog, metrics=metrics)
+    engines["row"].execute(query)
+    print(metrics.to_prometheus())            # scrape-ready exposition
+    open("metrics.json", "w").write(metrics.sampler.series.to_json())
 """
 
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsTimeSeries,
+    Sampler,
+    active_metrics,
+    fmt_name,
+)
 from repro.obs.span import NULL_SPAN, Probe, Span, Tracer, active, maybe_span
 from repro.obs.trace import Trace
 
 __all__ = [
     "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsTimeSeries",
     "Probe",
+    "Sampler",
     "Span",
     "Trace",
     "Tracer",
     "active",
+    "active_metrics",
+    "fmt_name",
     "maybe_span",
 ]

@@ -121,6 +121,9 @@ class SsdLog:
         self.torn_appends = 0
         self.partial_flushes = 0
         self.bitflips = 0
+        #: Log truncations (checkpoints) — each one erases the old image,
+        #: the closest thing this model has to a NAND block erase.
+        self.erases = 0
 
     @property
     def durable_bytes(self) -> int:
@@ -189,3 +192,4 @@ class SsdLog:
         """Replace the log with ``keep`` (checkpoint truncation)."""
         self._pending.clear()
         self._media = bytearray(keep)
+        self.erases += 1

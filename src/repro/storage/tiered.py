@@ -193,6 +193,14 @@ class TieredFabric:
         self.tracer = tracer
         #: Materializations that fell back to host-side decompression.
         self.degraded_runs = 0
+        #: Tier-movement counters (read by repro.obs.collectors): each
+        #: successful materialize promotes a cold row range into warm
+        #: memory; :meth:`demote` records the reverse movement when the
+        #: host releases a warm frame back to flash-only residence.
+        self.promotions = 0
+        self.promoted_rows = 0
+        self.demotions = 0
+        self.demoted_rows = 0
 
     def materialize_rows(
         self, row_lo: int = 0, row_hi: Optional[int] = None
@@ -280,7 +288,18 @@ class TieredFabric:
                 }
             )
             span.set_duration(report.total_us)
+        self.promotions += 1
+        self.promoted_rows += row_hi - row_lo
         return table, report
+
+    def demote(self, table: Table) -> int:
+        """Release a warm row frame: the rows now live only in the cold
+        compressed archive again. Pure bookkeeping (the archive is the
+        source of truth and was never mutated); returns the rows demoted."""
+        rows = table.nrows
+        self.demotions += 1
+        self.demoted_rows += rows
+        return rows
 
     def _read_with_retry(self, pages: int) -> Tuple[float, int, float]:
         """Read ``pages``, retrying faulted attempts with backoff.

@@ -27,6 +27,7 @@ from repro.db.table import Table
 from repro.db.types import DECIMAL, INT64
 from repro.errors import WriteConflictError
 from repro.hw.config import PlatformConfig
+from repro.obs import MetricsRegistry, active_metrics
 
 
 def orders_schema(name: str = "orders") -> TableSchema:
@@ -77,17 +78,28 @@ class HtapDriver:
         platform: Optional[PlatformConfig] = None,
         seed: int = 7,
         initial_rows: int = 2000,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.catalog = Catalog()
         self.table: Table = self.catalog.create_table(orders_schema())
-        self.manager = TransactionManager()
+        #: One shared registry across the manager and all three engines,
+        #: so the whole HTAP run lands in a single time series. The clock
+        #: is driven by the analytic query ledgers plus the column
+        #: store's conversion ledger (the in-memory OLTP path charges no
+        #: cycles of its own).
+        self.metrics = active_metrics(metrics)
+        self.manager = TransactionManager(metrics=metrics)
         self.rng = np.random.default_rng(seed)
         self.stats = HtapStats()
         self.engines = {
-            "row": RowStoreEngine(self.catalog, platform),
-            "column": ColumnStoreEngine(self.catalog, platform),
-            "rm": RelationalMemoryEngine(self.catalog, platform),
+            "row": RowStoreEngine(self.catalog, platform, metrics=metrics),
+            "column": ColumnStoreEngine(self.catalog, platform, metrics=metrics),
+            "rm": RelationalMemoryEngine(self.catalog, platform, metrics=metrics),
         }
+        if self.metrics is not None:
+            from repro.obs.collectors import register_version_chains
+
+            register_version_chains(self.metrics, self.table, "o_id")
         self._next_order = 0
         self._seed_rows(initial_rows)
 
