@@ -21,6 +21,11 @@ Two formats are recognized by content, not filename:
   ``interval_cycles``; strictly increasing finite ``ticks``; a
   rectangular ``series`` map whose columns match the tick count and
   hold only finite numbers or ``null`` (the pre-registration backfill).
+  Serving-layer series (``serve_*``) get semantic checks on top: every
+  sample non-negative, and the lifecycle counters
+  (``serve_submitted``/``serve_admitted``/.../``serve_expired``, plus
+  the latency/queue histogram ``_count``/``_sum`` expansions) monotone
+  non-decreasing over the run.
 
 Exit status 0 when the file is valid, 1 with a message otherwise::
 
@@ -36,6 +41,42 @@ import sys
 
 REQUIRED = {"name", "ph", "pid", "tid"}
 PHASES = {"X", "M"}
+
+#: Serving-layer counters that may never decrease between samples.
+#: Matched against the series base name (labels stripped).
+SERVE_MONOTONE = {
+    "serve_submitted",
+    "serve_admitted",
+    "serve_completed",
+    "serve_degraded",
+    "serve_throttled",
+    "serve_shed",
+    "serve_expired",
+    "serve_degraded_mode_entries",
+    "serve_latency_count",
+    "serve_latency_sum",
+    "serve_time_in_queue_count",
+    "serve_time_in_queue_sum",
+}
+
+
+def _serve_errors(name: str, column) -> "str | None":
+    """Semantic checks for one ``serve_*`` series; None when clean."""
+    base = name.split("{", 1)[0]
+    prev = None
+    for i, v in enumerate(column):
+        if v is None:
+            continue
+        if v < 0:
+            return f"series {name!r}[{i}]: negative serving sample {v!r}"
+        if base in SERVE_MONOTONE:
+            if prev is not None and v < prev:
+                return (
+                    f"series {name!r}[{i}]: counter decreased "
+                    f"({prev!r} -> {v!r})"
+                )
+            prev = v
+    return None
 
 
 def _fail(msg: str) -> "int":
@@ -86,6 +127,10 @@ def check_metrics(path: str, doc: dict) -> int:
                 continue
             if not isinstance(v, (int, float)) or not math.isfinite(v):
                 return _fail(f"series {name!r}[{i}]: bad sample {v!r}")
+        if name.startswith("serve_"):
+            err = _serve_errors(name, column)
+            if err is not None:
+                return _fail(err)
 
     print(
         f"OK: {path} — {len(series)} series x {len(ticks)} samples, "

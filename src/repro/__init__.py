@@ -13,6 +13,8 @@ Layers (bottom up):
   transactions, B+-tree indexing, compression, the design advisor;
 * :mod:`repro.storage` — flash device, SSD read path, Relational Storage;
 * :mod:`repro.workloads` — synthetic wide tables, TPC-H lineitem, HTAP;
+* :mod:`repro.serve` — the multi-tenant front door: admission control,
+  deadlines, weighted-fair queueing, overload degradation;
 * :mod:`repro.bench` — the harness regenerating every paper figure.
 
 Quickstart::
@@ -62,6 +64,16 @@ from repro.faults import (
 )
 from repro.hw import PlatformConfig, ZYNQ_ULTRASCALE, default_platform
 from repro.obs import MetricsRegistry, Span, Trace, Tracer
+from repro.serve import (
+    ExecOutcome,
+    ServeConfig,
+    ServeOracle,
+    ServeReport,
+    ServeScheduler,
+    TenantConfig,
+    WeightedFairQueue,
+    throttle_backoff,
+)
 
 __version__ = "1.0.0"
 
@@ -76,6 +88,7 @@ __all__ = [
     "CostLedger",
     "DataGeometry",
     "EphemeralColumnGroup",
+    "ExecOutcome",
     "ExecutionResult",
     "FabricFilter",
     "FabricPredicate",
@@ -91,9 +104,14 @@ __all__ = [
     "RelationalMemoryEngine",
     "RetryPolicy",
     "RowStoreEngine",
+    "ServeConfig",
+    "ServeOracle",
+    "ServeReport",
+    "ServeScheduler",
     "Span",
     "Table",
     "TableSchema",
+    "TenantConfig",
     "Trace",
     "Tracer",
     "Transaction",
@@ -101,6 +119,7 @@ __all__ = [
     "Visibility",
     "WalRecord",
     "WalRecordType",
+    "WeightedFairQueue",
     "WriteAheadLog",
     "ZYNQ_ULTRASCALE",
     "all_engines",
@@ -108,5 +127,6 @@ __all__ = [
     "default_platform",
     "recover",
     "run_transaction",
+    "throttle_backoff",
     "__version__",
 ]

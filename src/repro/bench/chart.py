@@ -71,12 +71,33 @@ def line_chart(
     return "\n".join(lines)
 
 
+def side_by_side(blocks: Sequence[str], gap: int = 3) -> str:
+    """Join multi-line text blocks horizontally (left-aligned, padded).
+
+    The per-tenant serving charts use this so one terminal screen shows
+    every tenant's latency panel in a row — interference reads as one
+    panel spiking while its neighbours stay flat.
+    """
+    split = [b.splitlines() or [""] for b in blocks]
+    widths = [max(len(line) for line in lines) for lines in split]
+    rows = max(len(lines) for lines in split)
+    out = []
+    for r in range(rows):
+        cells = []
+        for lines, w in zip(split, widths):
+            cell = lines[r] if r < len(lines) else ""
+            cells.append(cell.ljust(w))
+        out.append((" " * gap).join(cells).rstrip())
+    return "\n".join(out)
+
+
 def metrics_chart(
     series,
     names: Optional[Sequence[str]] = None,
     width: int = 64,
     height: int = 16,
     normalize: bool = True,
+    panels: Optional[Sequence] = None,
 ) -> str:
     """Render series of a :class:`repro.obs.MetricsTimeSeries` over
     simulated time — the interference-over-time figure the HTAP bench
@@ -85,7 +106,21 @@ def metrics_chart(
     ``normalize`` scales each series to its own max so counters of very
     different magnitudes (version churn vs cache misses) share one
     canvas; the legend carries the true final value of each.
+
+    ``panels`` switches to a multi-panel layout: a sequence of
+    ``(title, names)`` pairs, each rendered as its own chart and joined
+    side by side (see :func:`side_by_side`). ``names``/``width``/
+    ``height`` then apply per panel.
     """
+    if panels is not None:
+        blocks = []
+        for title, panel_names in panels:
+            chart = metrics_chart(
+                series, names=panel_names, width=width, height=height,
+                normalize=normalize,
+            )
+            blocks.append(f"=== {title} ===\n{chart}")
+        return side_by_side(blocks)
     if not series.ticks:
         return "(no samples)"
     names = list(names) if names is not None else sorted(series.series)[:4]
@@ -113,3 +148,25 @@ def metrics_chart(
         f"  {label}: final={finals[label]:g}" for label in names
     )
     return chart + "\n" + legend
+
+
+def tenant_latency_panels(
+    series, metric: str = "serve_latency_p99"
+) -> List:
+    """Group a sampled run's per-tenant serving series into chart panels.
+
+    Scans the time series for ``metric{...tenant="X"...}`` names and
+    returns one ``(tenant, [series names])`` panel per tenant (sorted),
+    ready for ``metrics_chart(series, panels=...)`` — the side-by-side
+    view that makes cross-tenant interference visible at a glance.
+    """
+    import re
+
+    by_tenant: Dict[str, List[str]] = {}
+    for name in series.series:
+        if not name.startswith(metric + "{"):
+            continue
+        m = re.search(r'tenant="([^"]+)"', name)
+        if m:
+            by_tenant.setdefault(m.group(1), []).append(name)
+    return [(tenant, sorted(names)) for tenant, names in sorted(by_tenant.items())]

@@ -26,6 +26,20 @@ exactly. Run as a script (the CI chaos job does)::
 
     PYTHONPATH=src python -m repro.chaos --seed 3 --txns 200 --torn 64 \
         --json chaos_report.json
+
+A second mode (``--mode overload``) attacks the serving front door
+instead of the log: seeded open-loop bursts from well-behaved OLTP
+tenants plus one hostile analytics tenant that over-submits far past its
+quota, with the ``serve.shed`` and ``serve.clock_skew`` fault sites
+armed. The run's event log is replayed brute-force by
+:class:`repro.serve.ServeOracle` and the harness asserts the overload
+invariants: no quota ever exceeded, no admitted request lost, every
+request resolves exactly once, the protected tenants' OLTP p99 stays
+bounded, the hostile tenant is actually limited, and the whole run is
+bit-deterministic per seed::
+
+    PYTHONPATH=src python -m repro.chaos --mode overload --seed 3 \
+        --json overload_report.json
 """
 
 from __future__ import annotations
@@ -58,9 +72,13 @@ __all__ = [
     "ShadowOracle",
     "WorkloadJournal",
     "ChaosReport",
+    "OverloadChaosReport",
     "run_seeded_workload",
     "check_crash_point",
     "run_chaos",
+    "overload_config",
+    "overload_specs",
+    "run_overload_chaos",
     "table_visible_rows",
 ]
 
@@ -509,11 +527,240 @@ def run_chaos(
     return report
 
 
+# ----------------------------------------------------------------------
+# Overload chaos: the serving front door under hostile load.
+# ----------------------------------------------------------------------
+
+#: The bound the protected tenants' OLTP p99 must stay under across every
+#: CI seed. With three protected tenants on three of four global slots,
+#: the hostile analytics tenant capped at one slot, and degraded OLAP
+#: service capped near 500k cycles, the worst OLTP wait is one OLTP
+#: service (~40k) plus scheduling slack; 250k gives ~3x headroom without
+#: ever excusing a real isolation failure (an uncapped hostile tenant
+#: pushes p99 past 2M immediately).
+OLTP_P99_BOUND_CYCLES = 250_000.0
+
+
+def overload_config():
+    """The canonical overload-chaos front door: three protected OLTP
+    tenants with generous quotas, one hostile analytics tenant whose
+    quota is far below what it offers."""
+    from repro.serve import ServeConfig, TenantConfig
+
+    return ServeConfig(
+        tenants=(
+            TenantConfig("app1", weight=4.0, max_concurrency=2,
+                         rate_cycles_per_interval=20_000_000.0,
+                         burst_cycles=40_000_000.0),
+            TenantConfig("app2", weight=4.0, max_concurrency=2,
+                         rate_cycles_per_interval=20_000_000.0,
+                         burst_cycles=40_000_000.0),
+            TenantConfig("app3", weight=4.0, max_concurrency=2,
+                         rate_cycles_per_interval=20_000_000.0,
+                         burst_cycles=40_000_000.0),
+            TenantConfig("analytics", weight=1.0, max_concurrency=1,
+                         rate_cycles_per_interval=3_000_000.0,
+                         burst_cycles=6_000_000.0),
+        ),
+        global_concurrency=4,
+        max_queue_depth=48,
+        degrade_enter_queued_cycles=6_000_000.0,
+        degrade_exit_queued_cycles=2_000_000.0,
+    )
+
+
+def overload_specs():
+    """The open-loop offered load: steady OLTP (one tenant with tight
+    deadlines, so expiry and clock-skew paths are exercised) plus a
+    hostile analytics tenant that bursts to ~10x its cycle quota."""
+    from repro.serve import LoadSpec
+
+    return [
+        LoadSpec("app1", "oltp", mean_interarrival_cycles=30_000.0,
+                 cost_cycles=(5_000.0, 40_000.0),
+                 deadline_budget_cycles=2_000_000.0),
+        LoadSpec("app2", "oltp", mean_interarrival_cycles=30_000.0,
+                 cost_cycles=(5_000.0, 40_000.0),
+                 deadline_budget_cycles=150_000.0),
+        LoadSpec("app3", "oltp", mean_interarrival_cycles=45_000.0,
+                 cost_cycles=(5_000.0, 40_000.0)),
+        LoadSpec("analytics", "olap", mean_interarrival_cycles=400_000.0,
+                 cost_cycles=(500_000.0, 3_000_000.0),
+                 burst_every_cycles=10_000_000.0,
+                 burst_len_cycles=3_000_000.0,
+                 burst_factor=8.0),
+    ]
+
+
+@dataclass
+class OverloadChaosReport:
+    """Outcome of one overload chaos run (the CI artifact)."""
+
+    seed: int
+    horizon_cycles: float
+    requests: int = 0
+    admitted: int = 0
+    completed: int = 0
+    degraded: int = 0
+    throttled: int = 0
+    shed: int = 0
+    expired: int = 0
+    oltp_p99_cycles: float = 0.0
+    oltp_p99_bound_cycles: float = OLTP_P99_BOUND_CYCLES
+    hostile_rejections: int = 0
+    faults_fired: Dict[str, int] = field(default_factory=dict)
+    degraded_mode_entries: int = 0
+    sim_cycles: float = 0.0
+    utilization: float = 0.0
+    deterministic: bool = True
+    violations: List[str] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {**self.__dict__, "passed": self.passed}
+
+
+def _overload_run(seed: int, horizon_cycles: float):
+    from repro.faults import (
+        SERVE_CLOCK_SKEW,
+        SERVE_SHED,
+        FaultInjector,
+        FaultPlan,
+    )
+    from repro.serve import ServeScheduler, submit_open_loop, synthetic_executor
+
+    config = overload_config()
+    injector = FaultInjector(
+        FaultPlan(seed=seed, rates={SERVE_SHED: 0.02, SERVE_CLOCK_SKEW: 0.02})
+    )
+    scheduler = ServeScheduler(
+        config, synthetic_executor(seed=seed), fault_injector=injector
+    )
+    submitted = submit_open_loop(
+        scheduler, overload_specs(), horizon_cycles, seed=seed
+    )
+    report = scheduler.run_until_drained()
+    return config, injector, submitted, report
+
+
+def run_overload_chaos(
+    seed: int,
+    horizon_cycles: float = 40_000_000.0,
+    check_determinism: bool = True,
+) -> OverloadChaosReport:
+    """One seeded overload storm plus every invariant check.
+
+    Runs the canonical hostile workload through the front door, replays
+    the event log with :class:`repro.serve.ServeOracle`, cross-checks the
+    resolution ledger against the submission list, asserts the OLTP p99
+    bound and that the hostile tenant was genuinely limited, and (by
+    default) re-runs the whole storm to prove bit-determinism.
+    """
+    from repro.serve import REJECTED_OUTCOMES, Outcome, ServeOracle
+
+    t0 = time.perf_counter()
+    config, injector, submitted, serve_report = _overload_run(
+        seed, horizon_cycles
+    )
+    d = serve_report.to_dict()
+    out = OverloadChaosReport(
+        seed=seed,
+        horizon_cycles=horizon_cycles,
+        requests=len(submitted),
+        sim_cycles=d["sim_cycles"],
+        utilization=d["utilization"],
+        oltp_p99_cycles=d["oltp_p99_cycles"],
+        degraded_mode_entries=d["degraded_mode_entries"],
+        faults_fired=dict(injector.fired),
+    )
+    for lanes in d["tenants"].values():
+        for s in lanes.values():
+            out.admitted += s["admitted"]
+            out.completed += s["completed"]
+            out.degraded += s["degraded"]
+            out.throttled += s["throttled"]
+            out.shed += s["shed"]
+            out.expired += s["expired"]
+
+    # 1. Quotas, concurrency, conservation, breaker: the brute-force
+    #    oracle replay over the full event log.
+    out.violations.extend(ServeOracle(config).verify(serve_report.events))
+
+    # 2. Every submitted request resolves exactly once, and rejected vs
+    #    admitted accounting matches the resolution ledger.
+    if len(serve_report.resolutions) != len(submitted):
+        out.violations.append(
+            f"{len(submitted)} submitted but "
+            f"{len(serve_report.resolutions)} resolved"
+        )
+    for req in submitted:
+        res = serve_report.resolutions.get(req.req_id)
+        if res is None:
+            out.violations.append(f"request {req.req_id} lost (never resolved)")
+        elif res.outcome in REJECTED_OUTCOMES and res.error is None:
+            out.violations.append(
+                f"request {req.req_id} rejected ({res.outcome}) without a "
+                f"typed error"
+            )
+        elif res.outcome is Outcome.EXPIRED and res.error is None:
+            out.violations.append(
+                f"request {req.req_id} expired without a typed error"
+            )
+
+    # 3. The protected tenants' OLTP tail stays bounded through the storm.
+    if out.oltp_p99_cycles > OLTP_P99_BOUND_CYCLES:
+        out.violations.append(
+            f"OLTP p99 {out.oltp_p99_cycles:.0f} cycles exceeds the "
+            f"{OLTP_P99_BOUND_CYCLES:.0f}-cycle bound"
+        )
+
+    # 4. The hostile tenant was genuinely limited, not just slowed down.
+    hostile = d["tenants"].get("analytics", {}).get("olap", {})
+    out.hostile_rejections = int(
+        hostile.get("throttled", 0) + hostile.get("shed", 0)
+    )
+    if out.hostile_rejections == 0:
+        out.violations.append("hostile tenant was never throttled or shed")
+    if hostile.get("degraded", 0) == 0:
+        out.violations.append(
+            "overload never degraded the hostile tenant's OLAP answers"
+        )
+
+    # 5. Same seed, same storm: the whole report must be bit-identical.
+    if check_determinism:
+        _, _, _, second = _overload_run(seed, horizon_cycles)
+        out.deterministic = json.dumps(
+            second.to_dict(), sort_keys=True
+        ) == json.dumps(d, sort_keys=True)
+        if not out.deterministic:
+            out.violations.append("re-run with the same seed diverged")
+
+    out.seconds = time.perf_counter() - t0
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="crash-point chaos suite for the WAL/recovery subsystem"
+        description="chaos suites: WAL crash points, or serving-layer overload"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("wal", "overload"),
+        default="wal",
+        help="wal = crash-point recovery suite; overload = multi-tenant "
+        "serving storm with the serve.* fault sites armed",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=40_000_000.0,
+        help="overload mode: offered-load horizon in simulated cycles",
+    )
     parser.add_argument("--txns", type=int, default=200)
     parser.add_argument("--torn", type=int, default=64, help="random torn offsets")
     parser.add_argument(
@@ -530,6 +777,27 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--json", type=str, default="", help="write the report here")
     args = parser.parse_args(argv)
+
+    if args.mode == "overload":
+        oreport = run_overload_chaos(args.seed, horizon_cycles=args.horizon)
+        print(
+            f"overload chaos seed={oreport.seed}: {oreport.requests} requests "
+            f"over {oreport.horizon_cycles:.0f} cycles — "
+            f"{oreport.completed} completed, {oreport.degraded} degraded, "
+            f"{oreport.throttled} throttled, {oreport.shed} shed, "
+            f"{oreport.expired} expired; OLTP p99 "
+            f"{oreport.oltp_p99_cycles:.0f} (bound "
+            f"{oreport.oltp_p99_bound_cycles:.0f}), hostile rejections "
+            f"{oreport.hostile_rejections}, faults {oreport.faults_fired}, "
+            f"{len(oreport.violations)} violations, {oreport.seconds:.1f}s"
+        )
+        for v in oreport.violations[:20]:
+            print(f"  VIOLATION: {v}", file=sys.stderr)
+        if args.json:
+            with open(args.json, "w") as f:
+                json.dump(oreport.to_dict(), f, indent=2)
+            print(f"wrote {args.json}")
+        return 0 if oreport.passed else 1
 
     report = run_chaos(
         args.seed,

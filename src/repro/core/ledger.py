@@ -58,6 +58,11 @@ class CostLedger:
     WAL_CHECKPOINT = "wal_checkpoint"
     #: Log read-back, checksum validation, and redo during recovery.
     WAL_RECOVERY = "wal_recovery"
+    #: Serving front door: simulated time while admitted requests run.
+    SERVE_EXEC = "serve_execute"
+    #: Serving front door: simulated time with every slot idle (waiting
+    #: on the open-loop arrival process).
+    SERVE_IDLE = "serve_idle"
 
     #: Every bucket the simulator charges, in report order. ``breakdown``
     #: returns all of them — including zeros — so reports never silently
@@ -74,6 +79,8 @@ class CostLedger:
         WAL_APPEND,
         WAL_CHECKPOINT,
         WAL_RECOVERY,
+        SERVE_EXEC,
+        SERVE_IDLE,
     )
 
     def charge(self, bucket: str, cycles: float) -> None:

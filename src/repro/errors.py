@@ -86,6 +86,41 @@ class FlashReadError(FaultError, StorageError):
     """
 
 
+class ServeFaultError(FaultError):
+    """Base class for serving-layer rejections (see :mod:`repro.serve`).
+
+    These are *load-management* outcomes, not bugs: a resilient client
+    catches :class:`~repro.errors.FaultError`, applies its
+    :class:`~repro.faults.RetryPolicy`, and resubmits — exactly the
+    discipline the device-fault errors established.
+    """
+
+
+class TenantThrottledError(ServeFaultError):
+    """A tenant exceeded its admission quota (token bucket or queue cap).
+
+    Carries ``retry_after_cycles`` — the simulated-cycle delay after
+    which the tenant's token bucket will cover the request again. Clients
+    compose it with a :class:`~repro.faults.RetryPolicy` via
+    :func:`repro.serve.throttle_backoff` (the hint is a floor under the
+    policy's seeded exponential backoff).
+    """
+
+    def __init__(self, message: str, retry_after_cycles: float = 0.0):
+        super().__init__(message)
+        self.retry_after_cycles = float(retry_after_cycles)
+
+
+class DeadlineExceededError(ServeFaultError):
+    """A request's deadline passed before it could be dispatched.
+
+    Raised (or recorded as a typed resolution) by the serving front door
+    when the simulated clock — possibly skewed by the
+    ``serve.clock_skew`` chaos site — moved past the request's deadline
+    while it waited in the fair queue.
+    """
+
+
 class WalCorruptionError(StorageError):
     """A write-ahead-log record failed validation on read-back.
 

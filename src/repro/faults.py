@@ -33,11 +33,13 @@ from typing import Dict, Mapping, Optional, Tuple, Type
 
 from repro.errors import (
     ConfigurationError,
+    DeadlineExceededError,
     DeviceTimeoutError,
     FabricFaultError,
     FaultError,
     FlashReadError,
     ReproError,
+    TenantThrottledError,
     WalCorruptionError,
 )
 
@@ -63,6 +65,12 @@ WAL_TORN = "wal.torn"
 WAL_FLUSH = "wal.flush"
 #: A stored WAL byte came back with a flipped bit (detected by CRC).
 WAL_BITFLIP = "wal.bitflip"
+#: The overload manager sheds an otherwise-admittable request (chaos:
+#: forces graceful shedding even when queues are healthy).
+SERVE_SHED = "serve.shed"
+#: A deadline check observes a skewed clock, expiring a request early
+#: (the skew magnitude comes from :meth:`FaultInjector.draw`).
+SERVE_CLOCK_SKEW = "serve.clock_skew"
 
 #: Sites that *shape* data instead of raising: the log device consults
 #: :meth:`FaultInjector.should_fault` and applies the corruption itself
@@ -81,10 +89,18 @@ SITE_ERRORS: Mapping[str, Tuple[Type[ReproError], str]] = {
     WAL_TORN: (WalCorruptionError, "WAL append torn mid-record"),
     WAL_FLUSH: (WalCorruptionError, "WAL flush lost buffered bytes"),
     WAL_BITFLIP: (WalCorruptionError, "stored WAL byte read back corrupted"),
+    SERVE_SHED: (TenantThrottledError, "overload manager shed the request"),
+    SERVE_CLOCK_SKEW: (DeadlineExceededError, "deadline clock skewed past budget"),
 }
 
 #: All fabric-side sites, for "make the memory fabric flaky" plans.
 FABRIC_SITES = (FABRIC_CONFIGURE, FABRIC_REFILL, FABRIC_CORRUPT, DEVICE_TIMEOUT)
+
+#: Serving-layer sites. Like :data:`WAL_SITES` these shape behaviour
+#: instead of raising from inside a device: the scheduler consults
+#: :meth:`FaultInjector.should_fault` on its armed fast path and records
+#: the mapped error as the request's typed resolution.
+SERVE_SITES = (SERVE_SHED, SERVE_CLOCK_SKEW)
 
 
 @dataclass(frozen=True)

@@ -274,6 +274,57 @@ def register_fault_injector(
     registry.register_collector(collect)
 
 
+# ----------------------------------------------------------------------
+# serve: the multi-tenant front door.
+# ----------------------------------------------------------------------
+def register_serve(registry: MetricsRegistry, scheduler, **labels: Any) -> None:
+    """Queue depths, admission/shed/throttle/deadline counters, in-flight
+    counts, token balances, and the overload breaker state — one series
+    per (tenant, lane) so interference is visible in the sampled output.
+
+    Latency and time-in-queue histograms are registered by the scheduler
+    itself (they are hot-path instruments, not PMU reads); this collector
+    covers everything readable off the scheduler's existing state.
+    """
+    from repro.serve.request import LANES
+
+    def collect() -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for tenant in scheduler.config.tenant_ids:
+            for lane in LANES:
+                depth = scheduler.queue.depth((lane, tenant))
+                s = scheduler.stats.get((tenant, lane))
+                out[fmt_name("serve_queue_depth", tenant=tenant, lane=lane,
+                             **labels)] = float(depth)
+                for counter in ("submitted", "admitted", "completed",
+                                "degraded", "throttled", "shed", "expired"):
+                    out[fmt_name(f"serve_{counter}", tenant=tenant,
+                                 lane=lane, **labels)] = float(
+                        getattr(s, counter) if s is not None else 0
+                    )
+            out[fmt_name("serve_running", tenant=tenant, **labels)] = float(
+                scheduler.running_for(tenant)
+            )
+            out[fmt_name("serve_tokens", tenant=tenant, **labels)] = (
+                scheduler.admission.bucket(tenant).tokens
+            )
+        out[fmt_name("serve_running_total", **labels)] = float(
+            scheduler.running_count
+        )
+        out[fmt_name("serve_queued_cost_cycles", **labels)] = (
+            scheduler.queued_cost
+        )
+        out[fmt_name("serve_degraded_mode", **labels)] = float(
+            scheduler.degraded_mode
+        )
+        out[fmt_name("serve_degraded_mode_entries", **labels)] = float(
+            scheduler.degraded_mode_entries
+        )
+        return out
+
+    registry.register_collector(collect)
+
+
 def register_breaker(registry: MetricsRegistry, breaker, **labels: Any) -> None:
     """Breaker state (0=closed, 1=half-open, 2=open) and trip count."""
     from repro.faults import BreakerState

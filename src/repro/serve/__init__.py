@@ -1,0 +1,107 @@
+"""repro.serve — the multi-tenant serving front door.
+
+Everything in front of the engines: per-tenant admission control (token
+buckets + queue caps), deadline enforcement, weighted-fair queueing
+across tenants and priority lanes, and breaker-style graceful
+degradation under overload. All of it runs on the same simulated clock
+as the rest of the stack — the scheduler's ledger charges drive the
+metrics :class:`~repro.obs.metrics.Sampler` — so a seeded run is
+bit-identical every time and the chaos oracle
+(:class:`~repro.serve.oracle.ServeOracle`) can replay the whole event
+log brute-force.
+
+Quick use::
+
+    from repro.serve import (
+        ServeConfig, TenantConfig, ServeScheduler, synthetic_executor,
+    )
+
+    config = ServeConfig(tenants=(
+        TenantConfig("app", weight=4.0),
+        TenantConfig("analytics", weight=1.0),
+    ))
+    sched = ServeScheduler(config, synthetic_executor(seed=7))
+    sched.submit("app", "oltp", cost_estimate=20_000, arrival=0.0,
+                 deadline_budget=2_000_000)
+    sched.submit("analytics", "olap", cost_estimate=2_000_000, arrival=0.0)
+    report = sched.run_until_drained()
+    print(report.lane("app", "oltp").to_dict())
+"""
+
+from repro.serve.admission import (
+    ADMIT,
+    SHED,
+    THROTTLE,
+    AdmissionController,
+    TokenBucket,
+    Verdict,
+)
+from repro.serve.oracle import ServeOracle
+from repro.serve.queue import WeightedFairQueue
+from repro.serve.request import (
+    ADMITTED_OUTCOMES,
+    EV_ADMIT,
+    EV_COMPLETE,
+    EV_DISPATCH,
+    EV_EXPIRE,
+    EV_SHED,
+    EV_SUBMIT,
+    EV_THROTTLE,
+    LANES,
+    OLAP_LANE,
+    OLTP_LANE,
+    REJECTED_OUTCOMES,
+    Event,
+    Outcome,
+    Request,
+    Resolution,
+    ServeConfig,
+    TenantConfig,
+)
+from repro.serve.scheduler import (
+    ExecOutcome,
+    Executor,
+    LaneStats,
+    ServeReport,
+    ServeScheduler,
+    throttle_backoff,
+)
+from repro.serve.workload import LoadSpec, submit_open_loop, synthetic_executor
+
+__all__ = [
+    "ADMIT",
+    "ADMITTED_OUTCOMES",
+    "AdmissionController",
+    "EV_ADMIT",
+    "EV_COMPLETE",
+    "EV_DISPATCH",
+    "EV_EXPIRE",
+    "EV_SHED",
+    "EV_SUBMIT",
+    "EV_THROTTLE",
+    "Event",
+    "ExecOutcome",
+    "Executor",
+    "LANES",
+    "LaneStats",
+    "LoadSpec",
+    "OLAP_LANE",
+    "OLTP_LANE",
+    "Outcome",
+    "REJECTED_OUTCOMES",
+    "Request",
+    "Resolution",
+    "SHED",
+    "ServeConfig",
+    "ServeOracle",
+    "ServeReport",
+    "ServeScheduler",
+    "THROTTLE",
+    "TenantConfig",
+    "TokenBucket",
+    "Verdict",
+    "WeightedFairQueue",
+    "submit_open_loop",
+    "synthetic_executor",
+    "throttle_backoff",
+]

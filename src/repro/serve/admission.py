@@ -1,0 +1,162 @@
+"""Admission control: per-tenant token buckets and queue caps.
+
+The controller answers one question per arrival — *may this request join
+the queue?* — with three possible verdicts:
+
+* **admit** — the tenant's token bucket covers the cost estimate; the
+  estimate is deducted immediately (pessimistic accounting the chaos
+  oracle can replay exactly);
+* **throttle** — the bucket cannot cover it; the verdict carries a
+  ``retry_after_cycles`` hint computed from the refill rate, surfaced as
+  :class:`~repro.errors.TenantThrottledError`;
+* **shed** — the (tenant, lane) queue is at its cap, or the
+  ``serve.shed`` chaos site forced a graceful shed.
+
+Token buckets refill continuously: ``rate_cycles_per_interval`` tokens
+per ``interval_cycles`` of the serve clock, capped at ``burst_cycles``.
+All arithmetic is plain float accumulation on deterministic inputs, so
+the same arrival schedule always yields the same verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError, TenantThrottledError
+from repro.serve.request import Request, ServeConfig, TenantConfig
+
+#: Admission verdicts.
+ADMIT = "admit"
+THROTTLE = "throttle"
+SHED = "shed"
+
+
+class TokenBucket:
+    """A continuously-refilling cycle budget for one tenant."""
+
+    __slots__ = ("rate", "interval", "burst", "tokens", "last_refill")
+
+    def __init__(self, rate: float, interval: float, burst: float):
+        if rate <= 0 or interval <= 0 or burst <= 0:
+            raise ConfigurationError(
+                f"token bucket needs positive rate/interval/burst, "
+                f"got {rate}/{interval}/{burst}"
+            )
+        self.rate = rate
+        self.interval = interval
+        self.burst = burst
+        #: Buckets start full so a fresh tenant can burst immediately.
+        self.tokens = burst
+        self.last_refill = 0.0
+
+    def refill(self, now: float) -> None:
+        if now < self.last_refill:
+            raise ConfigurationError(
+                f"token bucket clock moved backwards: {now} < {self.last_refill}"
+            )
+        self.tokens = min(
+            self.burst,
+            self.tokens + self.rate * (now - self.last_refill) / self.interval,
+        )
+        self.last_refill = now
+
+    def try_take(self, now: float, amount: float) -> bool:
+        """Deduct ``amount`` if covered; refills to ``now`` first."""
+        self.refill(now)
+        if self.tokens + 1e-9 < amount:  # float-safe: never throttle on epsilon
+            return False
+        self.tokens -= amount
+        return True
+
+    def retry_after(self, amount: float) -> float:
+        """Cycles until the bucket (as of the last refill) covers ``amount``."""
+        deficit = amount - self.tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit * self.interval / self.rate
+
+
+@dataclass
+class Verdict:
+    """One admission decision plus its supporting facts."""
+
+    action: str  # ADMIT | THROTTLE | SHED
+    #: Cycles until a throttled tenant's bucket covers the request.
+    retry_after_cycles: float = 0.0
+    #: True when the shed was forced by the ``serve.shed`` chaos site.
+    forced: bool = False
+    #: Bucket balance after the decision (admits deduct, others don't).
+    tokens_after: float = 0.0
+
+    def error(self, request: Request) -> Optional[TenantThrottledError]:
+        """The typed error a rejected request resolves with."""
+        if self.action == THROTTLE:
+            return TenantThrottledError(
+                f"tenant {request.tenant!r} over cycle quota "
+                f"(request {request.req_id}, est {request.cost_estimate:.0f} "
+                f"cycles); retry after {self.retry_after_cycles:.0f} cycles",
+                retry_after_cycles=self.retry_after_cycles,
+            )
+        if self.action == SHED:
+            reason = (
+                "chaos site serve.shed fired"
+                if self.forced
+                else f"queue for ({request.tenant}, {request.lane}) is full"
+            )
+            return TenantThrottledError(
+                f"request {request.req_id} shed: {reason} [site=serve.shed]",
+                retry_after_cycles=self.retry_after_cycles,
+            )
+        return None
+
+
+class AdmissionController:
+    """Applies every tenant's quota at the door."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self._buckets: Dict[str, TokenBucket] = {
+            t.tenant_id: TokenBucket(
+                t.rate_cycles_per_interval, config.interval_cycles, t.burst_cycles
+            )
+            for t in config.tenants
+        }
+
+    def bucket(self, tenant_id: str) -> TokenBucket:
+        if tenant_id not in self._buckets:
+            raise ConfigurationError(f"unknown tenant {tenant_id!r}")
+        return self._buckets[tenant_id]
+
+    def tenant(self, tenant_id: str) -> TenantConfig:
+        return self.config.tenant(tenant_id)
+
+    def decide(
+        self,
+        request: Request,
+        now: float,
+        queue_depth: int,
+        forced_shed: bool = False,
+    ) -> Verdict:
+        """The admission verdict for one arrival.
+
+        Order matters and the oracle replays it: a forced (chaos) shed is
+        checked first — it models the overload manager dropping work
+        before any bookkeeping — then the queue cap, then the token
+        bucket. Only an admit mutates the bucket.
+        """
+        bucket = self.bucket(request.tenant)
+        bucket.refill(now)
+        if forced_shed:
+            return Verdict(SHED, forced=True, tokens_after=bucket.tokens,
+                           retry_after_cycles=self.config.interval_cycles)
+        if queue_depth >= self.config.max_queue_depth:
+            return Verdict(SHED, tokens_after=bucket.tokens,
+                           retry_after_cycles=self.config.interval_cycles)
+        if not bucket.try_take(now, request.cost_estimate):
+            return Verdict(
+                THROTTLE,
+                retry_after_cycles=bucket.retry_after(request.cost_estimate),
+                tokens_after=bucket.tokens,
+            )
+        return Verdict(ADMIT, tokens_after=bucket.tokens)

@@ -1,0 +1,283 @@
+"""Brute-force verification of a serve run's event log.
+
+The scheduler in :mod:`repro.serve.scheduler` is a heap-and-tag machine
+optimised for the event loop; this module re-derives every invariant it
+claims from nothing but the :class:`~repro.serve.request.Event` log and
+the :class:`~repro.serve.request.ServeConfig`, with the dumbest possible
+bookkeeping — plain dicts and one linear pass. The chaos harness runs
+both and treats any divergence as a failure, the same shadow-oracle
+pattern the WAL recovery tests use.
+
+Invariants checked (each violation is one human-readable string):
+
+* **conservation** — every submitted request reaches exactly one
+  terminal event, every admit reaches dispatch or expire, every dispatch
+  reaches complete; nothing resolves twice, nothing is lost;
+* **token buckets** — replaying the continuous refill shows every admit
+  was covered and every throttle genuinely wasn't; balances never go
+  negative or above burst;
+* **concurrency** — per-tenant and global in-flight counts never exceed
+  their caps (and never go negative);
+* **queue caps** — a non-forced shed only ever happens against a
+  genuinely full (tenant, lane) queue;
+* **deadlines** — expiries really were past deadline (given the recorded
+  skew) and dispatches never ran a request already past its deadline;
+* **degraded mode** — replaying the queued-cost breaker reproduces
+  exactly which dispatches were degraded (and only OLAP ones were);
+* **clock sanity** — event timestamps never run backwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.serve.request import (
+    EV_ADMIT,
+    EV_COMPLETE,
+    EV_DISPATCH,
+    EV_EXPIRE,
+    EV_SHED,
+    EV_SUBMIT,
+    EV_THROTTLE,
+    OLAP_LANE,
+    Event,
+    ServeConfig,
+)
+
+#: Events that end a request's life.
+TERMINAL_KINDS = (EV_THROTTLE, EV_SHED, EV_COMPLETE, EV_EXPIRE)
+
+#: Float slop for replayed bucket balances (pure-sum arithmetic drift).
+EPS = 1e-6
+
+
+class _Bucket:
+    """The oracle's own token bucket: same math, independent code path."""
+
+    def __init__(self, rate: float, interval: float, burst: float):
+        self.rate = rate
+        self.interval = interval
+        self.burst = burst
+        self.tokens = burst
+        self.at = 0.0
+
+    def refill(self, now: float) -> None:
+        self.tokens = min(
+            self.burst, self.tokens + self.rate * (now - self.at) / self.interval
+        )
+        self.at = now
+
+
+class ServeOracle:
+    """Replays an event log against a config; collects violations."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+
+    def verify(self, events: List[Event]) -> List[str]:
+        """Every invariant violation found in ``events`` (empty == clean)."""
+        cfg = self.config
+        bad: List[str] = []
+
+        buckets: Dict[str, _Bucket] = {
+            t.tenant_id: _Bucket(
+                t.rate_cycles_per_interval, cfg.interval_cycles, t.burst_cycles
+            )
+            for t in cfg.tenants
+        }
+        submit: Dict[int, Event] = {}
+        terminal: Dict[int, Event] = {}
+        admitted: Set[int] = set()
+        dispatched: Set[int] = set()
+        queue_depth: Dict[Tuple[str, str], int] = {}
+        running: Dict[str, int] = {t: 0 for t in cfg.tenant_ids}
+        running_total = 0
+        queued_cost = 0.0
+        degraded_mode = False
+        last_t: Optional[float] = None
+
+        def breaker() -> None:
+            nonlocal degraded_mode
+            if not degraded_mode:
+                if queued_cost > cfg.degrade_enter_queued_cycles:
+                    degraded_mode = True
+            elif queued_cost <= cfg.degrade_exit_queued_cycles:
+                degraded_mode = False
+
+        for i, ev in enumerate(events):
+            rid = ev.req_id
+            where = f"event {i} ({ev.kind} req {rid} t={ev.t:.0f})"
+            if last_t is not None and ev.t < last_t - EPS:
+                bad.append(f"{where}: clock ran backwards ({ev.t} < {last_t})")
+            last_t = ev.t
+
+            if ev.kind == EV_SUBMIT:
+                if rid in submit:
+                    bad.append(f"{where}: request submitted twice")
+                submit[rid] = ev
+                continue
+
+            sub = submit.get(rid)
+            if sub is None:
+                bad.append(f"{where}: lifecycle event before submit")
+                continue
+            cost = sub.data["cost_estimate"]
+            deadline = sub.data["deadline"]  # -1.0 == none
+            tenant = ev.tenant
+            key = (tenant, ev.lane)
+
+            if ev.kind in TERMINAL_KINDS:
+                if rid in terminal:
+                    bad.append(
+                        f"{where}: second terminal event "
+                        f"(first was {terminal[rid].kind})"
+                    )
+                    continue
+                terminal[rid] = ev
+
+            if ev.kind == EV_ADMIT:
+                if rid in admitted:
+                    bad.append(f"{where}: admitted twice")
+                admitted.add(rid)
+                b = buckets[tenant]
+                b.refill(ev.t)
+                if b.tokens + EPS < cost:
+                    bad.append(
+                        f"{where}: admitted with insufficient tokens "
+                        f"({b.tokens:.1f} < {cost:.1f})"
+                    )
+                b.tokens -= cost
+                if b.tokens < -EPS:
+                    bad.append(f"{where}: bucket went negative ({b.tokens:.1f})")
+                rec = ev.data.get("tokens_after")
+                if rec is not None and abs(rec - b.tokens) > max(
+                    EPS, 1e-9 * b.burst
+                ):
+                    bad.append(
+                        f"{where}: recorded balance {rec:.3f} != replayed "
+                        f"{b.tokens:.3f}"
+                    )
+                queue_depth[key] = queue_depth.get(key, 0) + 1
+                if queue_depth[key] > cfg.max_queue_depth:
+                    bad.append(
+                        f"{where}: queue {key} over cap "
+                        f"({queue_depth[key]} > {cfg.max_queue_depth})"
+                    )
+                queued_cost += cost
+                breaker()
+
+            elif ev.kind == EV_THROTTLE:
+                b = buckets[tenant]
+                b.refill(ev.t)
+                if b.tokens + EPS >= cost:
+                    bad.append(
+                        f"{where}: throttled with sufficient tokens "
+                        f"({b.tokens:.1f} >= {cost:.1f})"
+                    )
+
+            elif ev.kind == EV_SHED:
+                forced = ev.data.get("forced", 0.0) >= 1.0
+                if not forced and queue_depth.get(key, 0) < cfg.max_queue_depth:
+                    bad.append(
+                        f"{where}: non-forced shed with queue {key} at "
+                        f"{queue_depth.get(key, 0)}/{cfg.max_queue_depth}"
+                    )
+
+            elif ev.kind == EV_DISPATCH:
+                if rid not in admitted:
+                    bad.append(f"{where}: dispatched without admission")
+                if rid in dispatched:
+                    bad.append(f"{where}: dispatched twice")
+                dispatched.add(rid)
+                queue_depth[key] = queue_depth.get(key, 0) - 1
+                if queue_depth[key] < 0:
+                    bad.append(f"{where}: queue {key} depth went negative")
+                queued_cost -= cost
+                breaker()
+                if deadline >= 0 and ev.t > deadline + EPS:
+                    bad.append(
+                        f"{where}: dispatched past deadline "
+                        f"({ev.t:.0f} > {deadline:.0f})"
+                    )
+                expect_degraded = degraded_mode and ev.lane == OLAP_LANE
+                got_degraded = ev.data.get("degraded", 0.0) >= 1.0
+                if got_degraded != expect_degraded:
+                    bad.append(
+                        f"{where}: degraded flag {got_degraded} but replayed "
+                        f"breaker says {expect_degraded} "
+                        f"(queued_cost {queued_cost:.0f})"
+                    )
+                if got_degraded and ev.lane != OLAP_LANE:
+                    bad.append(f"{where}: non-OLAP request ran degraded")
+                running[tenant] = running.get(tenant, 0) + 1
+                running_total += 1
+                cap = cfg.tenant(tenant).max_concurrency
+                if running[tenant] > cap:
+                    bad.append(
+                        f"{where}: tenant {tenant!r} over concurrency "
+                        f"({running[tenant]} > {cap})"
+                    )
+                if running_total > cfg.global_concurrency:
+                    bad.append(
+                        f"{where}: global concurrency exceeded "
+                        f"({running_total} > {cfg.global_concurrency})"
+                    )
+
+            elif ev.kind == EV_COMPLETE:
+                if rid not in dispatched:
+                    bad.append(f"{where}: completed without dispatch")
+                else:
+                    running[tenant] = running.get(tenant, 0) - 1
+                    running_total -= 1
+                    if running[tenant] < 0 or running_total < 0:
+                        bad.append(f"{where}: running count went negative")
+
+            elif ev.kind == EV_EXPIRE:
+                if rid not in admitted:
+                    bad.append(f"{where}: expired without admission")
+                if rid in dispatched:
+                    bad.append(f"{where}: expired after dispatch")
+                queue_depth[key] = queue_depth.get(key, 0) - 1
+                if queue_depth[key] < 0:
+                    bad.append(f"{where}: queue {key} depth went negative")
+                queued_cost -= cost
+                breaker()
+                skew = ev.data.get("skew", 0.0)
+                if deadline < 0:
+                    bad.append(f"{where}: expired a request with no deadline")
+                elif ev.t + skew <= deadline + EPS:
+                    bad.append(
+                        f"{where}: expired before deadline "
+                        f"({ev.t:.0f} + skew {skew:.0f} <= {deadline:.0f})"
+                    )
+
+            else:
+                bad.append(f"{where}: unknown event kind {ev.kind!r}")
+
+        # ------------------------------------------------------------------
+        # End-of-log conservation.
+        # ------------------------------------------------------------------
+        for rid in submit:
+            if rid not in terminal:
+                bad.append(f"request {rid} never resolved")
+        for rid in admitted:
+            end = terminal.get(rid)
+            if end is not None and end.kind not in (EV_COMPLETE, EV_EXPIRE):
+                bad.append(
+                    f"request {rid} admitted but terminal event is {end.kind}"
+                )
+        for rid in dispatched:
+            end = terminal.get(rid)
+            if end is not None and end.kind != EV_COMPLETE:
+                bad.append(
+                    f"request {rid} dispatched but terminal event is {end.kind}"
+                )
+        for rid, end in terminal.items():
+            if end.kind in (EV_COMPLETE, EV_EXPIRE) and rid not in admitted:
+                bad.append(f"request {rid} ended {end.kind} without admission")
+        if running_total != 0:
+            bad.append(f"{running_total} requests still in flight at end of log")
+        for key, depth in queue_depth.items():
+            if depth != 0:
+                bad.append(f"queue {key} still holds {depth} requests at end")
+        return bad

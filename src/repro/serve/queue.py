@@ -1,0 +1,135 @@
+"""Deterministic weighted-fair queueing (start-time fair queueing).
+
+One flow per (lane, tenant). Each pushed item gets a virtual **finish
+tag**::
+
+    start  = max(virtual_time, last_finish[flow])
+    finish = start + cost / weight
+
+and :meth:`WeightedFairQueue.pop` always serves the eligible flow whose
+head item holds the smallest finish tag, advancing virtual time to that
+tag. Ties break on the flow key (lexicographic), so the whole order is a
+pure function of the push sequence — no wall clock, no randomness.
+
+Properties the property tests pin (``tests/test_serve_queue.py``):
+
+* **deterministic** — identical push/pop sequences yield identical
+  service orders;
+* **work-conserving** — ``pop`` returns an item whenever any eligible
+  flow is non-empty;
+* **starvation-free** — a backlogged flow's head tag is fixed while
+  competitors' new arrivals tag at or above current virtual time, so
+  every non-empty flow is served within a bounded number of dispatches
+  (the classic SFQ bound: at most ``ceil(weight_j / weight_i * cost_i /
+  cost_j)``-ish dispatches of each competitor j can precede flow i).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ExecutionError
+
+#: A flow key — (lane, tenant) at the serving layer, anything hashable
+#: and orderable here.
+FlowKey = Hashable
+
+
+class WeightedFairQueue:
+    """SFQ over named flows with per-item costs and per-flow weights."""
+
+    def __init__(self):
+        self._queues: Dict[FlowKey, Deque[Tuple[float, object]]] = {}
+        self._last_finish: Dict[FlowKey, float] = {}
+        self._virtual = 0.0
+        self._len = 0
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._len
+
+    def depth(self, key: FlowKey) -> int:
+        q = self._queues.get(key)
+        return len(q) if q else 0
+
+    def flows(self) -> List[FlowKey]:
+        """Non-empty flow keys, sorted (the deterministic tie order)."""
+        return sorted(k for k, q in self._queues.items() if q)
+
+    @property
+    def virtual_time(self) -> float:
+        return self._virtual
+
+    # ------------------------------------------------------------------
+    # The queue discipline.
+    # ------------------------------------------------------------------
+    def push(self, key: FlowKey, weight: float, cost: float, item: object) -> float:
+        """Enqueue ``item`` on flow ``key``; returns its finish tag."""
+        if weight <= 0:
+            raise ConfigurationError(f"flow {key!r}: weight must be > 0, got {weight}")
+        if cost < 0:
+            raise ConfigurationError(f"flow {key!r}: cost must be >= 0, got {cost}")
+        start = max(self._virtual, self._last_finish.get(key, 0.0))
+        finish = start + cost / weight
+        self._last_finish[key] = finish
+        self._queues.setdefault(key, deque()).append((finish, item))
+        self._len += 1
+        return finish
+
+    def pop(
+        self, eligible: Optional[Callable[[FlowKey], bool]] = None
+    ) -> Optional[Tuple[FlowKey, object]]:
+        """Serve the eligible flow with the smallest head finish tag.
+
+        ``eligible`` lets the scheduler skip flows whose tenant is at its
+        concurrency cap without losing their queue position (the skipped
+        flow's tags are untouched; it is simply not a candidate this
+        round). Returns None when no eligible flow has work — the caller
+        distinguishes "empty" (``len() == 0``) from "blocked".
+        """
+        best_key: Optional[FlowKey] = None
+        best_tag = 0.0
+        for key in sorted(k for k, q in self._queues.items() if q):
+            if eligible is not None and not eligible(key):
+                continue
+            tag = self._queues[key][0][0]
+            if best_key is None or tag < best_tag:
+                best_key, best_tag = key, tag
+        if best_key is None:
+            return None
+        tag, item = self._queues[best_key].popleft()
+        self._len -= 1
+        # Virtual time never runs backwards: a flow served out of tag
+        # order (because smaller-tag flows were ineligible) must not
+        # rewind the clock for everyone else.
+        self._virtual = max(self._virtual, tag)
+        return best_key, item
+
+    def drain_if(
+        self, predicate: Callable[[object], bool]
+    ) -> List[Tuple[FlowKey, object]]:
+        """Remove every queued item matching ``predicate`` (deadline
+        sweeps), preserving each survivor's position and tag."""
+        removed: List[Tuple[FlowKey, object]] = []
+        for key in sorted(self._queues):
+            q = self._queues[key]
+            if not q:
+                continue
+            kept: Deque[Tuple[float, object]] = deque()
+            for tag, item in q:
+                if predicate(item):
+                    removed.append((key, item))
+                    self._len -= 1
+                else:
+                    kept.append((tag, item))
+            self._queues[key] = kept
+        return removed
+
+    def head_tag(self, key: FlowKey) -> float:
+        q = self._queues.get(key)
+        if not q:
+            raise ExecutionError(f"flow {key!r} is empty")
+        return q[0][0]

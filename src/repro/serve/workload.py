@@ -1,0 +1,151 @@
+"""Synthetic serving workloads: executors and open-loop arrival streams.
+
+The chaos harness and ``benchmarks/bench_serve.py`` need load that is
+(a) open-loop — arrival times fixed up front, so an overloaded server
+cannot slow its own offered load down, which is exactly the regime where
+admission control earns its keep — and (b) a pure function of the seed.
+
+Both pieces draw from per-request / per-stream ``numpy`` generators
+seeded ``[seed, index]``, so one request's cost never depends on how
+many requests ran before it: the scheduler may reorder work freely and
+every draw stays identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serve.request import LANES, OLTP_LANE, Request
+from repro.serve.scheduler import ExecOutcome, Executor, ServeScheduler
+
+
+def synthetic_executor(
+    seed: int = 0,
+    oltp_cycles: Tuple[float, float] = (4_000.0, 40_000.0),
+    olap_cycles: Tuple[float, float] = (400_000.0, 4_000_000.0),
+    degraded_fraction: float = 0.125,
+) -> Executor:
+    """An executor whose service time is a seeded draw per request.
+
+    OLTP requests cost uniform ``oltp_cycles``, OLAP uniform
+    ``olap_cycles``; a degraded (sampled) OLAP dispatch pays
+    ``degraded_fraction`` of its full draw. The draw is keyed
+    ``[seed, req_id]`` so it is independent of dispatch order.
+    """
+    if not 0.0 < degraded_fraction <= 1.0:
+        raise ConfigurationError(
+            f"degraded_fraction must be in (0, 1], got {degraded_fraction}"
+        )
+
+    def execute(request: Request, degrade: bool) -> ExecOutcome:
+        rng = np.random.default_rng([seed, request.req_id])
+        lo, hi = oltp_cycles if request.lane == OLTP_LANE else olap_cycles
+        cycles = float(rng.uniform(lo, hi))
+        if degrade:
+            cycles *= degraded_fraction
+        return ExecOutcome(cycles=cycles, degraded=degrade)
+
+    return execute
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One tenant's open-loop arrival process on one lane.
+
+    Arrivals are Poisson with mean spacing ``mean_interarrival_cycles``,
+    modulated by a square-wave burst pattern: every ``burst_every_cycles``
+    a burst of ``burst_len_cycles`` begins during which the arrival rate
+    is multiplied by ``burst_factor`` (1.0 == no bursts). ``cost_cycles``
+    bounds the *estimate* the admission controller charges — the executor
+    prices actual service separately, as in any real estimator.
+    """
+
+    tenant_id: str
+    lane: str
+    mean_interarrival_cycles: float
+    cost_cycles: Tuple[float, float]
+    burst_every_cycles: float = 0.0
+    burst_len_cycles: float = 0.0
+    burst_factor: float = 1.0
+    deadline_budget_cycles: Optional[float] = None
+
+    def __post_init__(self):
+        if self.lane not in LANES:
+            raise ConfigurationError(
+                f"unknown lane {self.lane!r}; known: {LANES}"
+            )
+        if self.mean_interarrival_cycles <= 0:
+            raise ConfigurationError(
+                f"mean_interarrival_cycles must be > 0, "
+                f"got {self.mean_interarrival_cycles}"
+            )
+        lo, hi = self.cost_cycles
+        if not 0 < lo <= hi:
+            raise ConfigurationError(
+                f"cost_cycles must satisfy 0 < lo <= hi, got {self.cost_cycles}"
+            )
+        if self.burst_factor < 1.0:
+            raise ConfigurationError(
+                f"burst_factor must be >= 1, got {self.burst_factor}"
+            )
+        if self.burst_factor > 1.0 and (
+            self.burst_every_cycles <= 0
+            or not 0 < self.burst_len_cycles <= self.burst_every_cycles
+        ):
+            raise ConfigurationError(
+                "bursty specs need 0 < burst_len_cycles <= burst_every_cycles"
+            )
+        if (
+            self.deadline_budget_cycles is not None
+            and self.deadline_budget_cycles <= 0
+        ):
+            raise ConfigurationError(
+                f"deadline_budget_cycles must be > 0, "
+                f"got {self.deadline_budget_cycles}"
+            )
+
+    def in_burst(self, t: float) -> bool:
+        if self.burst_factor <= 1.0 or self.burst_every_cycles <= 0:
+            return False
+        return (t % self.burst_every_cycles) < self.burst_len_cycles
+
+
+def submit_open_loop(
+    scheduler: ServeScheduler,
+    specs: List[LoadSpec],
+    horizon_cycles: float,
+    seed: int = 0,
+) -> List[Request]:
+    """Materialise every spec's arrivals up to ``horizon_cycles`` and
+    submit them. Stream ``i`` draws from ``default_rng([seed, i])`` so
+    adding or removing a spec never perturbs the others."""
+    if horizon_cycles <= 0:
+        raise ConfigurationError(
+            f"horizon_cycles must be > 0, got {horizon_cycles}"
+        )
+    submitted: List[Request] = []
+    for i, spec in enumerate(specs):
+        rng = np.random.default_rng([seed, i])
+        t = 0.0
+        while True:
+            rate_scale = spec.burst_factor if spec.in_burst(t) else 1.0
+            t += float(
+                rng.exponential(spec.mean_interarrival_cycles / rate_scale)
+            )
+            if t >= horizon_cycles:
+                break
+            lo, hi = spec.cost_cycles
+            submitted.append(
+                scheduler.submit(
+                    tenant=spec.tenant_id,
+                    lane=spec.lane,
+                    cost_estimate=float(rng.uniform(lo, hi)),
+                    arrival=t,
+                    deadline_budget=spec.deadline_budget_cycles,
+                )
+            )
+    return submitted

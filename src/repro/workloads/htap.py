@@ -81,6 +81,7 @@ class HtapDriver:
         metrics: Optional[MetricsRegistry] = None,
     ):
         self.catalog = Catalog()
+        self.platform = platform
         self.table: Table = self.catalog.create_table(orders_schema())
         #: One shared registry across the manager and all three engines,
         #: so the whole HTAP run lands in a single time series. The clock
@@ -128,9 +129,13 @@ class HtapDriver:
         for _ in range(n_txns):
             txn = self.manager.begin()
             try:
-                txn.insert(self.table, self._new_order())
+                new_slot = txn.insert(self.table, self._new_order())
                 self.stats.inserts += 1
+                # visible_slots includes our own pending insert, which
+                # update() refuses to touch (it has no committed version
+                # to supersede) — advance only pre-existing orders.
                 live = txn.visible_slots(self.table)
+                live = live[live != new_slot]
                 if len(live):
                     picks = self.rng.choice(live, size=min(updates_per_txn, len(live)), replace=False)
                     for slot in picks:
@@ -168,3 +173,88 @@ class HtapDriver:
             self.run_oltp_burst(txns_per_round)
             self.run_analytics()
         return self.stats
+
+    # ------------------------------------------------------------------
+    # The served front door (repro.serve).
+    # ------------------------------------------------------------------
+    #: Cycles the serving cost model charges one OLTP transaction: the
+    #: in-memory MVCC path is not priced by the engines, so the front
+    #: door prices it per statement (insert + each update).
+    OLTP_STATEMENT_CYCLES = 2_500.0
+
+    @property
+    def serve_engine(self):
+        """The engine the served OLAP lane executes on.
+
+        Built lazily with ``metrics=None``: the serve scheduler already
+        advances the shared registry's clock for every cycle of service
+        time, so the engine's own ledger must not advance it again. It
+        *does* share the driver's tracer hook via the scheduler's
+        ``serve.execute`` span, under which its spans nest.
+        """
+        if not hasattr(self, "_serve_engine"):
+            self._serve_engine = RowStoreEngine(
+                self.catalog, self.platform, metrics=None
+            )
+        return self._serve_engine
+
+    def serve_executor(self, tracer=None):
+        """An :data:`repro.serve.scheduler.Executor` over this driver.
+
+        OLTP requests run one real transaction (insert + two updates)
+        through the MVCC manager; OLAP requests run the analytic query on
+        :attr:`serve_engine` against a fresh snapshot. A degraded OLAP
+        dispatch models a sampled scan: the answer is computed but only
+        ``olap_degraded_fraction``-style cost is charged by the caller's
+        config — here the executor scales the engine's priced cycles.
+        """
+        from repro.serve.request import OLAP_LANE
+        from repro.serve.scheduler import ExecOutcome
+
+        if tracer is not None:
+            self.serve_engine.tracer = tracer
+
+        def execute(request, degrade):
+            if request.lane == OLAP_LANE:
+                res = self.serve_engine.execute(
+                    self.ANALYTIC_SQL, snapshot_ts=self.manager.now
+                )
+                cycles = res.cycles
+                if degrade:
+                    cycles *= float(request.payload or 0.125)
+                return ExecOutcome(cycles=cycles, degraded=degrade, payload=res)
+            before = self.stats.updates
+            self.run_oltp_burst(1)
+            statements = 1 + (self.stats.updates - before)
+            return ExecOutcome(cycles=self.OLTP_STATEMENT_CYCLES * statements)
+
+        return execute
+
+    def run_served(
+        self,
+        config,
+        specs,
+        horizon_cycles: float,
+        seed: int = 0,
+        tracer=None,
+        fault_injector=None,
+    ):
+        """Drive the whole stack through the multi-tenant front door.
+
+        Builds a :class:`repro.serve.ServeScheduler` whose executor runs
+        real transactions and real analytic queries on this driver,
+        submits every :class:`repro.serve.LoadSpec` open-loop up to
+        ``horizon_cycles``, and drains. Returns the ``ServeReport``.
+        """
+        from repro.serve.scheduler import ServeScheduler
+        from repro.serve.workload import submit_open_loop
+
+        scheduler = ServeScheduler(
+            config,
+            self.serve_executor(tracer=tracer),
+            metrics=self.metrics,
+            tracer=tracer,
+            fault_injector=fault_injector,
+        )
+        submit_open_loop(scheduler, specs, horizon_cycles, seed=seed)
+        return scheduler.run_until_drained()

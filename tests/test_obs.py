@@ -123,8 +123,15 @@ class TestNullPath:
             return _time.perf_counter() - t0
 
         _trial(baseline), _trial(gated)  # warm-up
-        base = min(_trial(baseline) for _ in range(5))
-        noop = min(_trial(gated) for _ in range(5))
+        # Interleave trials so machine-load drift hits both arms, and
+        # give a noisy round a second chance: a real hot-path cost
+        # reproduces across rounds, scheduler jitter does not.
+        for _round in range(3):
+            pairs = [(_trial(baseline), _trial(gated)) for _ in range(7)]
+            base = min(b for b, _ in pairs)
+            noop = min(n for _, n in pairs)
+            if noop < base * 1.05:
+                return
         assert noop < base * 1.05, f"no-op tracer overhead {noop / base - 1:.1%}"
 
 

@@ -1,0 +1,228 @@
+"""Property tests for the weighted-fair queue (start-time fair queueing).
+
+Three invariants the serving layer leans on, pinned over randomized
+push/pop interleavings:
+
+* **deterministic** — the service order is a pure function of the push
+  sequence; replaying it yields byte-identical pops;
+* **work-conserving** — ``pop`` returns an item whenever any eligible
+  flow is non-empty, and only returns None when every queued flow is
+  filtered out;
+* **starvation-free** — however the competitors are weighted, a
+  backlogged flow is served within a bounded number of dispatches: its
+  fixed head tag is eventually the minimum because every new competitor
+  arrival tags at or above the advancing virtual time.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.serve import WeightedFairQueue
+
+FLOWS = ("f0", "f1", "f2", "f3")
+
+#: One random push: (flow index, weight, cost).
+push_st = st.tuples(
+    st.integers(min_value=0, max_value=len(FLOWS) - 1),
+    st.floats(min_value=0.25, max_value=8.0, allow_nan=False),
+    st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+)
+
+#: An interleaved script of pushes (tuples) and pops (None).
+script_st = st.lists(
+    st.one_of(push_st, st.none()), min_size=1, max_size=120
+)
+
+
+def run_script(script):
+    """Execute a push/pop script; returns the sequence of pop results."""
+    q = WeightedFairQueue()
+    seq = 0
+    popped = []
+    for step in script:
+        if step is None:
+            got = q.pop()
+            popped.append(None if got is None else (got[0], got[1]))
+        else:
+            idx, weight, cost = step
+            q.push(FLOWS[idx], weight, cost, f"item{seq}")
+            seq += 1
+    # Drain whatever remains so every script checks full-order equality.
+    while len(q):
+        key, item = q.pop()
+        popped.append((key, item))
+    return popped
+
+
+# ----------------------------------------------------------------------
+# Determinism.
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(script=script_st)
+def test_deterministic_replay(script):
+    assert run_script(script) == run_script(script)
+
+
+# ----------------------------------------------------------------------
+# Work conservation.
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(script=script_st)
+def test_work_conserving(script):
+    """pop() yields an item iff some eligible flow has one, and the
+    total popped equals the total pushed."""
+    q = WeightedFairQueue()
+    pushes = pops = 0
+    for step in script:
+        if step is None:
+            before = len(q)
+            got = q.pop()
+            if before > 0:
+                assert got is not None, "pop returned None with queued work"
+                pops += 1
+                assert len(q) == before - 1
+            else:
+                assert got is None
+        else:
+            idx, weight, cost = step
+            q.push(FLOWS[idx], weight, cost, object())
+            pushes += 1
+    while q.pop() is not None:
+        pops += 1
+    assert pops == pushes
+    assert len(q) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(script=st.lists(push_st, min_size=1, max_size=60))
+def test_blocked_is_not_empty(script):
+    """Filtering every flow out returns None without losing items."""
+    q = WeightedFairQueue()
+    for idx, weight, cost in script:
+        q.push(FLOWS[idx], weight, cost, object())
+    n = len(q)
+    assert q.pop(eligible=lambda key: False) is None
+    assert len(q) == n  # nothing silently dropped
+    served = 0
+    while q.pop(eligible=lambda key: True) is not None:
+        served += 1
+    assert served == n
+
+
+# ----------------------------------------------------------------------
+# Starvation freedom.
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(
+    victim_weight=st.floats(min_value=0.25, max_value=2.0),
+    rival_weight=st.floats(min_value=1.0, max_value=8.0),
+    cost=st.floats(min_value=100.0, max_value=10_000.0),
+    data=st.data(),
+)
+def test_backlogged_flow_served_within_bound(
+    victim_weight, rival_weight, cost, data
+):
+    """A queued low-weight item is served within the SFQ bound even when
+    a high-weight rival pushes a new item before every single pop."""
+    q = WeightedFairQueue()
+    q.push("victim", victim_weight, cost, "starved?")
+    victim_tag = q.head_tag("victim")
+    # The rival may never overtake more often than the weight ratio
+    # (+1 for the in-flight item) allows: each rival item costs
+    # cost/rival_weight of virtual time, and once virtual time passes
+    # the victim's fixed tag the victim's head is the strict minimum.
+    bound = int(victim_tag / (cost / rival_weight)) + 2
+    dispatches = 0
+    while True:
+        rival_cost = data.draw(
+            st.floats(min_value=cost, max_value=cost * 4), label="rival_cost"
+        )
+        q.push("rival", rival_weight, rival_cost, "rival")
+        key, item = q.pop()
+        dispatches += 1
+        if key == "victim":
+            break
+        assert dispatches <= bound, (
+            f"victim starved: {dispatches} dispatches > bound {bound}"
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(script=st.lists(push_st, min_size=2, max_size=60))
+def test_every_flow_eventually_served(script):
+    """Draining a mixed backlog serves every non-empty flow."""
+    q = WeightedFairQueue()
+    pushed_flows = set()
+    for idx, weight, cost in script:
+        q.push(FLOWS[idx], weight, cost, object())
+        pushed_flows.add(FLOWS[idx])
+    served = set()
+    while True:
+        got = q.pop()
+        if got is None:
+            break
+        served.add(got[0])
+    assert served == pushed_flows
+
+
+# ----------------------------------------------------------------------
+# Virtual time and tag mechanics (example-based edges).
+# ----------------------------------------------------------------------
+class TestMechanics:
+    def test_weights_split_service_proportionally(self):
+        # Equal costs, 3:1 weights: over 8 dispatches the heavy flow
+        # gets ~3x the service of the light one.
+        q = WeightedFairQueue()
+        for _ in range(12):
+            q.push("heavy", 3.0, 300.0, "h")
+            q.push("light", 1.0, 300.0, "l")
+        first8 = [q.pop()[0] for _ in range(8)]
+        assert first8.count("heavy") == 6
+        assert first8.count("light") == 2
+
+    def test_ties_break_on_flow_key(self):
+        q = WeightedFairQueue()
+        q.push("b", 1.0, 100.0, "second")
+        q.push("a", 1.0, 100.0, "first")  # same tag, smaller key
+        assert q.pop() == ("a", "first")
+        assert q.pop() == ("b", "second")
+
+    def test_virtual_time_never_rewinds(self):
+        q = WeightedFairQueue()
+        q.push("a", 1.0, 100.0, "small-tag")
+        q.push("b", 1.0, 900.0, "big-tag")
+        # Serve b first (a ineligible): virtual time jumps to b's tag...
+        q.pop(eligible=lambda key: key == "b")
+        vt = q.virtual_time
+        assert vt == 900.0
+        # ...and serving a afterwards must not rewind it.
+        q.pop()
+        assert q.virtual_time >= vt
+
+    def test_drain_if_preserves_survivor_order(self):
+        q = WeightedFairQueue()
+        for i in range(6):
+            q.push("a", 1.0, 100.0, i)
+        removed = q.drain_if(lambda item: item % 2 == 0)
+        assert [item for _, item in removed] == [0, 2, 4]
+        assert [q.pop()[1] for _ in range(3)] == [1, 3, 5]
+        assert len(q) == 0
+
+    def test_depth_and_flows(self):
+        q = WeightedFairQueue()
+        assert q.depth("a") == 0
+        q.push("a", 1.0, 1.0, "x")
+        q.push("c", 1.0, 1.0, "y")
+        assert q.depth("a") == 1
+        assert q.flows() == ["a", "c"]
+
+    def test_validation(self):
+        q = WeightedFairQueue()
+        with pytest.raises(ConfigurationError):
+            q.push("a", 0.0, 1.0, "x")
+        with pytest.raises(ConfigurationError):
+            q.push("a", 1.0, -1.0, "x")
+        with pytest.raises(ExecutionError):
+            q.head_tag("empty")
