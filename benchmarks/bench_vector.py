@@ -1,0 +1,244 @@
+"""Macrobenchmark: vectorized vs scalar execution on the Q3 join chain.
+
+The fused vector kernels (:mod:`repro.db.exec.vector`) must make the
+trace-accurate engines *benchmark-viable* on multi-way joins without
+changing a single answer or charged cycle. Three measurements:
+
+1. **Headline**: TPC-H Q3 (lineitem ⋈ orders ⋈ customer + group-by +
+   order-by) through the RM engine in trace mode, vector vs volcano
+   exec mode. Acceptance: >=10x at 1M rows, with bit-identical rows,
+   cycles, cost-ledger buckets, and memory-hierarchy counters.
+2. **Cross-check**: Q3 through all three engines at a reduced row count,
+   asserting the same identities per engine.
+3. **Code cache**: the same query twice through a vector engine with a
+   :class:`~repro.db.plan.codecache.CodeFragmentCache` — the warm run
+   must skip plan compilation (plan_compile bucket = 0) and be faster.
+
+Run as a script (writes the artifact consumed by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_vector.py \
+        --rows 1000000 --json BENCH_vector.json --min-speedup 10
+
+or under pytest-benchmark (reduced rows)::
+
+    pytest benchmarks/bench_vector.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict
+from typing import Dict
+
+from repro.core.ledger import CostLedger
+from repro.db.engines import all_engines
+from repro.db.plan.codecache import CodeFragmentCache
+from repro.workloads.tpch_analytics import Q3, generate_tpch_analytics
+
+ENGINES = ("row", "column", "rm")
+
+
+def _hierarchy_snapshot(hierarchy) -> Dict[str, object]:
+    return {
+        "access": asdict(hierarchy.stats),
+        "l1": asdict(hierarchy.l1.stats),
+        "l2": asdict(hierarchy.l2.stats),
+        "dram": asdict(hierarchy.dram.stats),
+        "prefetch_covered": hierarchy.prefetcher.covered,
+        "prefetch_uncovered": hierarchy.prefetcher.uncovered,
+    }
+
+
+def _run_one(catalog, name: str, exec_mode: str) -> Dict[str, object]:
+    engine = all_engines(catalog, memory_model="trace", exec_mode=exec_mode)[name]
+    t0 = time.perf_counter()
+    result = engine.execute(Q3)
+    return {
+        "seconds": time.perf_counter() - t0,
+        "cycles": result.cycles,
+        "buckets": dict(result.ledger.buckets),
+        "rows": [tuple(map(float, r)) for r in result.result.rows()],
+        "hierarchy": _hierarchy_snapshot(engine.memory.hierarchy),
+    }
+
+
+def _identical(vec: Dict[str, object], vol: Dict[str, object], label: str) -> list:
+    mismatches = []
+    for field in ("cycles", "buckets", "rows", "hierarchy"):
+        if vec[field] != vol[field]:
+            mismatches.append(f"{label}.{field}: vector != volcano")
+    return mismatches
+
+
+def run_headline(nrows: int, engine: str = "rm") -> Dict[str, object]:
+    """Q3 at full size, one engine, both exec modes."""
+    catalog, *_ = generate_tpch_analytics(nrows)
+    vec = _run_one(catalog, engine, "vector")
+    vol = _run_one(catalog, engine, "volcano")
+    mismatches = _identical(vec, vol, engine)
+    return {
+        "rows": nrows,
+        "engine": engine,
+        "vector_seconds": vec["seconds"],
+        "volcano_seconds": vol["seconds"],
+        "speedup": vol["seconds"] / vec["seconds"],
+        "cycles": vec["cycles"],
+        "result_rows": len(vec["rows"]),
+        "bit_identical": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+def run_cross_check(nrows: int) -> Dict[str, object]:
+    """Q3 through all three engines, vector vs volcano per engine."""
+    catalog, *_ = generate_tpch_analytics(nrows)
+    out: Dict[str, object] = {"rows": nrows, "engines": {}, "mismatches": []}
+    for name in ENGINES:
+        vec = _run_one(catalog, name, "vector")
+        vol = _run_one(catalog, name, "volcano")
+        out["mismatches"].extend(_identical(vec, vol, name))
+        out["engines"][name] = {
+            "vector_seconds": vec["seconds"],
+            "volcano_seconds": vol["seconds"],
+            "speedup": vol["seconds"] / vec["seconds"],
+            "cycles": vec["cycles"],
+        }
+    out["bit_identical"] = not out["mismatches"]
+    return out
+
+
+def run_codecache(nrows: int, engine: str = "rm") -> Dict[str, object]:
+    """Cold vs warm execution through a shared fragment cache."""
+    catalog, *_ = generate_tpch_analytics(nrows)
+    cache = CodeFragmentCache()
+    eng = all_engines(catalog, codecache=cache)[engine]
+    t0 = time.perf_counter()
+    cold = eng.execute(Q3)
+    cold_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = eng.execute(Q3)
+    warm_seconds = time.perf_counter() - t0
+    cold_compile = cold.ledger.get(CostLedger.PLAN_COMPILE)
+    warm_compile = warm.ledger.get(CostLedger.PLAN_COMPILE)
+    return {
+        "rows": nrows,
+        "engine": engine,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_speedup": cold_seconds / warm_seconds,
+        "codecache_cold_compile_cycles": cold_compile,
+        "codecache_warm_compile_cycles": warm_compile,
+        "codecache_hits": cache.stats.hits,
+        "codecache_misses": cache.stats.misses,
+        "warm_skips_compile": warm_compile == 0.0 and cold_compile > 0,
+        "answers_match": cold.result.rows() == warm.result.rows(),
+    }
+
+
+def compare(rows: int, check_rows: int) -> Dict[str, object]:
+    headline = run_headline(rows)
+    cross = run_cross_check(check_rows)
+    cache = run_codecache(check_rows)
+    return {
+        "headline": headline,
+        "cross_check": cross,
+        "codecache": cache,
+        "speedup": headline["speedup"],
+        "bit_identical": (
+            headline["bit_identical"]
+            and cross["bit_identical"]
+            and cache["warm_skips_compile"]
+            and cache["answers_match"]
+        ),
+        "mismatches": headline["mismatches"] + cross["mismatches"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="vectorized vs scalar Q3 execution benchmark"
+    )
+    parser.add_argument(
+        "--rows", type=int, default=1_000_000, help="headline lineitem rows"
+    )
+    parser.add_argument(
+        "--check-rows",
+        type=int,
+        default=60_000,
+        help="rows for the three-engine cross-check and codecache runs",
+    )
+    parser.add_argument("--json", type=str, default="", help="write report here")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit nonzero below this vector-vs-volcano headline speedup",
+    )
+    args = parser.parse_args(argv)
+
+    report = compare(args.rows, args.check_rows)
+    h = report["headline"]
+    print(
+        f"Q3 {h['engine']}, {h['rows']} lineitem rows: "
+        f"volcano {h['volcano_seconds']:.3f}s   vector {h['vector_seconds']:.3f}s   "
+        f"speedup {h['speedup']:.1f}x"
+    )
+    print(f"Q3 cross-check, {report['cross_check']['rows']} rows:")
+    for name, e in report["cross_check"]["engines"].items():
+        print(
+            f"  {name:>6}: volcano {e['volcano_seconds']:8.3f}s   "
+            f"vector {e['vector_seconds']:8.3f}s   ({e['speedup']:5.1f}x)"
+        )
+    c = report["codecache"]
+    print(
+        f"codecache: cold {c['cold_seconds']:.3f}s "
+        f"(compile {c['codecache_cold_compile_cycles']:.0f} cyc)   "
+        f"warm {c['warm_seconds']:.3f}s "
+        f"(compile {c['codecache_warm_compile_cycles']:.0f} cyc)"
+    )
+    print(f"bit-identical rows/cycles/counters: {report['bit_identical']}")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {args.json}")
+    if not report["bit_identical"]:
+        print("FAIL: vector and volcano results diverged", file=sys.stderr)
+        for m in report["mismatches"]:
+            print(f"  {m}", file=sys.stderr)
+        return 1
+    if args.min_speedup and report["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: headline speedup {report['speedup']:.1f}x < required "
+            f"{args.min_speedup:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point (reduced rows for CI bench runs).
+# ----------------------------------------------------------------------
+def test_vector_speedup(benchmark, save_result):
+    report = benchmark.pedantic(compare, args=(60_000, 20_000), rounds=1, iterations=1)
+    h = report["headline"]
+    lines = [
+        "vector-exec-speedup",
+        "===================",
+        f"headline rows: {h['rows']}",
+        f"volcano: {h['volcano_seconds']:.3f}s",
+        f"vector: {h['vector_seconds']:.3f}s",
+        f"speedup: {h['speedup']:.1f}x",
+        f"bit_identical: {report['bit_identical']}",
+    ]
+    save_result("vector_exec", "\n".join(lines))
+    assert report["bit_identical"], report["mismatches"]
+    assert report["speedup"] > 2.0
+    assert report["codecache"]["warm_skips_compile"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,9 @@ Two formats are recognized by content, not filename:
   sample non-negative, and the lifecycle counters
   (``serve_submitted``/``serve_admitted``/.../``serve_expired``, plus
   the latency/queue histogram ``_count``/``_sum`` expansions) monotone
-  non-decreasing over the run.
+  non-decreasing over the run. Code-fragment-cache series
+  (``codecache_*``) likewise: non-negative everywhere, ``*_total``
+  counters monotone, and ``codecache_hit_rate`` inside [0, 1].
 
 Exit status 0 when the file is valid, 1 with a message otherwise::
 
@@ -70,6 +72,31 @@ def _serve_errors(name: str, column) -> "str | None":
         if v < 0:
             return f"series {name!r}[{i}]: negative serving sample {v!r}"
         if base in SERVE_MONOTONE:
+            if prev is not None and v < prev:
+                return (
+                    f"series {name!r}[{i}]: counter decreased "
+                    f"({prev!r} -> {v!r})"
+                )
+            prev = v
+    return None
+
+
+def _codecache_errors(name: str, column) -> "str | None":
+    """Semantic checks for one ``codecache_*`` series; None when clean.
+
+    Every sample must be non-negative; ``*_total`` counters are monotone
+    non-decreasing; the hit-rate gauge stays inside [0, 1].
+    """
+    base = name.split("{", 1)[0]
+    prev = None
+    for i, v in enumerate(column):
+        if v is None:
+            continue
+        if v < 0:
+            return f"series {name!r}[{i}]: negative codecache sample {v!r}"
+        if base == "codecache_hit_rate" and v > 1:
+            return f"series {name!r}[{i}]: hit rate {v!r} above 1"
+        if base.endswith("_total"):
             if prev is not None and v < prev:
                 return (
                     f"series {name!r}[{i}]: counter decreased "
@@ -129,6 +156,10 @@ def check_metrics(path: str, doc: dict) -> int:
                 return _fail(f"series {name!r}[{i}]: bad sample {v!r}")
         if name.startswith("serve_"):
             err = _serve_errors(name, column)
+            if err is not None:
+                return _fail(err)
+        if name.startswith("codecache_"):
+            err = _codecache_errors(name, column)
             if err is not None:
                 return _fail(err)
 

@@ -28,6 +28,23 @@ from repro.workloads.tpch import (
     generate_lineitem,
     rows_for_target_bytes,
 )
+from repro.workloads.tpch_analytics import (
+    Q3,
+    Q3_COLUMNS,
+    Q14,
+    Q14_COLUMNS,
+    generate_tpch_analytics,
+)
+
+#: Figure-7 query registry: SQL, target-column set for sizing, and
+#: whether the point needs the full analytics star (joins) or just
+#: lineitem.
+FIG7_QUERIES = {
+    "Q1": (Q1, Q1_COLUMNS, False),
+    "Q6": (Q6, Q6_COLUMNS, False),
+    "Q3": (Q3, Q3_COLUMNS, True),
+    "Q14": (Q14, Q14_COLUMNS, True),
+}
 
 ENGINE_ORDER = ("row", "column", "rm")
 
@@ -67,10 +84,13 @@ def _fig6_point(args: tuple) -> Tuple[int, int, Dict[str, float]]:
 
 
 def _fig7_point(args: tuple) -> Tuple[float, int, float, Dict[str, float]]:
-    """One data-size point: regenerate lineitem, run every engine."""
-    mb, nrows, seed, sql, platform, memory_model = args
+    """One data-size point: regenerate the data, run every engine."""
+    mb, nrows, seed, sql, platform, memory_model, star = args
     platform = platform or default_platform()
-    catalog, table = generate_lineitem(nrows=nrows, seed=seed)
+    if star:
+        catalog, table, *_ = generate_tpch_analytics(nrows, seed=seed)
+    else:
+        catalog, table = generate_lineitem(nrows=nrows, seed=seed)
     engines = all_engines(catalog, platform, memory_model=memory_model)
     cpu = CpuCostModel(platform.cpu)
     seconds = {
@@ -176,9 +196,11 @@ def run_fig7(
     point index)``, so runs are reproducible and ``processes > 1``
     (``None``/0 = all cores) produces exactly the serial results.
     """
-    if query not in ("Q1", "Q6"):
-        raise ValueError(f"query must be Q1 or Q6, got {query!r}")
-    sql, columns = (Q1, Q1_COLUMNS) if query == "Q1" else (Q6, Q6_COLUMNS)
+    if query not in FIG7_QUERIES:
+        raise ValueError(
+            f"query must be one of {sorted(FIG7_QUERIES)}, got {query!r}"
+        )
+    sql, columns, star = FIG7_QUERIES[query]
     exp = Experiment(
         name=f"fig7-tpch-{query.lower()}",
         x_label="target column MB (paper scale)",
@@ -189,7 +211,7 @@ def run_fig7(
     for i, mb in enumerate(target_mbs):
         nrows = rows_for_target_bytes(int(mb * 1024 * 1024 * scale), columns)
         points.append(
-            (mb, nrows, derive_seed(seed, i), sql, platform, memory_model)
+            (mb, nrows, derive_seed(seed, i), sql, platform, memory_model, star)
         )
     for mb, nrows, table_mb, seconds in fanout(
         _fig7_point, points, processes=processes

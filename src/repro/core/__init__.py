@@ -5,7 +5,13 @@ from repro.core.ephemeral import EphemeralColumnGroup, Visibility
 from repro.core.fabric import RelationalFabric, RelationalMemory, configure
 from repro.core.geometry import DataGeometry, FieldSlice, full_row_geometry
 from repro.core.ledger import CostLedger
-from repro.core.mvcc_filter import LIVE_TS, NEVER_TS, latest_mask, visible_mask
+from repro.core.mvcc_filter import (
+    LIVE_TS,
+    NEVER_TS,
+    latest_mask,
+    visible_mask,
+    visible_mask_batched,
+)
 from repro.core.packer import (
     decode_field,
     decode_frame_field,
@@ -45,4 +51,5 @@ __all__ = [
     "pack",
     "unpack",
     "visible_mask",
+    "visible_mask_batched",
 ]

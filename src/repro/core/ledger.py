@@ -63,6 +63,8 @@ class CostLedger:
     #: Serving front door: simulated time with every slot idle (waiting
     #: on the open-loop arrival process).
     SERVE_IDLE = "serve_idle"
+    #: Query-fragment compilation on a code-cache miss (paper §III-B).
+    PLAN_COMPILE = "plan_compile"
 
     #: Every bucket the simulator charges, in report order. ``breakdown``
     #: returns all of them — including zeros — so reports never silently
@@ -81,6 +83,7 @@ class CostLedger:
         WAL_RECOVERY,
         SERVE_EXEC,
         SERVE_IDLE,
+        PLAN_COMPILE,
     )
 
     def charge(self, bucket: str, cycles: float) -> None:

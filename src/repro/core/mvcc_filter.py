@@ -33,6 +33,41 @@ def visible_mask(
     return (begin_ts <= snapshot_ts) & (snapshot_ts < end_ts)
 
 
+#: Rows per visibility batch: 64Ki slots keep both timestamp slices and
+#: the mask inside L2 (64Ki * (8+8+1) bytes ≈ 1.1 MB).
+DEFAULT_VISIBILITY_BATCH = 1 << 16
+
+
+def visible_mask_batched(
+    begin_ts: np.ndarray,
+    end_ts: np.ndarray,
+    snapshot_ts: int,
+    batch_rows: int = DEFAULT_VISIBILITY_BATCH,
+) -> np.ndarray:
+    """:func:`visible_mask` computed in bounded row batches.
+
+    Bit-identical output; the batching bounds the working set (two
+    timestamp slices plus the mask slice stay cache-resident per batch)
+    and writes each comparison straight into the output mask instead of
+    materializing full-length temporaries. Engines use this so the
+    visibility pass follows the same batch discipline as the trace-mode
+    line kernel.
+    """
+    n = len(begin_ts)
+    if batch_rows < 1:
+        batch_rows = n or 1
+    out = np.empty(n, dtype=bool)
+    scratch = np.empty(min(batch_rows, n), dtype=bool)
+    for start in range(0, n, batch_rows):
+        stop = min(start + batch_rows, n)
+        chunk = out[start:stop]
+        np.less_equal(begin_ts[start:stop], snapshot_ts, out=chunk)
+        s = scratch[: stop - start]
+        np.greater(end_ts[start:stop], snapshot_ts, out=s)
+        chunk &= s
+    return out
+
+
 def latest_mask(begin_ts: np.ndarray, end_ts: np.ndarray) -> np.ndarray:
     """Rows that are the current live version (read-committed latest)."""
     return (begin_ts != NEVER_TS) & (end_ts == LIVE_TS)

@@ -27,12 +27,14 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.ledger import CostLedger
-from repro.core.mvcc_filter import visible_mask
+from repro.core.mvcc_filter import visible_mask_batched
 from repro.db.catalog import Catalog
 from repro.db.plan.binder import BoundQuery, bind
+from repro.db.plan.codecache import CodeFragmentCache, Fragment
 from repro.db.plan.logical import explain
 from repro.db.exec.result import QueryResult
-from repro.db.exec.vector import apply_where, run_vector
+from repro.db.exec.vector import FusedKernel, apply_where, run_vector
+from repro.db.exec.volcano import run_volcano
 from repro.db.sql.parser import parse
 from repro.errors import ExecutionError
 from repro.hw.analytic import AnalyticMemoryModel, MemoryModel, TraceMemoryModel
@@ -84,6 +86,9 @@ class Engine(ABC):
     """Base engine: parse/bind, fetch columns, charge costs, evaluate."""
 
     name: str = "abstract"
+    #: Physical layout the code cache keys fragments by; engines with a
+    #: different delivery path (column streams, fabric lines) override.
+    fragment_layout: str = "row"
 
     def __init__(
         self,
@@ -93,6 +98,8 @@ class Engine(ABC):
         threads: int = 1,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        exec_mode: str = "vector",
+        codecache: Optional["CodeFragmentCache"] = None,
     ):
         self.catalog = catalog
         self.platform = platform or default_platform()
@@ -110,6 +117,19 @@ class Engine(ABC):
             self.memory = TraceMemoryModel(self.platform)
         else:
             raise ExecutionError(f"unknown memory model {memory_model!r}")
+        if exec_mode not in ("vector", "volcano"):
+            raise ExecutionError(f"unknown exec mode {exec_mode!r}")
+        #: Answer-path executor: the fused vectorized kernels (default)
+        #: or the scalar Volcano reference. Cost charging is identical —
+        #: only how the answer is computed differs, so the two modes are
+        #: bit-identical in rows, cycles, and cache counters.
+        self.exec_mode = exec_mode
+        #: Optional :class:`repro.db.plan.codecache.CodeFragmentCache`.
+        #: When attached, repeated query shapes skip SQL parse/bind (by
+        #: query text) and kernel compilation (by fragment signature),
+        #: and misses charge ``PLAN_COMPILE`` cycles.
+        self.codecache = codecache
+        self._bound_cache: Dict[str, BoundQuery] = {}
         #: Observability hook: when set (and enabled), every execute()
         #: builds a span tree and returns it as ``ExecutionResult.trace``.
         self.tracer = tracer
@@ -140,6 +160,10 @@ class Engine(ABC):
         )
         if isinstance(self.memory, TraceMemoryModel):
             register_hierarchy(reg, self.memory.hierarchy, engine=self.name)
+        if self.codecache is not None:
+            from repro.obs.collectors import register_codecache
+
+            register_codecache(reg, self.codecache, engine=self.name)
 
     # ------------------------------------------------------------------
     # Observability plumbing.
@@ -203,6 +227,7 @@ class Engine(ABC):
             table=bound.table.schema.name,
             layer="engine",
         ) as root:
+            fragment = self._plan_fragment(bound, ledger)
             with self._span(
                 "scan",
                 probe=self._hw_probe(),
@@ -226,8 +251,13 @@ class Engine(ABC):
             # The answer path (repro.db.exec) is shared and uncosted —
             # its cycles were charged per-operator above — but it still
             # appears in the trace so the tree shows where answers form.
-            with self._span("answer", layer="exec", mode="vector") as ans:
-                result = run_vector(bound, columns, mask=mask)
+            with self._span("answer", layer="exec", mode=self.exec_mode) as ans:
+                if self.exec_mode == "volcano":
+                    result = run_volcano(bound, columns)
+                elif fragment is not None:
+                    result = fragment.payload(columns, mask=mask)
+                else:
+                    result = run_vector(bound, columns, mask=mask)
                 ans.set_attrs(rows_out=result.nrows)
             root.set_attrs(
                 rows_out=result.nrows,
@@ -238,7 +268,7 @@ class Engine(ABC):
             engine=self.name,
             result=result,
             ledger=ledger,
-            plan=explain(bound, access_path=self.access_path),
+            plan=self._plan_text(bound, fragment),
             visible_rows=visible,
             qualifying_rows=qualifying,
             trace=Trace(root) if isinstance(root, Span) else None,
@@ -246,7 +276,51 @@ class Engine(ABC):
         )
 
     def bind(self, sql: str) -> BoundQuery:
+        """Parse + bind, memoized by query text when a code cache is
+        attached (the warm path skips the whole frontend)."""
+        if self.codecache is not None:
+            bound = self._bound_cache.get(sql)
+            if bound is None:
+                bound = bind(parse(sql), self.catalog)
+                self._bound_cache[sql] = bound
+            return bound
         return bind(parse(sql), self.catalog)
+
+    def _plan_fragment(
+        self, bound: BoundQuery, ledger: CostLedger
+    ) -> Optional[Fragment]:
+        """Code-cache lookup: fetch or compile this shape's fused kernel.
+
+        Misses compile a :class:`FusedKernel` and charge ``PLAN_COMPILE``
+        cycles; hits dispatch straight to the resident kernel. Without a
+        cache (the default) there is no charge and no fragment — default
+        cycle totals are untouched.
+        """
+        if self.codecache is None or self.exec_mode != "vector":
+            return None
+        with self._span("plan", layer="plan", layout=self.fragment_layout) as span:
+            hit, cycles, fragment = self.codecache.fetch(
+                bound, self.fragment_layout, compiler=lambda: FusedKernel(bound)
+            )
+            if cycles:
+                ledger.charge(CostLedger.PLAN_COMPILE, cycles)
+            if fragment.payload is None or fragment.payload.query is not bound:
+                # Same code shape, different parameters (literals or, on
+                # the packed layout, a different same-typed column set):
+                # the generated code is reused — only this cheap Python
+                # re-bind happens, with no compile charge.
+                fragment.payload = FusedKernel(bound)
+            span.set_attrs(hit=hit, compile_cycles=cycles)
+        return fragment
+
+    def _plan_text(self, bound: BoundQuery, fragment: Optional[Fragment]) -> str:
+        if fragment is None:
+            return explain(bound, access_path=self.access_path)
+        plan = fragment.plans.get(self.access_path)
+        if plan is None:
+            plan = explain(bound, access_path=self.access_path)
+            fragment.plans[self.access_path] = plan
+        return plan
 
     @property
     def access_path(self) -> str:
@@ -275,7 +349,10 @@ class Engine(ABC):
         table = bound.table
         if snapshot_ts is None or not table.schema.mvcc:
             return None
-        return visible_mask(table.begin_ts, table.end_ts, snapshot_ts)
+        # Batched mask: bit-identical to the unbatched form, but the
+        # timestamp traffic is consumed in bounded chunks like every
+        # other vectorized kernel in the engines.
+        return visible_mask_batched(table.begin_ts, table.end_ts, snapshot_ts)
 
     def _decoded_columns(
         self, bound: BoundQuery, vis: Optional[np.ndarray]
@@ -360,8 +437,11 @@ class Engine(ABC):
         """
         cpu = self.cpu
         n = self.threads
-        if bound.join is not None:
-            build_n = bound.join.table.nrows
+        for join in bound.joins:
+            # Left-deep chain: each step builds on its right table and
+            # probes with the qualifying rows (intermediate fan-out is
+            # not modeled — probes per step stay the scan's output).
+            build_n = join.table.nrows
             with self._span(
                 "join", rows_in=qualifying, build_rows=build_n
             ):

@@ -89,6 +89,9 @@ class ColumnStoreEngine(Engine):
     """Column-at-a-time scans over per-table columnar replicas."""
 
     name = "column"
+    #: One stream per referenced column: fragments key on the stream set
+    #: (types in positional order), not row offsets.
+    fragment_layout = "column"
 
     def __init__(self, catalog: Catalog, platform: Optional[PlatformConfig] = None, **kw):
         super().__init__(catalog, platform, **kw)

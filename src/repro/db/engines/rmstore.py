@@ -53,6 +53,9 @@ class RelationalMemoryEngine(Engine):
     """Scans through ephemeral column groups served by the fabric."""
 
     name = "rm"
+    #: The fabric delivers densely packed groups: fragments key on the
+    #: accessed types in positional order, not physical offsets.
+    fragment_layout = "ephemeral"
 
     #: Flat detour cost of noticing the fabric is unusable and dispatching
     #: the query to the software path (breaker check + plan switch).
@@ -176,6 +179,7 @@ class RelationalMemoryEngine(Engine):
             self._fallback_engine = RowStoreEngine(
                 self.catalog, self.platform, threads=self.threads,
                 tracer=self.tracer, metrics=self.metrics,
+                exec_mode=self.exec_mode,
             )
         self.fallbacks += 1
         self._last_access_path = "degraded-rowstore-scan"
@@ -216,7 +220,7 @@ class RelationalMemoryEngine(Engine):
 
         if (
             bound.group_by
-            or bound.join is not None
+            or bound.joins
             or len(bound.outputs) != 1
             or bound.outputs[0].kind not in self._FABRIC_AGGS
         ):

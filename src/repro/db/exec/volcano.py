@@ -211,24 +211,23 @@ class LimitNode(VolcanoIterator):
 def run_volcano(query: BoundQuery, columns: Dict[str, np.ndarray]) -> QueryResult:
     """Execute ``query`` tuple-at-a-time over the given base columns."""
     node: VolcanoIterator = ScanNode(columns)
-    if query.where is not None:
-        node = FilterNode(node, query.where)
-    if query.join is not None:
+    if query.where_main is not None:
+        node = FilterNode(node, query.where_main)
+    for join in query.joins:
         right_cols = {
-            name: query.join.table.column_values(name)
-            for name in query.join.table.schema.column_names
+            name: join.table.column_values(name)
+            for name in join.table.schema.column_names
         }
-        node = JoinNode(
-            node, ScanNode(right_cols), query.join.left_col, query.join.right_col
-        )
+        node = JoinNode(node, ScanNode(right_cols), join.left_col, join.right_col)
+    if query.where_post is not None:
+        # WHERE conjuncts over joined columns run after the join chain.
+        node = FilterNode(node, query.where_post)
     if query.has_aggregates or query.group_by:
         node = AggregateNode(node, query.outputs, query.group_by)
     else:
         from repro.db.exec.vector import _hidden_sort_columns
 
-        hidden = _hidden_sort_columns(
-            query, tuple(o.name for o in query.outputs), columns
-        )
+        hidden = _hidden_sort_columns(query, tuple(o.name for o in query.outputs))
         node = ProjectNode(node, query.outputs, carry=hidden)
     if query.having is not None:
         node = FilterNode(node, query.having)
@@ -244,5 +243,26 @@ def run_volcano(query: BoundQuery, columns: Dict[str, np.ndarray]) -> QueryResul
     for row in node:
         for n in names:
             collected[n].append(row[n])
-    arrays = {n: np.asarray(v) for n, v in collected.items()}
+    arrays: Dict[str, np.ndarray] = {}
+    empty_ns: Optional[Dict[str, np.ndarray]] = None
+    for n, v in collected.items():
+        if v:
+            arrays[n] = np.asarray(v)
+            continue
+        # Zero result rows: ``np.asarray([])`` would default to float64,
+        # so derive each dtype the way the vectorized path does — count
+        # is int64, other aggregates accumulate in float64, and plain
+        # expressions follow numpy promotion over zero-row inputs.
+        out = next(o for o in query.outputs if o.name == n)
+        if out.kind == "count":
+            arrays[n] = np.empty(0, dtype=np.int64)
+        elif out.kind != "expr":
+            arrays[n] = np.empty(0, dtype=np.float64)
+        else:
+            if empty_ns is None:
+                empty_ns = {name: arr[:0] for name, arr in columns.items()}
+                for join in query.joins:
+                    for name in join.table.schema.column_names:
+                        empty_ns[name] = join.table.column_values(name)[:0]
+            arrays[n] = np.asarray(out.expr.eval_vector(empty_ns))
     return QueryResult(names=names, columns=arrays)

@@ -90,6 +90,19 @@ _COMPARE = {
 }
 
 
+def _scalar(v: Any) -> Any:
+    """Normalize one row-at-a-time comparison operand.
+
+    numpy's vectorized ``S``-dtype comparisons ignore trailing NULs (the
+    CHAR pad byte); Python ``bytes`` comparisons do not. Stripping here
+    keeps the Volcano reference path bit-identical to the vectorized one
+    when a CHAR column meets a width-padded literal.
+    """
+    if isinstance(v, bytes):
+        return v.rstrip(b"\x00")
+    return v
+
+
 @dataclass(frozen=True)
 class BinOp(Expr):
     """Arithmetic: ``left <op> right`` with op in ``+ - * /``."""
@@ -131,7 +144,9 @@ class Compare(Expr):
         return self.left.columns() | self.right.columns()
 
     def eval_row(self, row: Mapping[str, Any]) -> Any:
-        return _COMPARE[self.op](self.left.eval_row(row), self.right.eval_row(row))
+        return _COMPARE[self.op](
+            _scalar(self.left.eval_row(row)), _scalar(self.right.eval_row(row))
+        )
 
     def eval_vector(self, cols: Mapping[str, np.ndarray]) -> Any:
         return _COMPARE[self.op](
@@ -219,8 +234,10 @@ class Between(Expr):
         return self.term.columns() | self.low.columns() | self.high.columns()
 
     def eval_row(self, row: Mapping[str, Any]) -> bool:
-        v = self.term.eval_row(row)
-        return self.low.eval_row(row) <= v <= self.high.eval_row(row)
+        v = _scalar(self.term.eval_row(row))
+        return (
+            _scalar(self.low.eval_row(row)) <= v <= _scalar(self.high.eval_row(row))
+        )
 
     def eval_vector(self, cols: Mapping[str, np.ndarray]) -> np.ndarray:
         v = self.term.eval_vector(cols)

@@ -45,6 +45,12 @@ class BoundOutput:
 
 @dataclass(frozen=True)
 class BoundJoin:
+    """One equi-join step in a left-deep chain.
+
+    ``left_col`` lives in the main table *or* in any previously joined
+    table; ``right_col`` always lives in ``table``.
+    """
+
     table: Table
     left_col: str
     right_col: str
@@ -61,7 +67,7 @@ class BoundQuery:
     group_by: Tuple[str, ...]
     order_by: Tuple[OrderItem, ...]
     limit: Optional[int]
-    join: Optional[BoundJoin]
+    joins: Tuple[BoundJoin, ...]
     #: Post-aggregation filter over output columns, or None.
     having: Optional[Expr]
     #: Deduplicate result rows (SELECT DISTINCT).
@@ -72,6 +78,18 @@ class BoundQuery:
     selection_columns: Tuple[str, ...]
     #: Columns referenced by outputs / grouping / ordering only.
     projection_columns: Tuple[str, ...]
+    #: WHERE conjuncts touching only main-table columns — evaluated as a
+    #: pre-join mask over the scan. Equals ``where`` when every conjunct
+    #: is main-table-only (notably all join-free queries).
+    where_main: Optional[Expr] = None
+    #: Remaining conjuncts (referencing joined columns) — evaluated after
+    #: the join chain, before aggregation.
+    where_post: Optional[Expr] = None
+
+    @property
+    def join(self) -> Optional[BoundJoin]:
+        """The first join (legacy single-join accessor)."""
+        return self.joins[0] if self.joins else None
 
     @property
     def has_aggregates(self) -> bool:
@@ -94,21 +112,33 @@ def bind(stmt: SelectStmt, catalog: Catalog) -> BoundQuery:
     """Validate ``stmt`` against ``catalog`` and return a bound query."""
     table = catalog.table(stmt.table)
     schema = table.schema
-    join = None
-    join_schema: Optional[TableSchema] = None
-    if stmt.join is not None:
-        join_table = catalog.table(stmt.join.table)
-        join_schema = join_table.schema
-        _require_column(schema, stmt.join.left_col)
-        _require_column(join_schema, stmt.join.right_col)
-        join = BoundJoin(
-            table=join_table,
-            left_col=stmt.join.left_col,
-            right_col=stmt.join.right_col,
+    joins: List[BoundJoin] = []
+    join_schemas: List[TableSchema] = []
+    for clause in stmt.joins:
+        join_table = catalog.table(clause.table)
+        # The probe key may come from the main table or any table already
+        # joined in (left-deep chaining: orders JOIN customer ON o_custkey).
+        if not (
+            schema.has_column(clause.left_col)
+            or any(js.has_column(clause.left_col) for js in join_schemas)
+        ):
+            raise SqlError(
+                f"join key {clause.left_col!r} not found in {schema.name!r} "
+                f"or any previously joined table"
+            )
+        _require_column(join_table.schema, clause.right_col)
+        joins.append(
+            BoundJoin(
+                table=join_table,
+                left_col=clause.left_col,
+                right_col=clause.right_col,
+            )
         )
+        join_schemas.append(join_table.schema)
+    schemas = (schema, *join_schemas)
 
     def resolve(expr: Expr) -> Expr:
-        return _bind_expr(expr, schema, join_schema)
+        return _bind_expr(expr, schemas)
 
     items = stmt.items
     from repro.db.sql.nodes import SelectItem, Star
@@ -134,7 +164,8 @@ def bind(stmt: SelectStmt, catalog: Catalog) -> BoundQuery:
 
     if stmt.group_by:
         for name in stmt.group_by:
-            _require_column(schema, name)
+            if not any(s.has_column(name) for s in schemas):
+                raise SqlError(f"unknown GROUP BY column {name!r}")
         non_agg = [o for o in outputs if o.kind == "expr"]
         for o in non_agg:
             if not isinstance(o.expr, ColumnRef) or o.expr.name not in stmt.group_by:
@@ -147,6 +178,23 @@ def bind(stmt: SelectStmt, catalog: Catalog) -> BoundQuery:
         raise SqlError("mixing aggregates and plain columns needs GROUP BY")
 
     where = resolve(stmt.where) if stmt.where is not None else None
+    # Split the WHERE into a pre-join mask (conjuncts over main-table
+    # columns only) and a post-join residue. When nothing references a
+    # joined column the original expression is reused verbatim so plans,
+    # signatures, and cost recipes are unchanged.
+    where_main: Optional[Expr] = where
+    where_post: Optional[Expr] = None
+    if where is not None and joins:
+        main_parts: List[Expr] = []
+        post_parts: List[Expr] = []
+        for part in conjuncts(where):
+            if all(schema.has_column(c) for c in part.columns()):
+                main_parts.append(part)
+            else:
+                post_parts.append(part)
+        if post_parts:
+            where_main = _recombine(main_parts)
+            where_post = _recombine(post_parts)
     # ORDER BY may reference output aliases (SQL scoping): leave those
     # unresolved against the schema — they bind to the result columns.
     output_names = {o.name for o in outputs}
@@ -163,7 +211,7 @@ def bind(stmt: SelectStmt, catalog: Catalog) -> BoundQuery:
     # HAVING shares ORDER BY's scoping: output aliases and group keys.
     having = None
     if stmt.having is not None:
-        having = _bind_scoped(stmt.having, output_names, schema, join_schema)
+        having = _bind_scoped(stmt.having, output_names, schemas)
 
     sel_cols = _columns_of(where, schema) if where is not None else []
     proj_cols: List[str] = []
@@ -175,9 +223,11 @@ def bind(stmt: SelectStmt, catalog: Catalog) -> BoundQuery:
         proj_cols.extend(_columns_of(o.expr, schema))
     if having is not None:
         proj_cols.extend(_columns_of(having, schema))
-    if join is not None:
-        # The probe key of the main table is touched for every row.
-        proj_cols.append(join.left_col)
+    for bj in joins:
+        # Main-table probe keys are touched for every row (keys living in
+        # a previously joined table ride along as join outputs instead).
+        if schema.has_column(bj.left_col):
+            proj_cols.append(bj.left_col)
 
     referenced = _in_schema_order(schema, set(sel_cols) | set(proj_cols))
     if not referenced:
@@ -194,59 +244,69 @@ def bind(stmt: SelectStmt, catalog: Catalog) -> BoundQuery:
         group_by=stmt.group_by,
         order_by=order_by,
         limit=stmt.limit,
-        join=join,
+        joins=tuple(joins),
         having=having,
         distinct=stmt.distinct,
         referenced_columns=referenced,
         selection_columns=_in_schema_order(schema, set(sel_cols)),
         projection_columns=_in_schema_order(schema, set(proj_cols)),
+        where_main=where_main,
+        where_post=where_post,
     )
+
+
+def _recombine(parts: List[Expr]) -> Optional[Expr]:
+    """Re-AND a conjunct subset (None / single term / And)."""
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return And(terms=tuple(parts))
 
 
 def _bind_scoped(
     expr: Expr,
     output_names: set,
-    schema: TableSchema,
-    join_schema: Optional[TableSchema],
+    schemas: Tuple[TableSchema, ...],
 ) -> Expr:
     """Bind an expression that may reference output aliases (HAVING)."""
     if isinstance(expr, ColumnRef):
         if expr.name in output_names:
             return expr
-        return _bind_expr(expr, schema, join_schema)
+        return _bind_expr(expr, schemas)
     if isinstance(expr, Literal):
         return expr
     if isinstance(expr, BinOp):
         return BinOp(
             op=expr.op,
-            left=_bind_scoped(expr.left, output_names, schema, join_schema),
-            right=_bind_scoped(expr.right, output_names, schema, join_schema),
+            left=_bind_scoped(expr.left, output_names, schemas),
+            right=_bind_scoped(expr.right, output_names, schemas),
         )
     if isinstance(expr, Compare):
         return Compare(
             op=expr.op,
-            left=_bind_scoped(expr.left, output_names, schema, join_schema),
-            right=_bind_scoped(expr.right, output_names, schema, join_schema),
+            left=_bind_scoped(expr.left, output_names, schemas),
+            right=_bind_scoped(expr.right, output_names, schemas),
         )
     if isinstance(expr, And):
         return And(
             terms=tuple(
-                _bind_scoped(t, output_names, schema, join_schema) for t in expr.terms
+                _bind_scoped(t, output_names, schemas) for t in expr.terms
             )
         )
     if isinstance(expr, Or):
         return Or(
             terms=tuple(
-                _bind_scoped(t, output_names, schema, join_schema) for t in expr.terms
+                _bind_scoped(t, output_names, schemas) for t in expr.terms
             )
         )
     if isinstance(expr, Not):
-        return Not(term=_bind_scoped(expr.term, output_names, schema, join_schema))
+        return Not(term=_bind_scoped(expr.term, output_names, schemas))
     if isinstance(expr, Between):
         return Between(
-            term=_bind_scoped(expr.term, output_names, schema, join_schema),
-            low=_bind_scoped(expr.low, output_names, schema, join_schema),
-            high=_bind_scoped(expr.high, output_names, schema, join_schema),
+            term=_bind_scoped(expr.term, output_names, schemas),
+            low=_bind_scoped(expr.low, output_names, schemas),
+            high=_bind_scoped(expr.high, output_names, schemas),
         )
     raise SqlError(f"cannot bind HAVING node {type(expr).__name__}")
 
@@ -264,14 +324,14 @@ def _columns_of(expr: Expr, schema: TableSchema) -> List[str]:
     return [c for c in expr.columns() if schema.has_column(c)]
 
 
-def _bind_expr(
-    expr: Expr, schema: TableSchema, join_schema: Optional[TableSchema]
-) -> Expr:
-    """Validate references and pad CHAR literals in comparisons."""
+def _bind_expr(expr: Expr, schemas: Tuple[TableSchema, ...]) -> Expr:
+    """Validate references and pad CHAR literals in comparisons.
+
+    ``schemas`` lists the tables in scope: the main table first, then
+    each joined table in join order (name lookups resolve first match).
+    """
     if isinstance(expr, ColumnRef):
-        if schema.has_column(expr.name):
-            return expr
-        if join_schema is not None and join_schema.has_column(expr.name):
+        if any(s.has_column(expr.name) for s in schemas):
             return expr
         raise SqlError(f"unknown column {expr.name!r}")
     if isinstance(expr, Literal):
@@ -279,41 +339,39 @@ def _bind_expr(
     if isinstance(expr, BinOp):
         return BinOp(
             op=expr.op,
-            left=_bind_expr(expr.left, schema, join_schema),
-            right=_bind_expr(expr.right, schema, join_schema),
+            left=_bind_expr(expr.left, schemas),
+            right=_bind_expr(expr.right, schemas),
         )
     if isinstance(expr, Compare):
-        left = _bind_expr(expr.left, schema, join_schema)
-        right = _bind_expr(expr.right, schema, join_schema)
-        left, right = _pad_char_literal(left, right, schema, join_schema)
-        right, left = _pad_char_literal(right, left, schema, join_schema)
+        left = _bind_expr(expr.left, schemas)
+        right = _bind_expr(expr.right, schemas)
+        left, right = _pad_char_literal(left, right, schemas)
+        right, left = _pad_char_literal(right, left, schemas)
         return Compare(op=expr.op, left=left, right=right)
     if isinstance(expr, And):
-        return And(terms=tuple(_bind_expr(t, schema, join_schema) for t in expr.terms))
+        return And(terms=tuple(_bind_expr(t, schemas) for t in expr.terms))
     if isinstance(expr, Or):
-        return Or(terms=tuple(_bind_expr(t, schema, join_schema) for t in expr.terms))
+        return Or(terms=tuple(_bind_expr(t, schemas) for t in expr.terms))
     if isinstance(expr, Not):
-        return Not(term=_bind_expr(expr.term, schema, join_schema))
+        return Not(term=_bind_expr(expr.term, schemas))
     if isinstance(expr, Between):
         return Between(
-            term=_bind_expr(expr.term, schema, join_schema),
-            low=_bind_expr(expr.low, schema, join_schema),
-            high=_bind_expr(expr.high, schema, join_schema),
+            term=_bind_expr(expr.term, schemas),
+            low=_bind_expr(expr.low, schemas),
+            high=_bind_expr(expr.high, schemas),
         )
     raise SqlError(f"cannot bind expression node {type(expr).__name__}")
 
 
-def _pad_char_literal(
-    side: Expr, other: Expr, schema: TableSchema, join_schema: Optional[TableSchema]
-):
+def _pad_char_literal(side: Expr, other: Expr, schemas: Tuple[TableSchema, ...]):
     """If ``side`` is a CHAR column and ``other`` a str literal, pad the
     literal to the column width as NUL-padded bytes."""
     if not (isinstance(side, ColumnRef) and isinstance(other, Literal)):
         return side, other
     if not isinstance(other.value, str):
         return side, other
-    for sch in (schema, join_schema):
-        if sch is not None and sch.has_column(side.name):
+    for sch in schemas:
+        if sch.has_column(side.name):
             dtype = sch.column(side.name).dtype
             if dtype.np_dtype is None:
                 padded = other.value.encode().ljust(dtype.width, b"\x00")

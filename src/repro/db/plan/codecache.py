@@ -77,20 +77,49 @@ def fragment_signature(bound: BoundQuery, layout: str) -> str:
     """The compiled fragment's identity for ``bound`` under ``layout``.
 
     ``layout="row"`` bakes physical offsets in; ``layout="ephemeral"``
-    uses packed positional types only.
+    uses packed positional types only; ``layout="column"`` uses one
+    stream per column, so the token is the column's type at its stream
+    position (structurally like ephemeral but per-table). Columns of
+    joined tables are tokenized against their own table (prefixed with
+    the join ordinal) — join-side data is never fabric-packed, so their
+    tokens bake offsets under every layout.
     """
     schema = bound.table.schema
+    join_schemas = tuple(j.table.schema for j in bound.joins)
+
+    def join_token(name: str) -> Optional[str]:
+        # Right-most table wins, matching executor merge semantics.
+        for ti in range(len(join_schemas) - 1, -1, -1):
+            js = join_schemas[ti]
+            if js.has_column(name):
+                return f"J{ti}@{js.offset_of(name)}:{js.column(name).dtype.name}"
+        return None
+
     if layout == "row":
         def token(name: str) -> str:
+            if not schema.has_column(name):
+                jt = join_token(name)
+                if jt is not None:
+                    return jt
             col = schema.column(name)
             return f"@{schema.offset_of(name)}:{col.dtype.name}"
-    elif layout == "ephemeral":
+    elif layout in ("ephemeral", "column"):
         order = {name: i for i, name in enumerate(bound.referenced_columns)}
+        mark = "#" if layout == "ephemeral" else "%"
 
         def token(name: str) -> str:
-            return f"#{order[name]}:{schema.column(name).dtype.name}"
+            if not schema.has_column(name):
+                jt = join_token(name)
+                if jt is not None:
+                    return jt
+            return f"{mark}{order[name]}:{schema.column(name).dtype.name}"
     else:
         raise PlanError(f"unknown layout {layout!r}")
+
+    def in_scope(name: str) -> bool:
+        return schema.has_column(name) or any(
+            js.has_column(name) for js in join_schemas
+        )
 
     parts = [layout]
     parts.append("W:" + _expr_shape(bound.where, token))
@@ -100,8 +129,16 @@ def fragment_signature(bound: BoundQuery, layout: str) -> str:
     parts.append("S:" + ";".join(
         f"{_expr_shape(o.expr, token)}{'-' if o.descending else '+'}"
         for o in bound.order_by
-        if not (isinstance(o.expr, ColumnRef) and not schema.has_column(o.expr.name))
+        if not (isinstance(o.expr, ColumnRef) and not in_scope(o.expr.name))
     ))
+    for ti, j in enumerate(bound.joins):
+        js = j.table.schema
+        rtok = f"J{ti}@{js.offset_of(j.right_col)}:{js.column(j.right_col).dtype.name}"
+        parts.append(f"J:{token(j.left_col)}={rtok}")
+    if bound.distinct:
+        parts.append("D")
+    if bound.having is not None:
+        parts.append("H:" + _expr_shape(bound.having, lambda n: n))
     return "|".join(parts)
 
 
@@ -121,6 +158,22 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+@dataclass
+class Fragment:
+    """One resident compiled fragment: the fused kernel plus bookkeeping.
+
+    ``payload`` is whatever the compiler produced (for the engines: a
+    :class:`repro.db.exec.vector.FusedKernel`); ``None`` for callers that
+    only track shapes. ``plans`` memoizes EXPLAIN strings per access
+    path so warm hits skip plan rendering too.
+    """
+
+    fragment_id: int
+    payload: object = None
+    uses: int = 0
+    plans: Dict[str, str] = field(default_factory=dict)
+
+
 class CodeFragmentCache:
     """An LRU of compiled fragments keyed by code shape."""
 
@@ -134,25 +187,45 @@ class CodeFragmentCache:
         self.capacity = capacity
         self.compile_cycles = compile_cycles
         self.stats = CacheStats()
-        self._fragments: "OrderedDict[str, int]" = OrderedDict()
+        self._fragments: "OrderedDict[str, Fragment]" = OrderedDict()
         self._next_id = 0
 
     def lookup(self, bound: BoundQuery, layout: str) -> Tuple[bool, float]:
         """Fetch-or-compile the fragment for ``bound`` under ``layout``;
         returns ``(hit, cycles_charged)``."""
+        hit, cycles, _ = self.fetch(bound, layout)
+        return hit, cycles
+
+    def fetch(
+        self, bound: BoundQuery, layout: str, compiler=None
+    ) -> Tuple[bool, float, Fragment]:
+        """Fetch-or-compile with a payload.
+
+        On a miss, ``compiler()`` (if given) builds the cached payload —
+        e.g. a fused kernel chain — and the compile cost is charged; on a
+        hit the resident fragment comes back untouched with zero cycles.
+        Returns ``(hit, cycles_charged, fragment)``.
+        """
         key = fragment_signature(bound, layout)
-        if key in self._fragments:
+        fragment = self._fragments.get(key)
+        if fragment is not None:
             self._fragments.move_to_end(key)
             self.stats.hits += 1
-            return True, 0.0
+            fragment.uses += 1
+            return True, 0.0, fragment
         self.stats.misses += 1
         self.stats.compile_cycles += self.compile_cycles
         if len(self._fragments) >= self.capacity:
             self._fragments.popitem(last=False)
             self.stats.evictions += 1
-        self._fragments[key] = self._next_id
+        fragment = Fragment(
+            fragment_id=self._next_id,
+            payload=compiler() if compiler is not None else None,
+            uses=1,
+        )
+        self._fragments[key] = fragment
         self._next_id += 1
-        return False, self.compile_cycles
+        return False, self.compile_cycles, fragment
 
     @property
     def resident(self) -> int:

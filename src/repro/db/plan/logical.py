@@ -41,16 +41,22 @@ def build_plan(query: BoundQuery, access_path: str = "scan") -> LogicalNode:
         kind="Scan" if access_path == "scan" else access_path.title(),
         detail=f"{query.table.schema.name}({cols})",
     )
-    if query.where is not None:
-        node = LogicalNode(kind="Filter", detail=str(query.where), children=(node,))
-    if query.join is not None:
+    if query.where_main is not None:
+        node = LogicalNode(
+            kind="Filter", detail=str(query.where_main), children=(node,)
+        )
+    for join in query.joins:
         right = LogicalNode(
-            kind="Scan", detail=query.join.table.schema.name, children=()
+            kind="Scan", detail=join.table.schema.name, children=()
         )
         node = LogicalNode(
             kind="HashJoin",
-            detail=f"{query.join.left_col} = {query.join.right_col}",
+            detail=f"{join.left_col} = {join.right_col}",
             children=(node, right),
+        )
+    if query.where_post is not None:
+        node = LogicalNode(
+            kind="Filter", detail=str(query.where_post), children=(node,)
         )
     if query.has_aggregates or query.group_by:
         keys = ", ".join(query.group_by) or "<all>"

@@ -61,17 +61,26 @@ class Star:
 
 @dataclass(frozen=True)
 class SelectStmt:
-    """A parsed ``SELECT`` over one table, optionally equi-joined."""
+    """A parsed ``SELECT`` over one table, optionally equi-joined.
+
+    ``joins`` chains left-deep: each clause joins the running result to
+    one more table (``FROM a JOIN b ON .. JOIN c ON ..``).
+    """
 
     items: Tuple[SelectItem, ...]
     table: str
-    join: Optional[JoinClause] = None
+    joins: Tuple[JoinClause, ...] = ()
     where: Optional[Expr] = None
     group_by: Tuple[str, ...] = ()
     having: Optional[Expr] = None
     order_by: Tuple[OrderItem, ...] = ()
     limit: Optional[int] = None
     distinct: bool = False
+
+    @property
+    def join(self) -> Optional[JoinClause]:
+        """The first join clause (legacy single-join accessor)."""
+        return self.joins[0] if self.joins else None
 
     @property
     def has_aggregates(self) -> bool:

@@ -2,7 +2,7 @@
 
 Grammar (roughly)::
 
-    select   := SELECT item (',' item)* FROM ident [join] [WHERE pred]
+    select   := SELECT item (',' item)* FROM ident join* [WHERE pred]
                 [GROUP BY ident (',' ident)*]
                 [ORDER BY order (',' order)*] [LIMIT number]
     join     := JOIN ident ON ident '=' ident
@@ -113,9 +113,9 @@ class Parser:
                 items.append(self._select_item())
         self._expect_keyword("from")
         table = self._expect_ident()
-        join = None
-        if self._match_keyword("join"):
-            join = self._join_clause()
+        joins: List[JoinClause] = []
+        while self._match_keyword("join"):
+            joins.append(self._join_clause())
         where = None
         if self._match_keyword("where"):
             where = self._predicate()
@@ -148,7 +148,7 @@ class Parser:
         return SelectStmt(
             items=tuple(items),
             table=table,
-            join=join,
+            joins=tuple(joins),
             where=where,
             group_by=group_by,
             having=having,

@@ -64,6 +64,9 @@ class Cache:
         config.validate()
         self.config = config
         self.stats = CacheStats()
+        # Invariant: each set dict stays in ascending-last_use order (ticks
+        # are unique per cache), so iteration order IS the LRU order. Every
+        # writer — here and in repro.hw.batch — must preserve it.
         self._sets: List[Dict[int, _Line]] = [{} for _ in range(config.num_sets)]
         self._tick = 0
         self._set_mask = config.num_sets - 1
@@ -88,13 +91,17 @@ class Cache:
         entry = cset.get(tag)
         if entry is not None:
             self.stats.hits += 1
+            # Move-to-end keeps dict order == ascending last_use, so the
+            # LRU victim below is always the first key — O(1), not a scan.
+            del cset[tag]
+            cset[tag] = entry
             entry.last_use = self._tick
             entry.use_count += 1
             entry.dirty = entry.dirty or write
             return True
         self.stats.misses += 1
         if len(cset) >= self.config.ways:
-            victim_tag = min(cset, key=lambda t: cset[t].last_use)
+            victim_tag = next(iter(cset))
             victim = cset.pop(victim_tag)
             self.stats.evictions += 1
             if victim.use_count == 0:

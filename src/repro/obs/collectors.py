@@ -137,6 +137,31 @@ def register_ephemeral(registry: MetricsRegistry, group, **labels: Any) -> None:
 
 
 # ----------------------------------------------------------------------
+# db: plan/code-fragment cache, MVCC and WAL.
+# ----------------------------------------------------------------------
+def register_codecache(registry: MetricsRegistry, cache, **labels: Any) -> None:
+    """Code-fragment cache effectiveness: hit/miss/eviction counters,
+    resident fragments, amortized compile cycles, and the hit rate the
+    paper's code-generation argument (§III-B) turns on."""
+
+    def collect() -> Dict[str, float]:
+        s = cache.stats
+        return {
+            fmt_name("codecache_hits_total", **labels): s.hits,
+            fmt_name("codecache_misses_total", **labels): s.misses,
+            fmt_name("codecache_evictions_total", **labels): s.evictions,
+            fmt_name("codecache_compile_cycles_total", **labels): (
+                s.compile_cycles
+            ),
+            fmt_name("codecache_resident", **labels): cache.resident,
+            fmt_name("codecache_capacity", **labels): cache.capacity,
+            fmt_name("codecache_hit_rate", **labels): s.hit_rate,
+        }
+
+    registry.register_collector(collect)
+
+
+# ----------------------------------------------------------------------
 # db: MVCC and WAL.
 # ----------------------------------------------------------------------
 def register_mvcc(registry: MetricsRegistry, manager, **labels: Any) -> None:

@@ -138,9 +138,15 @@ class HtapDriver:
                 live = live[live != new_slot]
                 if len(live):
                     picks = self.rng.choice(live, size=min(updates_per_txn, len(live)), replace=False)
-                    for slot in picks:
-                        status = int(self.table.column_values("o_status")[slot])
-                        txn.update(self.table, int(slot), {"o_status": min(status + 1, 2)})
+                    # One decode + gather for every picked slot, instead of
+                    # re-decoding the column once per update.
+                    statuses = self.table.column_values("o_status")[picks]
+                    for slot, status in zip(picks, statuses):
+                        txn.update(
+                            self.table,
+                            int(slot),
+                            {"o_status": min(int(status) + 1, 2)},
+                        )
                         self.stats.updates += 1
                 self.manager.commit(txn)
                 self.stats.commits += 1

@@ -1,0 +1,493 @@
+"""Property tests for the vectorized execution path (ISSUE 7).
+
+The contract under test: for every query shape, layout, exec mode, and
+MVCC snapshot, the vectorized fused-kernel path and the scalar Volcano
+reference produce **bit-identical** answers — and in trace mode the two
+exec modes of one engine charge identical cycles and touch the hardware
+model identically (cost recipes never depend on the answer path).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mvcc_filter import visible_mask, visible_mask_batched
+from repro.db import Catalog, Column, TableSchema
+from repro.db.engines.base import Engine
+from repro.db.engines.colstore import ColumnStoreEngine
+from repro.db.engines.rmstore import RelationalMemoryEngine
+from repro.db.engines.rowstore import RowStoreEngine
+from repro.db.exec.vector import (
+    FusedKernel,
+    join_indices,
+    run_vector,
+)
+from repro.db.exec.volcano import run_volcano
+from repro.db.mvcc import TransactionManager
+from repro.db.plan import bind
+from repro.db.plan.codecache import CodeFragmentCache
+from repro.db.sql import parse
+from repro.db.types import CHAR, DECIMAL, INT32, INT64
+from repro.core.ledger import CostLedger
+from repro.hw.config import TEST_PLATFORM
+
+ENGINES = (RowStoreEngine, ColumnStoreEngine, RelationalMemoryEngine)
+
+
+def assert_same_result(a, b, context=""):
+    """Bit-identical comparison (dataclass ``==`` chokes on arrays).
+
+    Byte-string columns may differ in declared width (the Volcano path
+    re-packs scalars); numpy's elementwise comparison is padding-blind,
+    which matches the executors' own semantics.
+    """
+    assert a.names == b.names, f"{context}: {a.names} != {b.names}"
+    for n in a.names:
+        x, y = a.columns[n], b.columns[n]
+        assert len(x) == len(y), f"{context}: column {n} length {len(x)} != {len(y)}"
+        if x.dtype.kind != "S" or y.dtype.kind != "S":
+            assert x.dtype == y.dtype, f"{context}: column {n} {x.dtype} != {y.dtype}"
+        if x.dtype.kind == "f":
+            assert np.array_equal(x, y, equal_nan=True), f"{context}: column {n}"
+        else:
+            assert np.array_equal(x, y), f"{context}: column {n}"
+
+
+# ----------------------------------------------------------------------
+# A small star schema the random queries run over.
+# ----------------------------------------------------------------------
+def make_star(seed=7, n_fact=400, n_dim1=40, n_dim2=12):
+    catalog = Catalog()
+    fact = catalog.create_table(
+        TableSchema(
+            "fact",
+            [
+                Column("k1", INT64),
+                Column("k2", INT64),
+                Column("val", DECIMAL(2)),
+                Column("qty", INT32),
+                Column("cat", CHAR(4)),
+            ],
+        )
+    )
+    dim1 = catalog.create_table(
+        TableSchema(
+            "dim1",
+            [
+                Column("d1_key", INT64),
+                Column("d1_ref", INT64),
+                Column("d1_w", INT32),
+                Column("d1_cat", CHAR(4)),
+            ],
+        )
+    )
+    dim2 = catalog.create_table(
+        TableSchema("dim2", [Column("d2_key", INT64), Column("d2_w", INT32)])
+    )
+    rng = np.random.default_rng(seed)
+    fact.append_arrays(
+        {
+            "k1": rng.integers(0, n_dim1 + 5, n_fact, dtype=np.int64),
+            "k2": rng.integers(0, n_dim2 + 3, n_fact, dtype=np.int64),
+            "val": rng.integers(100, 50_000, n_fact),
+            "qty": rng.integers(1, 40, n_fact, dtype=np.int32),
+            "cat": rng.choice(np.array([b"aa", b"bb", b"cc", b"dddd"], "S4"), n_fact),
+        }
+    )
+    dim1.append_arrays(
+        {
+            # Duplicate keys: the join must fan out.
+            "d1_key": rng.integers(0, n_dim1, n_dim1 * 2, dtype=np.int64),
+            "d1_ref": rng.integers(0, n_dim2 + 3, n_dim1 * 2, dtype=np.int64),
+            "d1_w": rng.integers(1, 9, n_dim1 * 2, dtype=np.int32),
+            "d1_cat": rng.choice(np.array([b"xx", b"yy"], "S4"), n_dim1 * 2),
+        }
+    )
+    dim2.append_arrays(
+        {
+            "d2_key": rng.integers(0, n_dim2, n_dim2, dtype=np.int64),
+            "d2_w": rng.integers(1, 5, n_dim2, dtype=np.int32),
+        }
+    )
+    return catalog, fact
+
+
+STAR_CATALOG, STAR_FACT = make_star()
+
+_JOINS = [
+    "",
+    " JOIN dim1 ON k1 = d1_key",
+    " JOIN dim1 ON k1 = d1_key JOIN dim2 ON k2 = d2_key",
+    # Chained probe key: the second join's left column lives in dim1.
+    " JOIN dim1 ON k1 = d1_key JOIN dim2 ON d1_ref = d2_key",
+]
+_WHERES = [
+    "",
+    " WHERE qty > 12",
+    " WHERE cat = 'aa' OR qty < 5",
+    " WHERE val BETWEEN 20 AND 300",
+    " WHERE qty > 45",  # empty qualifying set
+]
+#: Predicates over joined columns (post-join filters); only valid with a
+#: join clause that brings the column in.
+_POST_WHERES = {
+    1: " WHERE qty > 10 AND d1_cat = 'xx'",
+    2: " WHERE d1_w > 2 AND d2_w < 4",
+    3: " WHERE val > 50 AND d2_w > 1",
+}
+
+
+@st.composite
+def star_queries(draw):
+    join_i = draw(st.integers(0, len(_JOINS) - 1))
+    join = _JOINS[join_i]
+    if join_i and draw(st.booleans()):
+        where = _POST_WHERES[join_i]
+    else:
+        where = draw(st.sampled_from(_WHERES))
+    shape = draw(st.integers(0, 2))
+    if shape == 0:  # grouped aggregation
+        key = draw(st.sampled_from(["cat", "k2"] + (["d1_cat"] if join_i else [])))
+        sql = (
+            f"SELECT {key}, sum(val) AS s, count(*) AS n, min(qty) AS lo, "
+            f"max(qty * 2) AS hi, avg(val) AS m FROM fact{join}{where} "
+            f"GROUP BY {key} ORDER BY {key}"
+        )
+    elif shape == 1:  # global aggregates
+        sql = (
+            f"SELECT sum(val * qty) AS s, count(*) AS n, avg(qty) AS m "
+            f"FROM fact{join}{where}"
+        )
+    else:  # projection with ordering
+        distinct = "DISTINCT " if draw(st.booleans()) else ""
+        limit = draw(st.sampled_from(["", " LIMIT 7"]))
+        order = "" if distinct else " ORDER BY val DESC, k1"
+        sql = f"SELECT {distinct}k1, val, qty FROM fact{join}{where}{order}{limit}"
+    return sql
+
+
+class TestVectorVsVolcanoProperty:
+    @given(star_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_random_queries_bit_identical(self, sql):
+        bound = bind(parse(sql), STAR_CATALOG)
+        cols = {n: STAR_FACT.column_values(n) for n in bound.referenced_columns}
+        vec = run_vector(bound, cols)
+        vol = run_volcano(bound, cols)
+        assert_same_result(vec, vol, context=sql)
+
+    @given(star_queries(), st.sampled_from(["probe", "merge"]))
+    @settings(max_examples=30, deadline=None)
+    def test_join_strategies_bit_identical(self, sql, strategy):
+        bound = bind(parse(sql), STAR_CATALOG)
+        cols = {n: STAR_FACT.column_values(n) for n in bound.referenced_columns}
+        forced = FusedKernel(bound, join_strategy=strategy)(cols)
+        auto = run_vector(bound, cols)
+        assert_same_result(forced, auto, context=f"{strategy}: {sql}")
+
+
+class TestJoinIndices:
+    @given(
+        st.lists(st.integers(0, 8), max_size=60),
+        st.lists(st.integers(0, 8), max_size=60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_probe_merge_and_reference_agree(self, left, right):
+        l = np.asarray(left, dtype=np.int64)
+        r = np.asarray(right, dtype=np.int64)
+        expect_l, expect_r = [], []
+        for i, lv in enumerate(left):
+            for j, rv in enumerate(right):
+                if lv == rv:
+                    expect_l.append(i)
+                    expect_r.append(j)
+        for strategy in ("probe", "merge", "auto"):
+            li, ri = join_indices([l], [r], strategy=strategy)
+            assert li.tolist() == expect_l, strategy
+            assert ri.tolist() == expect_r, strategy
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=40),
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_multi_key(self, left, right):
+        la = np.asarray([t[0] for t in left], dtype=np.int64)
+        lb = np.asarray([t[1] for t in left], dtype=np.int64)
+        ra = np.asarray([t[0] for t in right], dtype=np.int64)
+        rb = np.asarray([t[1] for t in right], dtype=np.int64)
+        expect = [
+            (i, j)
+            for i, lt in enumerate(left)
+            for j, rt in enumerate(right)
+            if lt == rt
+        ]
+        for strategy in ("probe", "merge"):
+            li, ri = join_indices([la, lb], [ra, rb], strategy=strategy)
+            assert list(zip(li.tolist(), ri.tolist())) == expect, strategy
+
+    def test_mixed_dtype_keys_promote(self):
+        l = np.asarray([1, 2, 3], dtype=np.int32)
+        r = np.asarray([2, 2, 3], dtype=np.int64)
+        li, ri = join_indices([l], [r])
+        assert list(zip(li.tolist(), ri.tolist())) == [(1, 0), (1, 1), (2, 2)]
+
+    def test_merge_picked_for_high_fanout(self):
+        from repro.db.exec.vector import _join_codes, _pick_strategy
+
+        l = np.arange(100, dtype=np.int64)  # all-unique: fanout 1
+        r = np.zeros(200, dtype=np.int64)  # fanout 200 >> threshold
+        lc, rc = _join_codes([l], [r])
+        assert _pick_strategy(np.sort(rc), len(lc)) == "merge"
+        assert _pick_strategy(np.sort(lc), len(rc)) == "probe"
+
+
+class TestEmptyAggregates:
+    """Satellite 2: empty-input semantics pinned to the Volcano reference."""
+
+    def _run_both(self, sql):
+        bound = bind(parse(sql), STAR_CATALOG)
+        cols = {n: STAR_FACT.column_values(n) for n in bound.referenced_columns}
+        vec = run_vector(bound, cols)
+        vol = run_volcano(bound, cols)
+        assert_same_result(vec, vol, context=sql)
+        return vec
+
+    def test_global_aggregates_over_zero_rows(self):
+        res = self._run_both(
+            "SELECT count(*) AS n, sum(val) AS s, avg(val) AS m, "
+            "min(val) AS lo, max(val) AS hi FROM fact WHERE qty > 1000"
+        )
+        assert res.nrows == 1
+        row = dict(zip(res.names, res.rows()[0]))
+        assert row["n"] == 0
+        assert row["s"] == 0.0
+        assert np.isnan(row["m"])
+        assert row["lo"] == np.inf
+        assert row["hi"] == -np.inf
+
+    def test_grouped_aggregate_over_zero_rows_is_empty(self):
+        res = self._run_both(
+            "SELECT cat, sum(val) AS s FROM fact WHERE qty > 1000 GROUP BY cat"
+        )
+        assert res.nrows == 0
+
+    def test_empty_probe_side_join(self):
+        res = self._run_both(
+            "SELECT count(*) AS n, sum(d1_w) AS s FROM fact "
+            "JOIN dim1 ON k1 = d1_key WHERE qty > 1000"
+        )
+        assert res.rows() == [(0, 0.0)]
+
+
+class TestEngineTraceBitIdentity:
+    """Vector and volcano modes of one engine: identical rows, cycles,
+    ledger buckets, and hardware counters in trace mode."""
+
+    SQL = (
+        "SELECT cat, sum(val * qty) AS rev, count(*) AS n FROM fact "
+        "JOIN dim1 ON k1 = d1_key WHERE qty > 8 AND d1_w > 1 "
+        "GROUP BY cat ORDER BY rev DESC"
+    )
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_modes_identical(self, engine_cls):
+        results = {}
+        for mode in ("vector", "volcano"):
+            engine = engine_cls(
+                STAR_CATALOG, TEST_PLATFORM, memory_model="trace", exec_mode=mode
+            )
+            res = engine.execute(self.SQL)
+            results[mode] = (res, engine.memory.hierarchy.counters())
+        vec, vec_hw = results["vector"]
+        vol, vol_hw = results["volcano"]
+        assert_same_result(vec.result, vol.result, context=engine_cls.name)
+        assert vec.ledger.buckets == vol.ledger.buckets
+        assert vec.cycles == vol.cycles
+        assert vec_hw == vol_hw
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_modes_identical_under_mvcc_snapshot(self, engine_cls):
+        schema = TableSchema(
+            "ledger_t",
+            [Column("acct", INT64), Column("amount", INT64), Column("tag", CHAR(2))],
+            mvcc=True,
+        )
+        catalog = Catalog()
+        table = catalog.create_table(schema)
+        manager = TransactionManager()
+        rng = np.random.default_rng(3)
+        snapshots = []
+        for batch in range(4):
+            txn = manager.begin()
+            for _ in range(25):
+                txn.insert(
+                    table,
+                    {
+                        "acct": int(rng.integers(0, 10)),
+                        "amount": int(rng.integers(1, 1000)),
+                        "tag": rng.choice(["aa", "bb"]),
+                    },
+                )
+            manager.commit(txn)
+            snapshots.append(manager.now)
+        # One uncommitted transaction: invisible to every snapshot below.
+        pending = manager.begin()
+        pending.insert(table, {"acct": 1, "amount": 10_000, "tag": "aa"})
+
+        sql = (
+            "SELECT acct, sum(amount) AS s, count(*) AS n FROM ledger_t "
+            "WHERE tag = 'aa' GROUP BY acct ORDER BY acct"
+        )
+        for snapshot_ts in snapshots:
+            ref = None
+            for mode in ("vector", "volcano"):
+                engine = engine_cls(
+                    catalog, TEST_PLATFORM, memory_model="trace", exec_mode=mode
+                )
+                res = engine.execute(sql, snapshot_ts=snapshot_ts)
+                if ref is None:
+                    ref = res
+                else:
+                    assert_same_result(
+                        ref.result, res.result, context=f"ts={snapshot_ts}"
+                    )
+                    assert ref.ledger.buckets == res.ledger.buckets
+        # Later snapshots see strictly more rows.
+        engine = engine_cls(catalog, TEST_PLATFORM)
+        counts = [
+            engine.execute(
+                "SELECT count(*) AS n FROM ledger_t", snapshot_ts=ts
+            ).result.scalar()
+            for ts in snapshots
+        ]
+        assert counts == sorted(counts) and counts[0] < counts[-1]
+
+
+class TestCodeCache:
+    SQL = (
+        "SELECT cat, sum(val) AS s FROM fact JOIN dim1 ON k1 = d1_key "
+        "WHERE qty > 10 GROUP BY cat ORDER BY cat"
+    )
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_warm_hit_skips_compile(self, engine_cls):
+        cache = CodeFragmentCache()
+        engine = engine_cls(STAR_CATALOG, TEST_PLATFORM, codecache=cache)
+        cold = engine.execute(self.SQL)
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+        assert cold.ledger.get(CostLedger.PLAN_COMPILE) == cache.compile_cycles
+        warm = engine.execute(self.SQL)
+        assert cache.stats.hits == 1
+        assert warm.ledger.get(CostLedger.PLAN_COMPILE) == 0.0
+        assert_same_result(cold.result, warm.result, context="cold vs warm")
+        assert warm.cycles < cold.cycles
+
+    def test_shape_reuse_with_different_literals(self):
+        # Same fragment signature (literals are parameters), different
+        # constants: the cached kernel must be re-bound, not replayed.
+        cache = CodeFragmentCache()
+        engine = RowStoreEngine(STAR_CATALOG, TEST_PLATFORM, codecache=cache)
+        plain = RowStoreEngine(STAR_CATALOG, TEST_PLATFORM)
+        for cut in (5, 20, 35):
+            sql = f"SELECT sum(val) AS s, count(*) AS n FROM fact WHERE qty > {cut}"
+            cached = engine.execute(sql)
+            reference = plain.execute(sql)
+            assert_same_result(cached.result, reference.result, context=sql)
+        assert cache.stats.misses == 1 and cache.stats.hits == 2
+
+    def test_vector_mode_required(self):
+        cache = CodeFragmentCache()
+        engine = RowStoreEngine(
+            STAR_CATALOG, TEST_PLATFORM, exec_mode="volcano", codecache=cache
+        )
+        engine.execute(self.SQL)
+        # The volcano path never consults the fragment cache.
+        assert cache.stats.lookups == 0
+
+    def test_codecache_metrics_collector(self):
+        from repro.obs import MetricsRegistry
+
+        cache = CodeFragmentCache()
+        registry = MetricsRegistry()
+        engine = RowStoreEngine(
+            STAR_CATALOG, TEST_PLATFORM, codecache=cache, metrics=registry
+        )
+        engine.execute(self.SQL)
+        engine.execute(self.SQL)
+        sample = registry.collect()
+        assert sample['codecache_hits_total{engine="row"}'] == 1
+        assert sample['codecache_misses_total{engine="row"}'] == 1
+        assert sample['codecache_hit_rate{engine="row"}'] == 0.5
+        assert sample['codecache_resident{engine="row"}'] == 1
+
+    def test_layouts_key_fragments_differently(self):
+        # One shared cache across engines: the row layout bakes offsets,
+        # the column/fabric layouts key on positional types, so the same
+        # SQL compiles one fragment per layout.
+        cache = CodeFragmentCache()
+        for engine_cls in ENGINES:
+            engine_cls(STAR_CATALOG, TEST_PLATFORM, codecache=cache).execute(self.SQL)
+        assert cache.stats.misses == 3 and cache.resident == 3
+
+
+class TestMvccBatchRead:
+    def _seeded(self):
+        catalog = Catalog()
+        table = catalog.create_table(
+            TableSchema(
+                "t", [Column("id", INT64), Column("v", INT64)], mvcc=True
+            )
+        )
+        manager = TransactionManager()
+        txn = manager.begin()
+        for i in range(20):
+            txn.insert(table, {"id": i, "v": i * 10})
+        manager.commit(txn)
+        return catalog, table, manager
+
+    @given(
+        st.lists(st.integers(0, 2**40), min_size=0, max_size=200),
+        st.integers(0, 2**40),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batched_mask_bit_identical(self, begins, snapshot, batch):
+        begin_ts = np.asarray(begins, dtype=np.int64)
+        rng = np.random.default_rng(len(begins))
+        end_ts = begin_ts + rng.integers(0, 2**20, len(begins))
+        assert np.array_equal(
+            visible_mask(begin_ts, end_ts, snapshot),
+            visible_mask_batched(begin_ts, end_ts, snapshot, batch_rows=batch),
+        )
+
+    def test_read_columns_matches_row_loop(self):
+        _, table, manager = self._seeded()
+        txn = manager.begin()
+        # Mix in this transaction's own intents: one insert, one update,
+        # one delete — read_columns must see exactly what read_row sees.
+        txn.insert(table, {"id": 99, "v": 990})
+        txn.update(table, 3, {"v": -1})
+        txn.delete(table, 5)
+        batch = txn.read_columns(table)
+        slots = txn.visible_slots(table)
+        rows = [txn.read_row(table, int(s)) for s in slots]
+        assert set(batch) == {"id", "v"}
+        assert batch["id"].tolist() == [r["id"] for r in rows]
+        assert batch["v"].tolist() == [r["v"] for r in rows]
+        assert 99 in batch["id"].tolist()  # own pending insert visible
+        assert 5 not in slots.tolist() or table.row(5)["id"] != 5
+
+    def test_read_columns_subset_and_isolation(self):
+        _, table, manager = self._seeded()
+        reader = manager.begin()
+        writer = manager.begin()
+        writer.insert(table, {"id": 50, "v": 500})
+        manager.commit(writer)
+        # Snapshot isolation: the earlier reader never sees the new row.
+        batch = reader.read_columns(table, names=("v",))
+        assert set(batch) == {"v"}
+        assert len(batch["v"]) == 20
+        fresh = manager.begin()
+        assert len(fresh.read_columns(table)["v"]) == 21
