@@ -28,6 +28,9 @@ Two formats are recognized by content, not filename:
   non-decreasing over the run. Code-fragment-cache series
   (``codecache_*``) likewise: non-negative everywhere, ``*_total``
   counters monotone, and ``codecache_hit_rate`` inside [0, 1].
+  Distributed-execution series (``dist_*``): non-negative everywhere,
+  ``*_total`` counters monotone, ``dist_hedge_wins_total`` never above
+  ``dist_hedges_total``, and ``dist_workers_alive`` an integer gauge.
 
 Exit status 0 when the file is valid, 1 with a message otherwise::
 
@@ -106,6 +109,55 @@ def _codecache_errors(name: str, column) -> "str | None":
     return None
 
 
+def _dist_errors(name: str, column) -> "str | None":
+    """Semantic checks for one ``dist_*`` series; None when clean.
+
+    Every sample must be non-negative; ``*_total`` counters are monotone
+    non-decreasing; ``dist_workers_alive`` and the per-shard incarnation
+    gauges must be integers (a fractional worker is a collector bug).
+    """
+    base = name.split("{", 1)[0]
+    prev = None
+    for i, v in enumerate(column):
+        if v is None:
+            continue
+        if v < 0:
+            return f"series {name!r}[{i}]: negative dist sample {v!r}"
+        if base in ("dist_workers_alive", "dist_shard_incarnation") and (
+            float(v) != int(v)
+        ):
+            return f"series {name!r}[{i}]: non-integer gauge {v!r}"
+        if base.endswith("_total"):
+            if prev is not None and v < prev:
+                return (
+                    f"series {name!r}[{i}]: counter decreased "
+                    f"({prev!r} -> {v!r})"
+                )
+            prev = v
+    return None
+
+
+def _dist_hedge_errors(series) -> "str | None":
+    """Cross-series invariant: hedge wins can never outrun hedges."""
+    for name, wins in series.items():
+        base = name.split("{", 1)[0]
+        if base != "dist_hedge_wins_total":
+            continue
+        labels = name[len(base):]
+        hedges = series.get(f"dist_hedges_total{labels}")
+        if hedges is None:
+            continue
+        for i, (w, h) in enumerate(zip(wins, hedges)):
+            if w is None or h is None:
+                continue
+            if w > h:
+                return (
+                    f"series {name!r}[{i}]: {w!r} hedge wins exceed "
+                    f"{h!r} hedges"
+                )
+    return None
+
+
 def _fail(msg: str) -> "int":
     print(f"FAIL: {msg}", file=sys.stderr)
     return 1
@@ -162,6 +214,14 @@ def check_metrics(path: str, doc: dict) -> int:
             err = _codecache_errors(name, column)
             if err is not None:
                 return _fail(err)
+        if name.startswith("dist_"):
+            err = _dist_errors(name, column)
+            if err is not None:
+                return _fail(err)
+
+    err = _dist_hedge_errors(series)
+    if err is not None:
+        return _fail(err)
 
     print(
         f"OK: {path} — {len(series)} series x {len(ticks)} samples, "

@@ -15,6 +15,9 @@ Layers (bottom up):
 * :mod:`repro.workloads` — synthetic wide tables, TPC-H lineitem, HTAP;
 * :mod:`repro.serve` — the multi-tenant front door: admission control,
   deadlines, weighted-fair queueing, overload degradation;
+* :mod:`repro.dist` — fault-domain sharded execution: scatter-gather
+  coordination, per-shard WAL recovery, hedged retries, typed partial
+  results;
 * :mod:`repro.bench` — the harness regenerating every paper figure.
 
 Quickstart::
@@ -55,6 +58,18 @@ from repro.db.wal import (
     WriteAheadLog,
     recover,
 )
+from repro.dist import (
+    AggSpec,
+    AggTerm,
+    DistConfig,
+    DistPlan,
+    DistPredicate,
+    DistResult,
+    ShardCluster,
+    ShardReplica,
+    q1_plan,
+    q6_plan,
+)
 from repro.faults import (
     BreakerState,
     CircuitBreaker,
@@ -78,6 +93,8 @@ from repro.serve import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AggSpec",
+    "AggTerm",
     "BreakerState",
     "Catalog",
     "Checkpoint",
@@ -87,6 +104,10 @@ __all__ = [
     "ColumnStoreEngine",
     "CostLedger",
     "DataGeometry",
+    "DistConfig",
+    "DistPlan",
+    "DistPredicate",
+    "DistResult",
     "EphemeralColumnGroup",
     "ExecOutcome",
     "ExecutionResult",
@@ -108,6 +129,8 @@ __all__ = [
     "ServeOracle",
     "ServeReport",
     "ServeScheduler",
+    "ShardCluster",
+    "ShardReplica",
     "Span",
     "Table",
     "TableSchema",
@@ -125,6 +148,8 @@ __all__ = [
     "all_engines",
     "configure",
     "default_platform",
+    "q1_plan",
+    "q6_plan",
     "recover",
     "run_transaction",
     "throttle_backoff",

@@ -25,6 +25,7 @@ import os
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.bench.harness import Experiment
+from repro.errors import WorkerTimeoutError
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -54,11 +55,21 @@ def fanout(
     worker: Callable[[T], R],
     points: Sequence[T],
     processes: Optional[int] = None,
+    timeout_s: Optional[float] = None,
 ) -> List[R]:
     """Run ``worker`` over ``points``; results in point order.
 
     ``processes <= 1`` (after clamping) runs serially in-process — the
     reference behaviour the pool path must reproduce exactly.
+
+    ``timeout_s`` bounds how long the harness waits on each point *after
+    every earlier point has been collected* (so it is a per-worker bound,
+    not a whole-run bound). On expiry the pool is terminated — a hung
+    worker can never wedge a benchmark run — and the typed
+    :class:`~repro.errors.WorkerTimeoutError` propagates. ``None`` keeps
+    the historical unbounded join. The serial path ignores the timeout:
+    there is no hung *process* to kill, and killing the caller's own
+    interpreter mid-worker is not a recovery.
     """
     n = resolve_processes(processes, len(points))
     if n <= 1:
@@ -68,7 +79,22 @@ def fanout(
     except ValueError:  # pragma: no cover - non-POSIX hosts
         ctx = multiprocessing.get_context()
     with ctx.Pool(n) as pool:
-        return pool.map(worker, points, chunksize=1)
+        if timeout_s is None:
+            return pool.map(worker, points, chunksize=1)
+        # imap preserves point order exactly like map; next(timeout=)
+        # gives the bounded join that map's bare .get() never had.
+        results: List[R] = []
+        it = pool.imap(worker, points, chunksize=1)
+        for index in range(len(points)):
+            try:
+                results.append(it.next(timeout=timeout_s))
+            except multiprocessing.TimeoutError:
+                pool.terminate()
+                raise WorkerTimeoutError(
+                    f"fanout worker for point {index} exceeded its "
+                    f"{timeout_s:g}s timeout (pool terminated)"
+                ) from None
+        return results
 
 
 def merge_experiments(parts: Sequence[Experiment], name: str = "") -> Experiment:

@@ -40,6 +40,19 @@ bit-deterministic per seed::
 
     PYTHONPATH=src python -m repro.chaos --mode overload --seed 3 \
         --json overload_report.json
+
+A third mode (``--mode shard-kill``) attacks the scatter-gather layer:
+a seeded write mix runs through a durable 4-shard
+:class:`repro.dist.ShardCluster` (one :class:`ShadowOracle` per shard
+fault domain), then every shard in turn is SIGKILLed at a scatter
+boundary and the next query must come back oracle-equal after WAL
+recovery; a persistently-dead shard must degrade to a *typed* partial
+whose missing key ranges match the oracle exactly; a stalled shard must
+lose to its hedge; and an unkilled 2- and 8-shard lineitem cluster must
+answer TPC-H Q1/Q6 byte-identically to serial execution::
+
+    PYTHONPATH=src python -m repro.chaos --mode shard-kill --seed 3 \
+        --json shard_kill_report.json
 """
 
 from __future__ import annotations
@@ -79,6 +92,8 @@ __all__ = [
     "overload_config",
     "overload_specs",
     "run_overload_chaos",
+    "ShardKillChaosReport",
+    "run_shard_kill_chaos",
     "table_visible_rows",
 ]
 
@@ -743,16 +758,427 @@ def run_overload_chaos(
     return out
 
 
+# ----------------------------------------------------------------------
+# Shard-kill chaos: the scatter-gather layer under fault-domain loss.
+# ----------------------------------------------------------------------
+
+
+def _raw_int(schema: TableSchema, column: str, value) -> object:
+    """A decoded value back in the exact raw form the dist layer computes
+    in: scaled int for DECIMAL, plain int for the other numerics, bytes
+    for CHAR."""
+    dtype = schema.column(column).dtype
+    if isinstance(value, bytes):
+        return value
+    if dtype.scale:
+        return int(round(float(value) * 10**dtype.scale))
+    return int(value)
+
+
+def _oracle_groups(schema: TableSchema, plan, rows):
+    """The plan's answer, brute-forced over oracle row dicts in pure
+    Python ints — no numpy, no shared code with the fragment executor."""
+    acc: Dict[tuple, list] = {}
+    for frozen in rows:
+        d = dict(frozen)
+        key = int(d[plan.key_column])
+        if plan.key_low is not None and key < plan.key_low:
+            continue
+        if plan.key_high is not None and key > plan.key_high:
+            continue
+        if any(
+            not p.op.apply(
+                np.array([_raw_int(schema, p.column, d[p.column])]), p.value
+            )[0]
+            for p in plan.predicates
+        ):
+            continue
+        gkey = tuple(_raw_int(schema, c, d[c]) for c in plan.group_by)
+        into = acc.setdefault(gkey, [None] * len(plan.aggregates))
+        for j, agg in enumerate(plan.aggregates):
+            if agg.kind == "count":
+                into[j] = (into[j] or 0) + 1
+                continue
+            val = 1
+            for term in agg.terms:
+                val *= term.const + term.coeff * _raw_int(
+                    schema, term.column, d[term.column]
+                )
+            if into[j] is None:
+                into[j] = val
+            elif agg.kind == "sum":
+                into[j] += val
+            elif agg.kind == "min":
+                into[j] = min(into[j], val)
+            else:
+                into[j] = max(into[j], val)
+    return [(k, acc[k]) for k in sorted(acc)]
+
+
+def _in_missing(key: int, missing) -> bool:
+    return any(
+        (lo is None or key >= lo) and (hi is None or key <= hi)
+        for lo, hi in missing
+    )
+
+
+def _shard_kill_cluster(seed: int, n_txns: int, config):
+    """One seeded write mix through a durable 4-shard cluster, with one
+    independent :class:`ShadowOracle` per shard fault domain."""
+    from repro.db.sharding import ShardedTable
+    from repro.dist import ShardCluster
+
+    schema = orders_schema()
+    boundaries = [100, 200, 300]
+    cluster = ShardCluster(
+        ShardedTable(schema, "o_id", boundaries), config, durable=True
+    )
+    cluster.start()
+    oracles = [ShadowOracle() for _ in cluster.sharded.shards]
+    rng = np.random.default_rng(seed)
+
+    def routed_insert():
+        key = int(rng.integers(0, 400))
+        i = cluster.sharded.shard_of(key)
+        values = {
+            "o_id": key,
+            "o_customer": int(rng.integers(1, 50)),
+            "o_amount": float(rng.integers(1, 20_000)) / 100.0,
+            "o_status": int(rng.integers(0, 3)),
+        }
+        manager = cluster.manager_for(i)
+        txn = manager.begin()
+        oracles[i].begin(txn.txn_id)
+        slot = txn.insert(cluster.table_for(i), values)
+        oracles[i].insert(txn.txn_id, cluster.table_for(i).row(slot))
+        if rng.random() < 0.1:
+            manager.abort(txn)
+            oracles[i].abort(txn.txn_id)
+        else:
+            manager.commit(txn)
+            oracles[i].commit(txn.txn_id, txn.commit_ts)
+        cluster.replicate(i)
+
+    def committed_slots(i):
+        table = cluster.table_for(i)
+        if not table.nrows:
+            return np.zeros(0, dtype=np.int64)
+        now = cluster.manager_for(i).now
+        return np.flatnonzero(visible_mask(table.begin_ts, table.end_ts, now))
+
+    def mutate(delete: bool):
+        i = int(rng.integers(0, len(oracles)))
+        live = committed_slots(i)
+        if not len(live):
+            return
+        target = int(rng.choice(live))
+        manager = cluster.manager_for(i)
+        table = cluster.table_for(i)
+        txn = manager.begin()
+        oracles[i].begin(txn.txn_id)
+        try:
+            if delete:
+                txn.delete(table, target)
+                oracles[i].delete(txn.txn_id, target)
+            else:
+                status = min(int(table.row(target)["o_status"]) + 1, 2)
+                new_slot = txn.update(table, target, {"o_status": status})
+                oracles[i].update(txn.txn_id, target, table.row(new_slot))
+            manager.commit(txn)
+            oracles[i].commit(txn.txn_id, txn.commit_ts)
+        except WriteConflictError:
+            oracles[i].abort(txn.txn_id)
+        cluster.replicate(i)
+
+    for _ in range(n_txns):
+        roll = rng.random()
+        if roll < 0.6:
+            routed_insert()
+        elif roll < 0.85:
+            mutate(delete=False)
+        else:
+            mutate(delete=True)
+    return cluster, oracles
+
+
+@dataclass
+class ShardKillChaosReport:
+    """Outcome of one shard-kill chaos run (the CI artifact)."""
+
+    seed: int
+    txns: int
+    shards: int = 0
+    rows: int = 0
+    kills: int = 0
+    queries: int = 0
+    restarts: int = 0
+    recoveries: int = 0
+    recovered_bytes: int = 0
+    stale_fences: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    partial_probes: int = 0
+    identity_checks: int = 0
+    violations: List[str] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {**self.__dict__, "passed": self.passed}
+
+
+def run_shard_kill_chaos(
+    seed: int,
+    n_txns: int = 120,
+    lineitem_rows: int = 20_000,
+) -> ShardKillChaosReport:
+    """The scatter-gather suite: kill a shard at every scatter boundary.
+
+    Four scenarios, all seeded and all judged against independent
+    oracles:
+
+    1. **kill-rotation** — run the seeded write mix, then for *every*
+       shard in turn: SIGKILL its worker and immediately query. The
+       coordinator must restart the fault domain, recover it from its
+       WAL, and return an answer equal to the per-shard
+       :class:`ShadowOracle` brute force AND byte-identical to the
+       coordinator's serial reference.
+    2. **persistent kill** — one shard crashes on every request of every
+       incarnation. The query must degrade to a *typed* partial:
+       ``missing_ranges`` exactly the dead shard's key range, and the
+       partial answer equal to the oracle restricted to the surviving
+       ranges. The non-degraded path must raise
+       :class:`~repro.errors.PartialResultError` with the same payload.
+    3. **stall + hedge** — one shard's first incarnation stalls past the
+       hedge trigger; the hedged incarnation must win and the answer
+       stay oracle-equal.
+    4. **unkilled bit-identity** — TPC-H Q1 and Q6 over a bench-mode
+       lineitem cluster at 2 and 8 shards must be byte-identical to
+       unsharded serial execution, payload and ledger buckets both.
+    """
+    from repro.db.sharding import ShardedTable
+    from repro.dist import (
+        DistConfig,
+        DistPlan,
+        AggSpec,
+        AggTerm,
+        DistPredicate,
+        ShardCluster,
+        execute_plan,
+        q1_plan,
+        q6_plan,
+    )
+    from repro.errors import PartialResultError
+    from repro.faults import SHARD_CRASH, SHARD_STALL
+    from repro.workloads.tpch import generate_lineitem
+
+    t0 = time.perf_counter()
+    report = ShardKillChaosReport(seed=seed, txns=n_txns)
+    schema = orders_schema()
+    from repro.core.selection import CompareOp
+
+    plan = DistPlan(
+        table="orders",
+        key_column="o_id",
+        predicates=(DistPredicate("o_customer", CompareOp.LE, 40),),
+        group_by=("o_status",),
+        aggregates=(
+            AggSpec("sum_amount", "sum", (AggTerm("o_amount"),)),
+            AggSpec("max_amount", "max", (AggTerm("o_amount"),)),
+            AggSpec("n", "count"),
+        ),
+    )
+
+    def oracle_answer(cluster, oracles, the_plan, missing=()):
+        ts = cluster.default_snapshot()
+        rows = [r for o in oracles for r in o.visible(ts)]
+        rows = [
+            r
+            for r in rows
+            if not _in_missing(int(dict(r)[the_plan.key_column]), missing)
+        ]
+        return _oracle_groups(schema, the_plan, rows)
+
+    # 1. Kill-rotation: every shard dies once, at a scatter boundary.
+    cluster, oracles = _shard_kill_cluster(
+        seed, n_txns, DistConfig(deadline_s=5.0)
+    )
+    try:
+        report.shards = len(cluster.sharded.shards)
+        report.rows = cluster.sharded.nrows
+        expected = oracle_answer(cluster, oracles, plan)
+        serial = cluster.run_serial(plan)
+        if serial.groups != expected:
+            report.violations.append(
+                "serial reference disagrees with the shadow oracle before "
+                "any kill"
+            )
+        for k in range(report.shards):
+            cluster.kill_shard(k)
+            report.kills += 1
+            res = cluster.query(plan)
+            report.queries += 1
+            if res.groups != expected:
+                report.violations.append(
+                    f"kill shard {k}: recovered answer != oracle"
+                )
+            if res.to_bytes() != serial.to_bytes():
+                report.violations.append(
+                    f"kill shard {k}: payload not byte-identical to serial"
+                )
+            if res.degraded:
+                report.violations.append(
+                    f"kill shard {k}: degraded despite a healthy retry path"
+                )
+        s = cluster.stats
+        if s.restarts_total < report.shards:
+            report.violations.append(
+                f"only {s.restarts_total} restarts after {report.kills} kills"
+            )
+        report.restarts = s.restarts_total
+        report.recoveries = s.recoveries_total
+        report.recovered_bytes = s.recovered_bytes_total
+        report.stale_fences = s.stale_fences_total
+    finally:
+        cluster.close()
+
+    # 2. Persistent kill: typed degradation with oracle-exact ranges.
+    dead_shard = seed % 4
+    cluster, oracles = _shard_kill_cluster(
+        seed,
+        n_txns,
+        DistConfig(
+            deadline_s=1.0,
+            retries=1,
+            fault_rates={SHARD_CRASH: 1.0},
+            fault_shards=frozenset({dead_shard}),
+        ),
+    )
+    try:
+        lo, hi = cluster.sharded.shard_bounds(dead_shard)
+        res = cluster.query(plan, allow_partial=True)
+        report.queries += 1
+        report.partial_probes += 1
+        if not res.degraded or res.missing_ranges != ((lo, hi),):
+            report.violations.append(
+                f"persistent kill of shard {dead_shard}: expected missing "
+                f"range {((lo, hi),)}, got degraded={res.degraded} "
+                f"missing={res.missing_ranges}"
+            )
+        expected_partial = oracle_answer(
+            cluster, oracles, plan, missing=res.missing_ranges
+        )
+        if res.groups != expected_partial:
+            report.violations.append(
+                "persistent kill: partial answer != oracle over the "
+                "surviving ranges"
+            )
+        try:
+            cluster.query(plan)
+            report.violations.append(
+                "persistent kill: non-partial query did not raise "
+                "PartialResultError"
+            )
+        except PartialResultError as exc:
+            report.queries += 1
+            if exc.missing_ranges != ((lo, hi),):
+                report.violations.append(
+                    f"PartialResultError ranges {exc.missing_ranges} != "
+                    f"{((lo, hi),)}"
+                )
+            if exc.partial is None or exc.partial.groups != expected_partial:
+                report.violations.append(
+                    "PartialResultError.partial != oracle over the "
+                    "surviving ranges"
+                )
+    finally:
+        cluster.close()
+
+    # 3. Stall + hedge: the first incarnation sleeps past the trigger.
+    stalled_shard = (seed + 1) % 4
+    cluster, oracles = _shard_kill_cluster(
+        seed,
+        n_txns,
+        DistConfig(
+            deadline_s=5.0,
+            hedge_after_s=0.1,
+            stall_s=1.5,
+            fault_rates={SHARD_STALL: 1.0},
+            fault_max=1,
+            fault_shards=frozenset({stalled_shard}),
+            fault_incarnations=frozenset({0}),
+        ),
+    )
+    try:
+        expected = oracle_answer(cluster, oracles, plan)
+        res = cluster.query(plan)
+        report.queries += 1
+        if res.groups != expected:
+            report.violations.append("stall+hedge: answer != oracle")
+        report.hedges = cluster.stats.hedges_total
+        report.hedge_wins = cluster.stats.hedge_wins_total
+        if cluster.stats.hedge_wins_total < 1:
+            report.violations.append(
+                "stall+hedge: hedged incarnation never won"
+            )
+    finally:
+        cluster.close()
+
+    # 4. Unkilled bit-identity: Q1/Q6 at 2 and 8 shards vs serial.
+    _, lineitem = generate_lineitem(lineitem_rows, seed=seed)
+    keys = lineitem.column("l_orderkey")
+    for nshards in (2, 8):
+        qs = np.linspace(0, 1, nshards + 1)[1:-1]
+        bounds = sorted({int(np.quantile(keys, q)) for q in qs})
+        sharded = ShardedTable(lineitem.schema, "l_orderkey", bounds)
+        sharded.bulk_load(
+            {
+                c.name: (
+                    lineitem.column(c.name)
+                    .view(f"S{c.dtype.width}")
+                    .reshape(-1)
+                    if c.dtype.np_dtype is None
+                    else lineitem.column(c.name)
+                )
+                for c in lineitem.schema.user_columns
+            }
+        )
+        with ShardCluster(sharded, DistConfig(deadline_s=10.0)) as bench:
+            for name, qplan in (("q1", q1_plan()), ("q6", q6_plan())):
+                serial_ref = execute_plan(lineitem, qplan)
+                res = bench.query(qplan)
+                report.queries += 1
+                report.identity_checks += 1
+                if res.to_bytes() != serial_ref.to_bytes():
+                    report.violations.append(
+                        f"{name}@{nshards} shards: payload differs from "
+                        "serial"
+                    )
+                if res.ledger.buckets != serial_ref.ledger.buckets:
+                    report.violations.append(
+                        f"{name}@{nshards} shards: ledger buckets differ "
+                        "from serial"
+                    )
+
+    report.seconds = time.perf_counter() - t0
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="chaos suites: WAL crash points, or serving-layer overload"
+        description="chaos suites: WAL crash points, serving-layer "
+        "overload, or shard-kill scatter-gather"
     )
     parser.add_argument(
         "--mode",
-        choices=("wal", "overload"),
+        choices=("wal", "overload", "shard-kill"),
         default="wal",
         help="wal = crash-point recovery suite; overload = multi-tenant "
-        "serving storm with the serve.* fault sites armed",
+        "serving storm with the serve.* fault sites armed; shard-kill = "
+        "scatter-gather with worker kills, hedges, and typed partials",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -777,6 +1203,28 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--json", type=str, default="", help="write the report here")
     args = parser.parse_args(argv)
+
+    if args.mode == "shard-kill":
+        kreport = run_shard_kill_chaos(args.seed, n_txns=args.txns)
+        print(
+            f"shard-kill chaos seed={kreport.seed}: {kreport.txns} txns over "
+            f"{kreport.shards} shards ({kreport.rows} rows) — "
+            f"{kreport.kills} kills, {kreport.queries} queries, "
+            f"{kreport.restarts} restarts, {kreport.recoveries} recoveries "
+            f"({kreport.recovered_bytes} WAL bytes), "
+            f"{kreport.stale_fences} stale fences, "
+            f"{kreport.hedge_wins}/{kreport.hedges} hedge wins, "
+            f"{kreport.partial_probes} partial probes, "
+            f"{kreport.identity_checks} identity checks, "
+            f"{len(kreport.violations)} violations, {kreport.seconds:.1f}s"
+        )
+        for v in kreport.violations[:20]:
+            print(f"  VIOLATION: {v}", file=sys.stderr)
+        if args.json:
+            with open(args.json, "w") as f:
+                json.dump(kreport.to_dict(), f, indent=2)
+            print(f"wrote {args.json}")
+        return 0 if kreport.passed else 1
 
     if args.mode == "overload":
         oreport = run_overload_chaos(args.seed, horizon_cycles=args.horizon)

@@ -65,6 +65,19 @@ class CostLedger:
     SERVE_IDLE = "serve_idle"
     #: Query-fragment compilation on a code-cache miss (paper §III-B).
     PLAN_COMPILE = "plan_compile"
+    #: Scatter-gather: bytes a shard fragment reads off its base table
+    #: (touched columns + MVCC stamps, priced per visible-candidate row).
+    DIST_SCAN = "dist_scan"
+    #: Scatter-gather: predicate evaluation on a shard (per row x term).
+    DIST_FILTER = "dist_filter"
+    #: Scatter-gather: partial aggregation / projection on a shard (per
+    #: qualifying row).
+    DIST_AGG = "dist_agg"
+    #: Scatter-gather: coordinator-side merge of shard partials. All four
+    #: dist buckets charge *integer* cycle amounts proportional to data
+    #: only (never to shard count, retries, or hedges), so their sums are
+    #: bit-identical across 1/2/8-shard runs of the same plan.
+    DIST_GATHER = "dist_gather"
 
     #: Every bucket the simulator charges, in report order. ``breakdown``
     #: returns all of them — including zeros — so reports never silently
@@ -84,6 +97,10 @@ class CostLedger:
         SERVE_EXEC,
         SERVE_IDLE,
         PLAN_COMPILE,
+        DIST_SCAN,
+        DIST_FILTER,
+        DIST_AGG,
+        DIST_GATHER,
     )
 
     def charge(self, bucket: str, cycles: float) -> None:

@@ -80,11 +80,37 @@ class ShardedTable:
         """Index of the shard holding ``key``."""
         return bisect.bisect_right(self.boundaries, key)
 
-    def shards_for_range(self, low: int, high: int) -> List[int]:
-        """Shards overlapping the inclusive key range [low, high]."""
-        if low > high:
+    def shards_for_range(
+        self, low: Optional[int] = None, high: Optional[int] = None
+    ) -> List[int]:
+        """Shards overlapping the inclusive key range ``[low, high]``.
+
+        ``None`` means an open end: ``shards_for_range()`` is every
+        shard, ``shards_for_range(high=k)`` every shard up to ``k``'s. An
+        empty range (``low > high``) overlaps nothing.
+        """
+        first = 0 if low is None else self.shard_of(low)
+        last = len(self.boundaries) if high is None else self.shard_of(high)
+        if low is not None and high is not None and low > high:
             return []
-        return list(range(self.shard_of(low), self.shard_of(high) + 1))
+        return list(range(first, last + 1))
+
+    def shard_bounds(self, index: int) -> Tuple[Optional[int], Optional[int]]:
+        """Inclusive key bounds ``(low, high)`` of shard ``index``;
+        ``None`` marks an open end. Shard *i* holds keys in
+        ``[boundaries[i-1], boundaries[i])``, so the inclusive high bound
+        is ``boundaries[i] - 1`` (integer keys)."""
+        if not 0 <= index < len(self.shards):
+            raise SchemaError(
+                f"shard index {index} out of range [0, {len(self.shards)})"
+            )
+        low = self.boundaries[index - 1] if index > 0 else None
+        high = (
+            self.boundaries[index] - 1
+            if index < len(self.boundaries)
+            else None
+        )
+        return low, high
 
     # ------------------------------------------------------------------
     # Ingestion.
@@ -134,12 +160,11 @@ class ShardedTable:
         wanted = list(columns)
         geometry = self.schema.geometry(wanted)
         base = self.schema.full_geometry()
-        if key_low is None and key_high is None:
-            indexes = [i for i, s in enumerate(self.shards) if s.nrows]
-        else:
-            lo = key_low if key_low is not None else -(2**62)
-            hi = key_high if key_high is not None else 2**62
-            indexes = [i for i in self.shards_for_range(lo, hi) if self.shards[i].nrows]
+        indexes = [
+            i
+            for i in self.shards_for_range(key_low, key_high)
+            if self.shards[i].nrows
+        ]
         scans: List[ShardScan] = []
         for i in indexes:
             shard = self.shards[i]
@@ -159,15 +184,14 @@ class ShardedTable:
     ) -> Optional[FabricFilter]:
         """Range predicates needed on a boundary shard (None inside)."""
         predicates = []
-        shard_lo = self.boundaries[shard_index - 1] if shard_index > 0 else None
-        shard_hi = (
-            self.boundaries[shard_index]
-            if shard_index < len(self.boundaries)
-            else None
-        )
+        shard_lo, shard_hi = self.shard_bounds(shard_index)
+        # A bound is needed only where it actually cuts into the shard:
+        # keys on a shard's own (inclusive) bounds need no comparator, so
+        # a range that exactly covers the shard — including a single-key
+        # range on a single-row shard — ships unfiltered.
         if key_low is not None and (shard_lo is None or key_low > shard_lo):
             predicates.append(FabricPredicate(self.shard_key, CompareOp.GE, key_low))
-        if key_high is not None and (shard_hi is None or key_high < shard_hi - 1):
+        if key_high is not None and (shard_hi is None or key_high < shard_hi):
             predicates.append(FabricPredicate(self.shard_key, CompareOp.LE, key_high))
         if not predicates:
             return None
@@ -183,5 +207,8 @@ class ShardedTable:
         qualifying shards."""
         scans = self.column_group([name], key_low, key_high)
         if not scans:
-            return np.zeros(0, dtype=np.int64)
+            # Match the column's real decoded dtype even when nothing
+            # qualifies, so callers can concatenate without surprises.
+            np_dtype = self.schema.column(name).dtype.np_dtype
+            return np.zeros(0, dtype=np_dtype if np_dtype is not None else np.uint8)
         return np.concatenate([scan.group.column(name) for scan in scans])

@@ -83,6 +83,8 @@ __all__ = [
     "RecoveryResult",
     "encode_record",
     "scan_records",
+    "redo_write",
+    "redo_commit",
     "recover",
 ]
 
@@ -534,6 +536,53 @@ class Checkpointer:
         return cp
 
 
+def redo_write(
+    tables: Dict[str, Table],
+    known_schemas: Mapping[str, TableSchema],
+    rec: WalRecord,
+) -> Table:
+    """Materialize one WRITE intent invisibly at its original slot.
+
+    The single redo rule shared by full recovery (:func:`recover`) and
+    incremental replication (:class:`repro.dist.replica.ShardReplica`):
+    the new version's raw row image lands at exactly the slot the runtime
+    used, stamped ``(NEVER, LIVE)`` by ``write_row_bytes`` padding, so it
+    stays invisible until a COMMIT stamps it. Idempotent — same bytes,
+    same slot.
+    """
+    if rec.table not in tables:
+        if rec.table not in known_schemas:
+            raise WalCorruptionError(
+                f"WAL references table {rec.table!r} with no schema: "
+                "pass it via recover(..., schemas=...) or a checkpoint"
+            )
+        tables[rec.table] = Table(known_schemas[rec.table])
+    if rec.new_slot is not None:
+        tables[rec.table].write_row_bytes(rec.new_slot, rec.row_bytes)
+    return tables[rec.table]
+
+
+def redo_commit(
+    tables: Dict[str, Table],
+    intents: List[WalRecord],
+    commit_ts: int,
+) -> int:
+    """Stamp a committed transaction's write set visible at ``commit_ts``.
+
+    New versions get their begin stamp, superseded versions their end
+    stamp — the same order the runtime commit path uses. Returns the
+    number of writes stamped. Shared by :func:`recover` and the
+    incremental shard replica.
+    """
+    for w in intents:
+        table = tables[w.table]
+        if w.new_slot is not None:
+            table.stamp_begin(w.new_slot, commit_ts)
+        if w.old_slot is not None:
+            table.stamp_end(w.old_slot, commit_ts)
+    return len(intents)
+
+
 @dataclass
 class RecoveryReport:
     """What one :func:`recover` pass saw and did."""
@@ -646,30 +695,13 @@ def _recover_impl(
             clock_floor = max(clock_floor, rec.start_ts)
             next_txn_floor = max(next_txn_floor, rec.txn_id + 1)
         elif rec.type is WalRecordType.WRITE:
-            if rec.table not in tables:
-                if rec.table not in known_schemas:
-                    raise WalCorruptionError(
-                        f"WAL references table {rec.table!r} with no schema: "
-                        "pass it via recover(..., schemas=...) or a checkpoint"
-                    )
-                tables[rec.table] = Table(known_schemas[rec.table])
-            # Materialize the new version invisibly at its original slot;
-            # idempotent (same bytes, same slot) and invisible until the
-            # COMMIT record stamps it.
-            if rec.new_slot is not None:
-                tables[rec.table].write_row_bytes(rec.new_slot, rec.row_bytes)
+            redo_write(tables, known_schemas, rec)
             live.setdefault(rec.txn_id, []).append(rec)
         elif rec.type is WalRecordType.COMMIT:
             intents = live.pop(rec.txn_id, None)
             if intents is None:
                 continue  # pre-checkpoint txn: already in the snapshot
-            for w in intents:
-                table = tables[w.table]
-                if w.new_slot is not None:
-                    table.stamp_begin(w.new_slot, rec.commit_ts)
-                if w.old_slot is not None:
-                    table.stamp_end(w.old_slot, rec.commit_ts)
-                report.writes_redone += 1
+            report.writes_redone += redo_commit(tables, intents, rec.commit_ts)
             report.committed_redone += 1
             clock_floor = max(clock_floor, rec.commit_ts)
         elif rec.type is WalRecordType.ABORT:

@@ -1,0 +1,85 @@
+"""Canonical scatter-gather plans: TPC-H Q1 and Q6 over lineitem.
+
+Both plans keep every value in exact scaled-int form (DECIMAL(2) raw
+storage), so the aggregates below come back at composite scales:
+
+- Q6 ``revenue`` = Σ extendedprice·discount → scale 10^-4 (cents ×
+  hundredths).
+- Q1 ``sum_disc_price`` = Σ extendedprice·(100 − discount) → 10^-4;
+  ``sum_charge`` = Σ extendedprice·(100 − discount)·(100 + tax) → 10^-6.
+
+Callers divide for display; the tests and the chaos oracle compare the
+raw integers, which is what makes "byte-identical across shard counts"
+a meaningful check rather than a float-tolerance one.
+
+Both plans are keyed on ``l_orderkey`` — the sort key the TPC-H loader
+emits and the natural range-sharding key — so an optional key range
+exercises shard pruning and boundary-shard filtering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.selection import CompareOp
+from repro.dist.plan import AggSpec, AggTerm, DistPlan, DistPredicate
+from repro.workloads.tpch import _days
+
+__all__ = ["q1_plan", "q6_plan"]
+
+#: Q1's date cutoff: shipdate <= 1998-12-01 - 90 days.
+Q1_SHIP_CUTOFF = _days(1998, 12, 1) - 90
+Q6_SHIP_LO = _days(1994, 1, 1)
+Q6_SHIP_HI = _days(1995, 1, 1) - 1  # inclusive form of "< 1995-01-01"
+
+
+def q1_plan(
+    key_low: Optional[int] = None, key_high: Optional[int] = None
+) -> DistPlan:
+    """TPC-H Q1: pricing summary by (returnflag, linestatus)."""
+    ext = AggTerm("l_extendedprice")
+    one_minus_disc = AggTerm("l_discount", coeff=-1, const=100)
+    one_plus_tax = AggTerm("l_tax", coeff=1, const=100)
+    return DistPlan(
+        table="lineitem",
+        key_column="l_orderkey",
+        key_low=key_low,
+        key_high=key_high,
+        predicates=(
+            DistPredicate("l_shipdate", CompareOp.LE, Q1_SHIP_CUTOFF),
+        ),
+        group_by=("l_returnflag", "l_linestatus"),
+        aggregates=(
+            AggSpec("sum_qty", "sum", (AggTerm("l_quantity"),)),
+            AggSpec("sum_base_price", "sum", (ext,)),
+            AggSpec("sum_disc_price", "sum", (ext, one_minus_disc)),
+            AggSpec("sum_charge", "sum", (ext, one_minus_disc, one_plus_tax)),
+            AggSpec("count_order", "count"),
+        ),
+    )
+
+
+def q6_plan(
+    key_low: Optional[int] = None, key_high: Optional[int] = None
+) -> DistPlan:
+    """TPC-H Q6: forecast revenue change (one global sum)."""
+    return DistPlan(
+        table="lineitem",
+        key_column="l_orderkey",
+        key_low=key_low,
+        key_high=key_high,
+        predicates=(
+            DistPredicate("l_shipdate", CompareOp.GE, Q6_SHIP_LO),
+            DistPredicate("l_shipdate", CompareOp.LE, Q6_SHIP_HI),
+            DistPredicate("l_discount", CompareOp.GE, 5),
+            DistPredicate("l_discount", CompareOp.LE, 7),
+            DistPredicate("l_quantity", CompareOp.LT, 2400),
+        ),
+        aggregates=(
+            AggSpec(
+                "revenue",
+                "sum",
+                (AggTerm("l_extendedprice"), AggTerm("l_discount")),
+            ),
+        ),
+    )

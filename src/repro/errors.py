@@ -121,6 +121,67 @@ class DeadlineExceededError(ServeFaultError):
     """
 
 
+class ShardFaultError(FaultError):
+    """Base class for shard fault-domain failures (see :mod:`repro.dist`).
+
+    Each shard executor is an independent fault domain; these errors name
+    the three ways it can betray the coordinator: dying outright,
+    answering too late, or silently dropping messages.
+    """
+
+
+class ShardCrashError(ShardFaultError):
+    """A shard worker process died mid-request (``shard.crash``).
+
+    The coordinator restarts the worker and recovers the shard from its
+    write-ahead log before retrying the subquery.
+    """
+
+
+class ShardStallError(ShardFaultError):
+    """A shard worker exceeded its RPC deadline (``shard.stall``).
+
+    Indistinguishable, from the coordinator's side, from a dead worker
+    until the reply arrives — which is why hedged retries exist.
+    """
+
+
+class ShardPartitionError(ShardFaultError):
+    """A message to or from a shard worker was dropped (``shard.partition``).
+
+    A partitioned replica silently misses replicated deltas; the
+    coordinator detects the divergence through LSN fencing on the next
+    query and restarts the worker from the durable log.
+    """
+
+
+class WorkerTimeoutError(FaultError):
+    """A fanned-out worker exceeded its per-point timeout.
+
+    Raised by :func:`repro.bench.parallel.fanout` (which otherwise joins
+    unboundedly) and by the scatter-gather coordinator's deadline-bounded
+    RPCs. Typed under :class:`FaultError` so resilient callers retry or
+    degrade exactly as they do for device faults.
+    """
+
+
+class PartialResultError(FaultError):
+    """A scatter-gather query exhausted its retry budget on some shards.
+
+    Rather than failing the whole query, the coordinator degrades to a
+    *typed partial result*: ``partial`` holds the merged answer over the
+    shards that responded and ``missing_ranges`` lists the shard-key
+    ranges (inclusive ``(low, high)`` tuples, ``None`` for an open end)
+    whose fault domains never answered. Mirrors the PR 1 degraded-fallback
+    discipline: availability over completeness, but never silently.
+    """
+
+    def __init__(self, message: str, missing_ranges=(), partial=None):
+        super().__init__(message)
+        self.missing_ranges = tuple(missing_ranges)
+        self.partial = partial
+
+
 class WalCorruptionError(StorageError):
     """A write-ahead-log record failed validation on read-back.
 

@@ -39,6 +39,9 @@ from repro.errors import (
     FaultError,
     FlashReadError,
     ReproError,
+    ShardCrashError,
+    ShardPartitionError,
+    ShardStallError,
     TenantThrottledError,
     WalCorruptionError,
 )
@@ -71,6 +74,15 @@ SERVE_SHED = "serve.shed"
 #: A deadline check observes a skewed clock, expiring a request early
 #: (the skew magnitude comes from :meth:`FaultInjector.draw`).
 SERVE_CLOCK_SKEW = "serve.clock_skew"
+#: A shard worker process dies mid-request (the worker calls
+#: ``os._exit``, so not even finalizers run — a real fault domain loss).
+SHARD_CRASH = "shard.crash"
+#: A shard worker hangs past the coordinator's RPC deadline before
+#: answering (the stalled reply may arrive later and must be discarded).
+SHARD_STALL = "shard.stall"
+#: A message to or from a shard worker is silently dropped (replication
+#: deltas vanish; the replica diverges until LSN fencing catches it).
+SHARD_PARTITION = "shard.partition"
 
 #: Sites that *shape* data instead of raising: the log device consults
 #: :meth:`FaultInjector.should_fault` and applies the corruption itself
@@ -91,6 +103,9 @@ SITE_ERRORS: Mapping[str, Tuple[Type[ReproError], str]] = {
     WAL_BITFLIP: (WalCorruptionError, "stored WAL byte read back corrupted"),
     SERVE_SHED: (TenantThrottledError, "overload manager shed the request"),
     SERVE_CLOCK_SKEW: (DeadlineExceededError, "deadline clock skewed past budget"),
+    SHARD_CRASH: (ShardCrashError, "shard worker process died mid-request"),
+    SHARD_STALL: (ShardStallError, "shard worker stalled past its RPC deadline"),
+    SHARD_PARTITION: (ShardPartitionError, "message to/from shard worker dropped"),
 }
 
 #: All fabric-side sites, for "make the memory fabric flaky" plans.
@@ -101,6 +116,15 @@ FABRIC_SITES = (FABRIC_CONFIGURE, FABRIC_REFILL, FABRIC_CORRUPT, DEVICE_TIMEOUT)
 #: :meth:`FaultInjector.should_fault` on its armed fast path and records
 #: the mapped error as the request's typed resolution.
 SERVE_SITES = (SERVE_SHED, SERVE_CLOCK_SKEW)
+
+#: Shard fault-domain sites. Data-shaping, like :data:`WAL_SITES`: the
+#: *worker* consults :meth:`FaultInjector.should_fault` on its armed fast
+#: path and enacts the failure itself (``os._exit`` for a crash, a sleep
+#: past the deadline for a stall, a dropped message for a partition), so
+#: the coordinator only ever observes the symptom — a dead pipe, a
+#: missing reply, a stale replica — exactly like a real distributed
+#: system.
+SHARD_SITES = (SHARD_CRASH, SHARD_STALL, SHARD_PARTITION)
 
 
 @dataclass(frozen=True)

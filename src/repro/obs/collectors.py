@@ -367,3 +367,59 @@ def register_breaker(registry: MetricsRegistry, breaker, **labels: Any) -> None:
         }
 
     registry.register_collector(collect)
+
+
+# ----------------------------------------------------------------------
+# dist: the scatter-gather shard cluster.
+# ----------------------------------------------------------------------
+def register_dist(registry: MetricsRegistry, cluster, **labels: Any) -> None:
+    """Fault-handling telemetry of a :class:`~repro.dist.ShardCluster`.
+
+    Monotone ``dist_*_total`` counters (queries, RPCs, timeouts, hedges,
+    restarts, recoveries, stale fences, partial results, shipped rows,
+    recovered/replicated bytes) plus point-in-time gauges: live worker
+    count and the per-shard incarnation number — the restart history of
+    each fault domain, one labeled series per shard.
+    """
+
+    def collect() -> Dict[str, float]:
+        s = cluster.stats
+        out: Dict[str, float] = {
+            fmt_name("dist_queries_total", **labels): float(s.queries_total),
+            fmt_name("dist_partial_results_total", **labels): float(
+                s.partial_results_total
+            ),
+            fmt_name("dist_rpcs_total", **labels): float(s.rpcs_total),
+            fmt_name("dist_timeouts_total", **labels): float(s.timeouts_total),
+            fmt_name("dist_hedges_total", **labels): float(s.hedges_total),
+            fmt_name("dist_hedge_wins_total", **labels): float(
+                s.hedge_wins_total
+            ),
+            fmt_name("dist_restarts_total", **labels): float(s.restarts_total),
+            fmt_name("dist_recoveries_total", **labels): float(
+                s.recoveries_total
+            ),
+            fmt_name("dist_stale_fences_total", **labels): float(
+                s.stale_fences_total
+            ),
+            fmt_name("dist_kills_total", **labels): float(s.kills_total),
+            fmt_name("dist_rows_shipped_total", **labels): float(
+                s.rows_shipped_total
+            ),
+            fmt_name("dist_recovered_bytes_total", **labels): float(
+                s.recovered_bytes_total
+            ),
+            fmt_name("dist_replicated_bytes_total", **labels): float(
+                s.replicated_bytes_total
+            ),
+            fmt_name("dist_workers_alive", **labels): float(
+                cluster.workers_alive()
+            ),
+        }
+        for i in range(len(cluster.sharded.shards)):
+            out[fmt_name("dist_shard_incarnation", shard=str(i), **labels)] = (
+                float(cluster.incarnation_of(i))
+            )
+        return out
+
+    registry.register_collector(collect)

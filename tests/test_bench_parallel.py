@@ -6,15 +6,23 @@ seeds, no reordered points.
 """
 
 import math
+import time
 
 import pytest
 
 from repro.bench import derive_seed, fanout, merge_experiments, run_fig6, run_fig7
 from repro.bench.harness import Experiment
 from repro.bench.parallel import resolve_processes
+from repro.errors import WorkerTimeoutError
 
 
 def _square(x):
+    return x * x
+
+
+def _sleepy(x):
+    if x == 2:
+        time.sleep(60)
     return x * x
 
 
@@ -64,6 +72,27 @@ class TestFanout:
 
     def test_empty_points(self):
         assert fanout(_square, [], processes=4) == []
+
+
+class TestFanoutTimeout:
+    def test_hung_worker_raises_typed_timeout(self):
+        with pytest.raises(WorkerTimeoutError):
+            fanout(_sleepy, [0, 1, 2, 3], processes=4, timeout_s=1.0)
+
+    def test_generous_timeout_identical_to_unbounded(self):
+        points = list(range(20))
+        assert fanout(_square, points, processes=3, timeout_s=60.0) == fanout(
+            _square, points, processes=3
+        )
+
+    def test_serial_path_ignores_timeout(self):
+        # No pool to terminate: the serial fallback must not fabricate
+        # timeouts even with an absurdly small bound.
+        assert fanout(_square, [1, 2, 3], processes=1, timeout_s=1e-9) == [
+            1,
+            4,
+            9,
+        ]
 
 
 class TestMergeExperiments:

@@ -1,0 +1,32 @@
+"""The shard-kill chaos suite, run in-process on a couple of seeds.
+
+CI runs all eight seeds as a matrix job; here two seeds (reduced sizes)
+keep the tier-1 suite honest about the harness itself — a refactor that
+breaks kill-recovery, typed partials, hedging, or the cross-shard
+bit-identity check fails here first.
+"""
+
+import pytest
+
+from repro.chaos import ShardKillChaosReport, run_shard_kill_chaos
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_seeded_suite_passes(seed):
+    report = run_shard_kill_chaos(seed, n_txns=60, lineitem_rows=6000)
+    assert report.passed, report.violations
+    assert report.kills == report.shards == 4
+    assert report.restarts >= report.kills
+    assert report.recoveries >= report.kills
+    assert report.recovered_bytes > 0
+    assert report.hedge_wins >= 1
+    assert report.partial_probes == 1
+    assert report.identity_checks == 4
+
+
+def test_report_to_dict_roundtrips_passed():
+    report = ShardKillChaosReport(seed=1, txns=0)
+    d = report.to_dict()
+    assert d["passed"] is True
+    report.violations.append("boom")
+    assert report.to_dict()["passed"] is False

@@ -37,6 +37,50 @@ class TestRouting:
         assert st_.shards_for_range(150, 150) == [1]
         assert st_.shards_for_range(5, 1) == []
 
+    def test_shards_for_range_open_ends(self):
+        st_ = ShardedTable(wide_schema(ncols=4, row_bytes=16), "c0", [100, 200])
+        assert st_.shards_for_range() == [0, 1, 2]
+        assert st_.shards_for_range(low=150) == [1, 2]
+        assert st_.shards_for_range(high=150) == [0, 1]
+        assert st_.shards_for_range(low=-(10**9)) == [0, 1, 2]
+        assert st_.shards_for_range(high=10**9) == [0, 1, 2]
+
+    def test_shards_for_range_boundary_keys(self):
+        st_ = ShardedTable(wide_schema(ncols=4, row_bytes=16), "c0", [100, 200])
+        # A boundary key belongs to the right-hand shard exclusively.
+        assert st_.shards_for_range(100, 100) == [1]
+        assert st_.shards_for_range(99, 100) == [0, 1]
+        assert st_.shards_for_range(200, 200) == [2]
+
+    def test_single_shard_table(self):
+        st_ = ShardedTable(wide_schema(ncols=4, row_bytes=16), "c0", [])
+        assert st_.shards_for_range() == [0]
+        assert st_.shards_for_range(5, 900) == [0]
+        assert st_.shard_bounds(0) == (None, None)
+
+    def test_shard_bounds(self):
+        st_ = ShardedTable(wide_schema(ncols=4, row_bytes=16), "c0", [100, 200])
+        assert st_.shard_bounds(0) == (None, 99)
+        assert st_.shard_bounds(1) == (100, 199)
+        assert st_.shard_bounds(2) == (200, None)
+
+    def test_shard_bounds_out_of_range(self):
+        st_ = ShardedTable(wide_schema(ncols=4, row_bytes=16), "c0", [100])
+        with pytest.raises(SchemaError):
+            st_.shard_bounds(2)
+        with pytest.raises(SchemaError):
+            st_.shard_bounds(-1)
+
+    def test_shard_bounds_round_trip_with_routing(self):
+        st_ = ShardedTable(
+            wide_schema(ncols=4, row_bytes=16), "c0", [100, 200, 300]
+        )
+        for i in range(len(st_.shards)):
+            lo, hi = st_.shard_bounds(i)
+            for key in (lo, hi):
+                if key is not None:
+                    assert st_.shard_of(key) == i
+
     def test_unsorted_boundaries_rejected(self):
         with pytest.raises(SchemaError):
             ShardedTable(wide_schema(ncols=4, row_bytes=16), "c0", [200, 100])
@@ -106,7 +150,39 @@ class TestRangedColumnGroups:
 
     def test_empty_range(self):
         st_ = make_sharded()
-        assert st_.gather_column("c0", 500, 600).size == 0
+        empty = st_.gather_column("c0", 500, 600)
+        assert empty.size == 0
+        # Dtype must match the decoded column so callers can concatenate.
+        assert empty.dtype == st_.shards[0].column_values("c0").dtype
+
+    def test_boundary_filter_interior_shard_is_none(self):
+        st_ = make_sharded(boundaries=(100, 200, 300))
+        # Shard 1 is [100, 199]; a range covering it needs no comparator.
+        assert st_._boundary_filter(1, 50, 250) is None
+        assert st_._boundary_filter(1, 100, 199) is None
+        assert st_._boundary_filter(1, None, None) is None
+
+    def test_boundary_filter_cuts_only_where_needed(self):
+        from repro.core.selection import CompareOp
+
+        st_ = make_sharded(boundaries=(100, 200, 300))
+        low_cut = st_._boundary_filter(1, 150, 250)
+        assert [p.op for p in low_cut.predicates] == [CompareOp.GE]
+        high_cut = st_._boundary_filter(1, 50, 150)
+        assert [p.op for p in high_cut.predicates] == [CompareOp.LE]
+        both = st_._boundary_filter(1, 120, 180)
+        assert [p.op for p in both.predicates] == [CompareOp.GE, CompareOp.LE]
+
+    def test_boundary_filter_open_edge_shards(self):
+        from repro.core.selection import CompareOp
+
+        st_ = make_sharded(boundaries=(100, 200, 300))
+        # First/last shards have an open end: only the closing bound cuts.
+        first = st_._boundary_filter(0, None, 50)
+        assert [p.op for p in first.predicates] == [CompareOp.LE]
+        last = st_._boundary_filter(3, 350, None)
+        assert [p.op for p in last.predicates] == [CompareOp.GE]
+        assert st_._boundary_filter(0, None, None) is None
 
     @given(
         lo=st.integers(min_value=-50, max_value=450),
