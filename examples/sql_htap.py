@@ -1,0 +1,182 @@
+"""HTAP purely through the SQL front door — checked against the
+programmatic API.
+
+One deterministic order-processing workload is replayed twice:
+
+1. **SQL world** — every operation is a SQL statement through one
+   :class:`repro.db.sql.Session`: DDL, autocommitted DML, an explicit
+   transaction that ROLLBACKs, and the analytic query, all as text.
+2. **Programmatic world** — the same operations through the layered
+   API the rest of the library uses directly: ``txn.insert`` /
+   ``txn.update`` / ``txn.delete`` under
+   :func:`~repro.db.mvcc.run_transaction`, analytics via
+   ``engine.execute(..., snapshot_ts=...)``.
+
+After every round the two worlds must return byte-for-byte identical
+analytic answers — the front door adds parsing, binding and planning,
+but no semantics. The run ends with an EXPLAIN ANALYZE span tree and
+the session's ``sql_*`` metrics.
+
+Run:  python examples/sql_htap.py
+"""
+
+import random
+
+import numpy as np
+
+from repro.db import Catalog
+from repro.db.engines.rowstore import RowStoreEngine
+from repro.db.mvcc import TransactionManager, run_transaction
+from repro.db.schema import Column, TableSchema
+from repro.db.sql.pipeline import Session
+from repro.db.types import INT32
+from repro.obs import MetricsRegistry, Tracer
+
+ANALYTIC_SQL = (
+    "SELECT o_status AS status, sum(o_amount) AS revenue, count(*) AS n "
+    "FROM orders WHERE o_amount > 50 GROUP BY o_status"
+)
+
+N_CUSTOMERS = 8
+
+
+# ----------------------------------------------------------------------
+# One workload, described as data so both worlds replay the same ops.
+# ----------------------------------------------------------------------
+def make_workload(rounds=4, per_round=40, seed=11):
+    """Rounds of (op, ...) tuples: inserts, payments, purges."""
+    rng = random.Random(seed)
+    ops, next_id = [], 0
+    for _ in range(rounds):
+        batch = []
+        for _ in range(per_round):
+            roll = rng.random()
+            if roll < 0.60 or next_id < 10:
+                batch.append(
+                    ("insert", next_id, rng.randrange(N_CUSTOMERS),
+                     rng.randrange(10, 500))
+                )
+                next_id += 1
+            elif roll < 0.85:
+                # A customer pays every open order they have.
+                batch.append(("pay", rng.randrange(N_CUSTOMERS)))
+            else:
+                # Archival: drop cheap already-paid orders.
+                batch.append(("purge", rng.randrange(40, 200)))
+        ops.append(batch)
+    return ops
+
+
+# ----------------------------------------------------------------------
+# World 1: everything is SQL text.
+# ----------------------------------------------------------------------
+def apply_sql(session, op):
+    if op[0] == "insert":
+        _, oid, cust, amount = op
+        session.execute(
+            "INSERT INTO orders (o_id, o_customer, o_amount, o_status) "
+            f"VALUES ({oid}, {cust}, {amount}, 0)"
+        )
+    elif op[0] == "pay":
+        session.execute(
+            "UPDATE orders SET o_status = 1 "
+            f"WHERE o_customer = {op[1]} AND o_status = 0"
+        )
+    else:
+        session.execute(
+            "DELETE FROM orders "
+            f"WHERE o_status = 1 AND o_amount < {op[1]}"
+        )
+
+
+# ----------------------------------------------------------------------
+# World 2: direct MVCC transactions + engine execution.
+# ----------------------------------------------------------------------
+def apply_programmatic(manager, table, op):
+    def body(txn):
+        if op[0] == "insert":
+            _, oid, cust, amount = op
+            txn.insert(
+                table,
+                {"o_id": oid, "o_customer": cust,
+                 "o_amount": amount, "o_status": 0},
+            )
+            return
+        mask = txn.visibility(table)
+        status = table.column_values("o_status")
+        if op[0] == "pay":
+            customer = table.column_values("o_customer")
+            hits = mask & (customer == op[1]) & (status == 0)
+            for slot in np.flatnonzero(hits):
+                txn.update(table, int(slot), {"o_status": 1})
+        else:
+            amount = table.column_values("o_amount")
+            hits = mask & (status == 1) & (amount < op[1])
+            for slot in np.flatnonzero(hits):
+                txn.delete(table, int(slot))
+
+    run_transaction(manager, body)
+
+
+def main():
+    # SQL world: one session, tracer + metrics attached.
+    metrics = MetricsRegistry()
+    session = Session(tracer=Tracer(), metrics=metrics)
+    session.execute(
+        "CREATE TABLE orders (o_id INT32, o_customer INT32, "
+        "o_amount INT32, o_status INT32)"
+    )
+
+    # Programmatic world: same schema, built by hand.
+    catalog = Catalog()
+    table = catalog.create_table(
+        TableSchema(
+            "orders",
+            [Column("o_id", INT32), Column("o_customer", INT32),
+             Column("o_amount", INT32), Column("o_status", INT32)],
+            mvcc=True,
+        )
+    )
+    manager = TransactionManager()
+    engine = RowStoreEngine(catalog)
+
+    print("=== one HTAP workload, two front doors ===")
+    for rnd, batch in enumerate(make_workload(), start=1):
+        for op in batch:
+            apply_sql(session, op)
+            apply_programmatic(manager, table, op)
+
+        via_sql = session.execute(ANALYTIC_SQL)
+        via_api = engine.execute(ANALYTIC_SQL, snapshot_ts=manager.now)
+        sql_rows, api_rows = via_sql.rows, via_api.result.rows()
+        assert via_sql.names == tuple(via_api.result.names)
+        assert sql_rows == api_rows, (sql_rows, api_rows)
+        print(f"round {rnd}: {len(batch)} ops, analytic answer "
+              f"{sql_rows} — SQL == programmatic")
+
+    # Snapshot isolation through the front door: an explicit transaction
+    # that ROLLBACKs leaves nothing behind.
+    before = session.execute("SELECT count(*) AS n FROM orders").rows[0][0]
+    session.execute("BEGIN")
+    session.execute("DELETE FROM orders WHERE o_amount > 0")
+    session.execute("ROLLBACK")
+    after = session.execute("SELECT count(*) AS n FROM orders").rows[0][0]
+    assert before == after
+    print(f"\nROLLBACK kept all {after} rows — the delete never published.")
+
+    print("\n=== EXPLAIN ANALYZE of the analytic query ===")
+    print(session.execute(f"EXPLAIN ANALYZE {ANALYTIC_SQL}").plan)
+
+    print("\n=== session telemetry (sql_* series) ===")
+    sample = metrics.collect()
+    for name in ("sql_statements_total", "sql_selects_total", "sql_dml_total",
+                 "sql_txn_commits_total", "sql_rows_written_total"):
+        print(f"  {name:24} {sample[name]:g}")
+
+    session.close()
+    print("\nevery round identical through both doors — the SQL pipeline "
+          "adds no semantics, only a front door.")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,13 @@ Two formats are recognized by content, not filename:
   Distributed-execution series (``dist_*``): non-negative everywhere,
   ``*_total`` counters monotone, ``dist_hedge_wins_total`` never above
   ``dist_hedges_total``, and ``dist_workers_alive`` an integer gauge.
+  SQL front-door series (``sql_*``): non-negative everywhere, every
+  ``*_total`` counter monotone non-decreasing, and ``sql_txn_open`` a
+  0/1 gauge (is an explicit transaction open right now).
+
+  Chrome traces additionally get a statement-pipeline check: every
+  ``sql.*`` span must carry ``layer == "sql"`` so the pipeline's spans
+  group under one lane in Perfetto.
 
 Exit status 0 when the file is valid, 1 with a message otherwise::
 
@@ -137,6 +144,31 @@ def _dist_errors(name: str, column) -> "str | None":
     return None
 
 
+def _sql_errors(name: str, column) -> "str | None":
+    """Semantic checks for one ``sql_*`` series; None when clean.
+
+    Every sample must be non-negative; ``*_total`` counters are monotone
+    non-decreasing; ``sql_txn_open`` is a 0/1 gauge.
+    """
+    base = name.split("{", 1)[0]
+    prev = None
+    for i, v in enumerate(column):
+        if v is None:
+            continue
+        if v < 0:
+            return f"series {name!r}[{i}]: negative sql sample {v!r}"
+        if base == "sql_txn_open" and v not in (0, 1):
+            return f"series {name!r}[{i}]: sql_txn_open must be 0/1, got {v!r}"
+        if base.endswith("_total"):
+            if prev is not None and v < prev:
+                return (
+                    f"series {name!r}[{i}]: counter decreased "
+                    f"({prev!r} -> {v!r})"
+                )
+            prev = v
+    return None
+
+
 def _dist_hedge_errors(series) -> "str | None":
     """Cross-series invariant: hedge wins can never outrun hedges."""
     for name, wins in series.items():
@@ -218,6 +250,10 @@ def check_metrics(path: str, doc: dict) -> int:
             err = _dist_errors(name, column)
             if err is not None:
                 return _fail(err)
+        if name.startswith("sql_"):
+            err = _sql_errors(name, column)
+            if err is not None:
+                return _fail(err)
 
     err = _dist_hedge_errors(series)
     if err is not None:
@@ -265,6 +301,13 @@ def check(path: str) -> int:
             v = event.get(key)
             if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
                 return _fail(f"{where}: bad {key}={v!r}")
+        if str(event["name"]).startswith("sql.") and (
+            event.get("args", {}).get("layer") != "sql"
+        ):
+            return _fail(
+                f"{where}: statement-pipeline span {event['name']!r} "
+                f"must carry layer == 'sql'"
+            )
         complete.append(event)
 
     if not complete:

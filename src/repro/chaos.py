@@ -53,6 +53,18 @@ answer TPC-H Q1/Q6 byte-identically to serial execution::
 
     PYTHONPATH=src python -m repro.chaos --mode shard-kill --seed 3 \
         --json shard_kill_report.json
+
+A fourth mode (``--mode sql-fuzz``) drives the whole stack through the
+SQL front door: a seeded statement stream (DML, transactions, joins,
+grouping, subqueries) runs through the vector engine, the volcano
+engine, a determinism twin, the scatter-gather cluster where the
+statement fits its dialect, and the brute-force dict-row oracle of
+:mod:`repro.db.sql.oracle` — every answer byte-identical between engine
+modes and value-identical to the oracle — then replays the WAL
+crash-point checker over the log the SQL-issued DML produced::
+
+    PYTHONPATH=src python -m repro.chaos --mode sql-fuzz --seed 3 \
+        --json sql_fuzz_report.json
 """
 
 from __future__ import annotations
@@ -1174,11 +1186,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--mode",
-        choices=("wal", "overload", "shard-kill"),
+        choices=("wal", "overload", "shard-kill", "sql-fuzz"),
         default="wal",
         help="wal = crash-point recovery suite; overload = multi-tenant "
         "serving storm with the serve.* fault sites armed; shard-kill = "
-        "scatter-gather with worker kills, hedges, and typed partials",
+        "scatter-gather with worker kills, hedges, and typed partials; "
+        "sql-fuzz = differential SQL fuzzing (engines vs oracle vs dist) "
+        "plus crash points over the SQL-issued WAL",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -1202,7 +1216,40 @@ def main(argv=None) -> int:
         help="compacting vacuum (+checkpoint) every N txns (0 = never)",
     )
     parser.add_argument("--json", type=str, default="", help="write the report here")
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=80,
+        help="sql-fuzz mode: statements per seeded stream",
+    )
     args = parser.parse_args(argv)
+
+    if args.mode == "sql-fuzz":
+        # Imported lazily: the fuzz harness pulls in the SQL pipeline and
+        # dist stack, which the other chaos modes never need.
+        from repro.db.sql.fuzz import run_sql_fuzz
+
+        freport = run_sql_fuzz(
+            args.seed, steps=args.steps, crash_points=args.torn
+        )
+        print(
+            f"sql-fuzz chaos seed={freport.seed}: {freport.steps} steps — "
+            f"{freport.selects} selects ({freport.subquery_selects} with "
+            f"subqueries, {freport.dist_checked} dist-checked, "
+            f"{freport.rows_checked} rows), {freport.dml_statements} DML, "
+            f"{freport.txn_blocks} txn blocks ({freport.rollbacks} "
+            f"rollbacks), {freport.commits} commits, "
+            f"{freport.crash_boundary_points} boundary + "
+            f"{freport.crash_torn_points} torn crash points, "
+            f"{len(freport.violations)} violations, {freport.seconds:.1f}s"
+        )
+        for v in freport.violations[:20]:
+            print(f"  VIOLATION: {v}", file=sys.stderr)
+        if args.json:
+            with open(args.json, "w") as f:
+                json.dump(freport.to_dict(), f, indent=2)
+            print(f"wrote {args.json}")
+        return 0 if freport.passed else 1
 
     if args.mode == "shard-kill":
         kreport = run_shard_kill_chaos(args.seed, n_txns=args.txns)

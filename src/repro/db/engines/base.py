@@ -35,6 +35,7 @@ from repro.db.plan.logical import explain
 from repro.db.exec.result import QueryResult
 from repro.db.exec.vector import FusedKernel, apply_where, run_vector
 from repro.db.exec.volcano import run_volcano
+from repro.db.sql.lexer import normalize_sql
 from repro.db.sql.parser import parse
 from repro.errors import ExecutionError
 from repro.hw.analytic import AnalyticMemoryModel, MemoryModel, TraceMemoryModel
@@ -276,13 +277,19 @@ class Engine(ABC):
         )
 
     def bind(self, sql: str) -> BoundQuery:
-        """Parse + bind, memoized by query text when a code cache is
-        attached (the warm path skips the whole frontend)."""
+        """Parse + bind, memoized by *normalized* statement text when a
+        code cache is attached: statements differing only in case,
+        whitespace, or comments share one bound form, so the warm path
+        skips the whole frontend. (Fragments themselves are keyed by the
+        binding signature — structure + layout, literals blanked — which
+        is what lets the fabric share compiled code across literal values
+        and, under the ephemeral layout, across column subsets.)"""
         if self.codecache is not None:
-            bound = self._bound_cache.get(sql)
+            key = normalize_sql(sql)
+            bound = self._bound_cache.get(key)
             if bound is None:
                 bound = bind(parse(sql), self.catalog)
-                self._bound_cache[sql] = bound
+                self._bound_cache[key] = bound
             return bound
         return bind(parse(sql), self.catalog)
 

@@ -143,8 +143,10 @@ class FusedKernel:
         if query.order_by:
             order = _sort_index(query, out)
             out = {name: arr[order] for name, arr in out.items()}
-        if query.limit is not None:
-            out = {name: arr[: query.limit] for name, arr in out.items()}
+        skip = getattr(query, "offset", None) or 0
+        if query.limit is not None or skip:
+            stop = None if query.limit is None else skip + query.limit
+            out = {name: arr[skip:stop] for name, arr in out.items()}
         out = {name: out[name] for name in names}  # drop hidden sort keys
         return QueryResult(names=names, columns=out)
 

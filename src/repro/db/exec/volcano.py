@@ -197,15 +197,20 @@ class SortNode(VolcanoIterator):
 
 
 class LimitNode(VolcanoIterator):
-    def __init__(self, child: VolcanoIterator, limit: int):
+    """OFFSET/LIMIT: skip ``offset`` rows, then emit at most ``limit``."""
+
+    def __init__(self, child: VolcanoIterator, limit: "int | None", offset: int = 0):
         self._child = child
         self._limit = limit
+        self._offset = offset
 
     def __iter__(self) -> Iterator[Row]:
+        stop = None if self._limit is None else self._offset + self._limit
         for i, row in enumerate(self._child):
-            if i >= self._limit:
+            if stop is not None and i >= stop:
                 return
-            yield row
+            if i >= self._offset:
+                yield row
 
 
 def run_volcano(query: BoundQuery, columns: Dict[str, np.ndarray]) -> QueryResult:
@@ -235,8 +240,25 @@ def run_volcano(query: BoundQuery, columns: Dict[str, np.ndarray]) -> QueryResul
         node = DistinctNode(node, tuple(o.name for o in query.outputs))
     if query.order_by:
         node = SortNode(node, query.order_by)
-    if query.limit is not None:
-        node = LimitNode(node, query.limit)
+    offset = getattr(query, "offset", None) or 0
+    if query.limit is not None or offset:
+        node = LimitNode(node, query.limit, offset)
+
+    # Fixed-width CHAR columns: tuple extraction strips trailing NULs, so
+    # re-inferring a dtype from collected scalars would shrink the width
+    # (``S8`` base, ``b"oak"`` values → ``S3``). Record each base CHAR
+    # width so output columns keep the exact dtype the vectorized path
+    # produces.
+    char_widths: Dict[str, int] = {
+        name: arr.dtype.itemsize
+        for name, arr in columns.items()
+        if arr.dtype.kind == "S"
+    }
+    for join in query.joins:
+        for cname in join.table.schema.column_names:
+            width = join.table.schema.column(cname).dtype.width
+            if join.table.schema.column(cname).dtype.np_dtype is None:
+                char_widths[cname] = width
 
     names = tuple(o.name for o in query.outputs)
     collected: Dict[str, List[Any]] = {n: [] for n in names}
@@ -247,7 +269,14 @@ def run_volcano(query: BoundQuery, columns: Dict[str, np.ndarray]) -> QueryResul
     empty_ns: Optional[Dict[str, np.ndarray]] = None
     for n, v in collected.items():
         if v:
-            arrays[n] = np.asarray(v)
+            arr = np.asarray(v)
+            if arr.dtype.kind == "S":
+                out = next(o for o in query.outputs if o.name == n)
+                if isinstance(out.expr, ColumnRef):
+                    width = char_widths.get(out.expr.name)
+                    if width:
+                        arr = arr.astype(f"S{width}")
+            arrays[n] = arr
             continue
         # Zero result rows: ``np.asarray([])`` would default to float64,
         # so derive each dtype the way the vectorized path does — count
@@ -264,5 +293,11 @@ def run_volcano(query: BoundQuery, columns: Dict[str, np.ndarray]) -> QueryResul
                 for join in query.joins:
                     for name in join.table.schema.column_names:
                         empty_ns[name] = join.table.column_values(name)[:0]
-            arrays[n] = np.asarray(out.expr.eval_vector(empty_ns))
+            arr = np.asarray(out.expr.eval_vector(empty_ns))
+            if arr.ndim == 0:
+                # Constant outputs (e.g. folded scalar subqueries)
+                # evaluate to a 0-d scalar; the result column is an
+                # empty array of that scalar's dtype.
+                arr = arr.reshape(1)[:0]
+            arrays[n] = arr
     return QueryResult(names=names, columns=arrays)

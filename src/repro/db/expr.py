@@ -35,7 +35,12 @@ class Expr:
 
 @dataclass(frozen=True)
 class ColumnRef(Expr):
+    #: ``qualifier`` is the parsed table name/alias of a qualified
+    #: reference (``o.amount``). The binder resolves and strips it, so
+    #: bound expressions always carry ``qualifier=None`` — evaluators key
+    #: batches by bare column name.
     name: str
+    qualifier: "str | None" = None
 
     def columns(self) -> FrozenSet[str]:
         return frozenset({self.name})
@@ -53,7 +58,7 @@ class ColumnRef(Expr):
             raise ExecutionError(f"batch has no column {self.name!r}")
 
     def __str__(self) -> str:
-        return self.name
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
 
 
 @dataclass(frozen=True)
@@ -247,6 +252,41 @@ class Between(Expr):
         return f"({self.term} BETWEEN {self.low} AND {self.high})"
 
 
+@dataclass(frozen=True)
+class InList(Expr):
+    """``term IN (v1, v2, ...)`` over constant values.
+
+    Evaluated as an OR of equality comparisons (not ``np.isin``) so
+    CHAR semantics match :class:`Compare` exactly: the vectorized path
+    inherits numpy's trailing-NUL-blind ``S``-dtype equality and the row
+    path strips pad bytes via ``_scalar``.
+    """
+
+    term: Expr
+    values: Tuple[Value, ...]
+
+    def columns(self) -> FrozenSet[str]:
+        return self.term.columns()
+
+    def eval_row(self, row: Mapping[str, Any]) -> bool:
+        v = _scalar(self.term.eval_row(row))
+        return any(v == _scalar(x) for x in self.values)
+
+    def eval_vector(self, cols: Mapping[str, np.ndarray]) -> np.ndarray:
+        v = self.term.eval_vector(cols)
+        out = None
+        for x in self.values:
+            mask = v == x
+            out = mask if out is None else (out | mask)
+        if out is None:
+            return np.zeros(np.shape(v), dtype=bool)
+        return out
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(x) for x in self.values)
+        return f"({self.term} IN ({inner}))"
+
+
 def op_count(expr: Expr) -> int:
     """Primitive operations per evaluation of ``expr`` — the engines'
     CPU-cost currency. Column refs and literals are free (counted by the
@@ -262,6 +302,9 @@ def op_count(expr: Expr) -> int:
         return 1 + op_count(expr.term)
     if isinstance(expr, Between):
         return 2 + op_count(expr.term) + op_count(expr.low) + op_count(expr.high)
+    if isinstance(expr, InList):
+        # One equality per member plus the OR combines.
+        return max(2 * len(expr.values) - 1, 1) + op_count(expr.term)
     raise ExecutionError(f"unknown expression node {type(expr).__name__}")
 
 

@@ -1,4 +1,4 @@
-"""Binding: resolve a parsed ``SELECT`` against the catalog.
+"""Binding: resolve parsed statements against the catalog.
 
 The binder validates column references, pads CHAR literals to their
 column width (so vectorized byte-string comparisons are exact), splits
@@ -6,12 +6,24 @@ the WHERE clause into conjuncts, and — crucially for the fabric — derives
 the **referenced column group**: exactly the columns the query touches,
 which becomes the ephemeral geometry of the RM engine and the stream set
 of the column engine.
+
+Name resolution works over a *scope*: the main table plus each joined
+table, addressed by alias (or table name when unaliased). Unqualified
+names that resolve in more than one scope entry are ambiguous and
+rejected; qualified names (``o.amount``) resolve against their entry and
+are stripped to bare :class:`ColumnRef`\\ s — executors key batches by
+bare column name, which also means a join between tables sharing a
+column name is rejected when that name is referenced.
+
+DML statements bind through :func:`bind_insert` / :func:`bind_update` /
+:func:`bind_delete` into small bound forms the statement pipeline runs
+as MVCC transactions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.db.catalog import Catalog
 from repro.db.expr import (
@@ -21,6 +33,7 @@ from repro.db.expr import (
     ColumnRef,
     Compare,
     Expr,
+    InList,
     Literal,
     Not,
     Or,
@@ -28,7 +41,16 @@ from repro.db.expr import (
     op_count,
 )
 from repro.db.schema import TableSchema
-from repro.db.sql.nodes import Aggregate, JoinClause, OrderItem, SelectStmt
+from repro.db.sql.nodes import (
+    Aggregate,
+    DeleteStmt,
+    InsertStmt,
+    InSubquery,
+    OrderItem,
+    ScalarSubquery,
+    SelectStmt,
+    UpdateStmt,
+)
 from repro.db.table import Table
 from repro.errors import SqlError
 
@@ -85,6 +107,8 @@ class BoundQuery:
     #: Remaining conjuncts (referencing joined columns) — evaluated after
     #: the join chain, before aggregation.
     where_post: Optional[Expr] = None
+    #: Rows to skip before LIMIT applies (OFFSET clause).
+    offset: Optional[int] = None
 
     @property
     def join(self) -> Optional[BoundJoin]:
@@ -108,37 +132,122 @@ class BoundQuery:
         return sum(1 for o in self.outputs if o.kind != "expr")
 
 
+class _Scope:
+    """Name resolution over the tables a statement has in scope."""
+
+    def __init__(self):
+        self.entries: List[Tuple[str, TableSchema]] = []
+
+    def add(self, key: str, schema: TableSchema) -> None:
+        if any(k == key for k, _ in self.entries):
+            raise SqlError(
+                f"duplicate table name or alias {key!r} in FROM/JOIN; "
+                "alias one of the occurrences differently"
+            )
+        self.entries.append((key, schema))
+
+    @property
+    def schemas(self) -> Tuple[TableSchema, ...]:
+        return tuple(s for _, s in self.entries)
+
+    def resolve(self, ref: ColumnRef) -> ColumnRef:
+        """Validate ``ref`` and return it with the qualifier stripped."""
+        if ref.qualifier is not None:
+            matches = [s for k, s in self.entries if k == ref.qualifier]
+            if not matches:
+                known = ", ".join(repr(k) for k, _ in self.entries)
+                raise SqlError(
+                    f"unknown table alias {ref.qualifier!r} "
+                    f"(in scope: {known})"
+                )
+            if not matches[0].has_column(ref.name):
+                raise SqlError(
+                    f"table {ref.qualifier!r} has no column {ref.name!r}"
+                )
+            holders = [k for k, s in self.entries if s.has_column(ref.name)]
+            if len(holders) > 1:
+                raise SqlError(
+                    f"column {ref.name!r} exists in multiple joined tables "
+                    f"({', '.join(repr(h) for h in holders)}); this dialect "
+                    "executes joins over a flat column namespace and needs "
+                    "distinct column names"
+                )
+            return ColumnRef(name=ref.name)
+        holders = [k for k, s in self.entries if s.has_column(ref.name)]
+        if not holders:
+            raise SqlError(f"unknown column {ref.name!r}")
+        if len(holders) > 1:
+            raise SqlError(
+                f"ambiguous column {ref.name!r}: present in "
+                f"{', '.join(repr(h) for h in holders)} — qualify it"
+            )
+        return ColumnRef(name=ref.name) if ref.qualifier else ref
+
+
+def _scope_for(stmt: SelectStmt, schema: TableSchema, join_entries) -> _Scope:
+    scope = _Scope()
+    scope.add(stmt.alias or stmt.table, schema)
+    for key, join_schema in join_entries:
+        scope.add(key, join_schema)
+    return scope
+
+
 def bind(stmt: SelectStmt, catalog: Catalog) -> BoundQuery:
     """Validate ``stmt`` against ``catalog`` and return a bound query."""
     table = catalog.table(stmt.table)
     schema = table.schema
+
+    # Build the scope first (every table + alias), then validate join
+    # keys against it: a key may come from the main table or any table
+    # already joined in (left-deep chaining).
+    scope = _Scope()
+    scope.add(stmt.alias or stmt.table, schema)
     joins: List[BoundJoin] = []
-    join_schemas: List[TableSchema] = []
+    prior_schemas: List[TableSchema] = [schema]
+    prior_keys: List[str] = [stmt.alias or stmt.table]
     for clause in stmt.joins:
         join_table = catalog.table(clause.table)
-        # The probe key may come from the main table or any table already
-        # joined in (left-deep chaining: orders JOIN customer ON o_custkey).
-        if not (
-            schema.has_column(clause.left_col)
-            or any(js.has_column(clause.left_col) for js in join_schemas)
-        ):
+        join_schema = join_table.schema
+        join_key = clause.alias or clause.table
+        scope.add(join_key, join_schema)
+
+        def _in_prior(qual: Optional[str], col: str) -> bool:
+            if qual is not None:
+                return qual in prior_keys and any(
+                    s.has_column(col)
+                    for k, s in zip(prior_keys, prior_schemas)
+                    if k == qual
+                )
+            return any(s.has_column(col) for s in prior_schemas)
+
+        def _in_joined(qual: Optional[str], col: str) -> bool:
+            if qual is not None:
+                return qual == join_key and join_schema.has_column(col)
+            return join_schema.has_column(col)
+
+        left_qual, left_col = clause.left_qual, clause.left_col
+        right_qual, right_col = clause.right_qual, clause.right_col
+        if _in_prior(left_qual, left_col) and _in_joined(right_qual, right_col):
+            pass  # canonical orientation
+        elif _in_joined(left_qual, left_col) and _in_prior(right_qual, right_col):
+            left_qual, left_col, right_qual, right_col = (
+                right_qual, right_col, left_qual, left_col,
+            )
+        else:
             raise SqlError(
-                f"join key {clause.left_col!r} not found in {schema.name!r} "
-                f"or any previously joined table"
+                f"join keys {clause.left_col!r} = {clause.right_col!r} must "
+                f"pair one column of {join_key!r} with one column of the "
+                f"tables already in scope"
             )
-        _require_column(join_table.schema, clause.right_col)
         joins.append(
-            BoundJoin(
-                table=join_table,
-                left_col=clause.left_col,
-                right_col=clause.right_col,
-            )
+            BoundJoin(table=join_table, left_col=left_col, right_col=right_col)
         )
-        join_schemas.append(join_table.schema)
-    schemas = (schema, *join_schemas)
+        prior_schemas.append(join_schema)
+        prior_keys.append(join_key)
+    schemas = scope.schemas
 
     def resolve(expr: Expr) -> Expr:
-        return _bind_expr(expr, schemas)
+        return _bind_expr(expr, scope)
 
     items = stmt.items
     from repro.db.sql.nodes import SelectItem, Star
@@ -164,8 +273,7 @@ def bind(stmt: SelectStmt, catalog: Catalog) -> BoundQuery:
 
     if stmt.group_by:
         for name in stmt.group_by:
-            if not any(s.has_column(name) for s in schemas):
-                raise SqlError(f"unknown GROUP BY column {name!r}")
+            scope.resolve(ColumnRef(name=name))
         non_agg = [o for o in outputs if o.kind == "expr"]
         for o in non_agg:
             if not isinstance(o.expr, ColumnRef) or o.expr.name not in stmt.group_by:
@@ -200,7 +308,8 @@ def bind(stmt: SelectStmt, catalog: Catalog) -> BoundQuery:
     output_names = {o.name for o in outputs}
 
     def resolve_order(expr: Expr) -> Expr:
-        if isinstance(expr, ColumnRef) and expr.name in output_names:
+        if isinstance(expr, ColumnRef) and expr.qualifier is None \
+                and expr.name in output_names:
             return expr
         return resolve(expr)
 
@@ -211,7 +320,7 @@ def bind(stmt: SelectStmt, catalog: Catalog) -> BoundQuery:
     # HAVING shares ORDER BY's scoping: output aliases and group keys.
     having = None
     if stmt.having is not None:
-        having = _bind_scoped(stmt.having, output_names, schemas)
+        having = _bind_scoped(stmt.having, output_names, scope)
 
     sel_cols = _columns_of(where, schema) if where is not None else []
     proj_cols: List[str] = []
@@ -252,7 +361,107 @@ def bind(stmt: SelectStmt, catalog: Catalog) -> BoundQuery:
         projection_columns=_in_schema_order(schema, set(proj_cols)),
         where_main=where_main,
         where_post=where_post,
+        offset=stmt.offset,
     )
+
+
+# ----------------------------------------------------------------------
+# DML binding.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BoundInsert:
+    """Constant rows ready to insert, keyed by column name."""
+
+    table: Table
+    rows: Tuple[Dict[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class BoundUpdate:
+    """SET expressions (bound against the table) plus an optional filter."""
+
+    table: Table
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class BoundDelete:
+    table: Table
+    where: Optional[Expr]
+
+
+def _dml_scope(table_name: str, alias: Optional[str], schema) -> _Scope:
+    scope = _Scope()
+    scope.add(alias or table_name, schema)
+    return scope
+
+
+def bind_insert(stmt: InsertStmt, catalog: Catalog) -> BoundInsert:
+    table = catalog.table(stmt.table)
+    schema = table.schema
+    columns = stmt.columns or tuple(c.name for c in schema.user_columns)
+    seen = set()
+    for name in columns:
+        _require_column(schema, name)
+        if name in seen:
+            raise SqlError(f"column {name!r} named twice in INSERT")
+        seen.add(name)
+    missing = [c.name for c in schema.user_columns if c.name not in seen]
+    if missing:
+        raise SqlError(
+            f"INSERT must provide every column of {schema.name!r} "
+            f"(missing {', '.join(repr(m) for m in missing)}); this "
+            "dialect has no column defaults"
+        )
+    rows: List[Dict[str, Any]] = []
+    for row in stmt.rows:
+        if len(row) != len(columns):
+            raise SqlError(
+                f"INSERT row has {len(row)} values for {len(columns)} columns"
+            )
+        values: Dict[str, Any] = {}
+        for name, expr in zip(columns, row):
+            if expr.columns():
+                raise SqlError(
+                    f"INSERT value for {name!r} must be a constant expression"
+                )
+            values[name] = _coerce_constant(expr, schema, name)
+        rows.append(values)
+    return BoundInsert(table=table, rows=tuple(rows))
+
+
+def bind_update(stmt: UpdateStmt, catalog: Catalog) -> BoundUpdate:
+    table = catalog.table(stmt.table)
+    schema = table.schema
+    scope = _dml_scope(stmt.table, stmt.alias, schema)
+    seen = set()
+    assignments: List[Tuple[str, Expr]] = []
+    for name, expr in stmt.assignments:
+        _require_column(schema, name)
+        if name in seen:
+            raise SqlError(f"column {name!r} assigned twice in UPDATE")
+        seen.add(name)
+        assignments.append((name, _bind_expr(expr, scope)))
+    where = _bind_expr(stmt.where, scope) if stmt.where is not None else None
+    return BoundUpdate(table=table, assignments=tuple(assignments), where=where)
+
+
+def bind_delete(stmt: DeleteStmt, catalog: Catalog) -> BoundDelete:
+    table = catalog.table(stmt.table)
+    scope = _dml_scope(stmt.table, stmt.alias, table.schema)
+    where = _bind_expr(stmt.where, scope) if stmt.where is not None else None
+    return BoundDelete(table=table, where=where)
+
+
+def _coerce_constant(expr: Expr, schema: TableSchema, name: str) -> Any:
+    try:
+        value = expr.eval_row({})
+    except SqlError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — surface as a bind error
+        raise SqlError(f"cannot evaluate INSERT value for {name!r}: {exc}")
+    return value
 
 
 def _recombine(parts: List[Expr]) -> Optional[Expr]:
@@ -267,46 +476,51 @@ def _recombine(parts: List[Expr]) -> Optional[Expr]:
 def _bind_scoped(
     expr: Expr,
     output_names: set,
-    schemas: Tuple[TableSchema, ...],
+    scope: _Scope,
 ) -> Expr:
     """Bind an expression that may reference output aliases (HAVING)."""
     if isinstance(expr, ColumnRef):
-        if expr.name in output_names:
+        if expr.qualifier is None and expr.name in output_names:
             return expr
-        return _bind_expr(expr, schemas)
+        return _bind_expr(expr, scope)
     if isinstance(expr, Literal):
         return expr
     if isinstance(expr, BinOp):
         return BinOp(
             op=expr.op,
-            left=_bind_scoped(expr.left, output_names, schemas),
-            right=_bind_scoped(expr.right, output_names, schemas),
+            left=_bind_scoped(expr.left, output_names, scope),
+            right=_bind_scoped(expr.right, output_names, scope),
         )
     if isinstance(expr, Compare):
         return Compare(
             op=expr.op,
-            left=_bind_scoped(expr.left, output_names, schemas),
-            right=_bind_scoped(expr.right, output_names, schemas),
+            left=_bind_scoped(expr.left, output_names, scope),
+            right=_bind_scoped(expr.right, output_names, scope),
         )
     if isinstance(expr, And):
         return And(
             terms=tuple(
-                _bind_scoped(t, output_names, schemas) for t in expr.terms
+                _bind_scoped(t, output_names, scope) for t in expr.terms
             )
         )
     if isinstance(expr, Or):
         return Or(
             terms=tuple(
-                _bind_scoped(t, output_names, schemas) for t in expr.terms
+                _bind_scoped(t, output_names, scope) for t in expr.terms
             )
         )
     if isinstance(expr, Not):
-        return Not(term=_bind_scoped(expr.term, output_names, schemas))
+        return Not(term=_bind_scoped(expr.term, output_names, scope))
     if isinstance(expr, Between):
         return Between(
-            term=_bind_scoped(expr.term, output_names, schemas),
-            low=_bind_scoped(expr.low, output_names, schemas),
-            high=_bind_scoped(expr.high, output_names, schemas),
+            term=_bind_scoped(expr.term, output_names, scope),
+            low=_bind_scoped(expr.low, output_names, scope),
+            high=_bind_scoped(expr.high, output_names, scope),
+        )
+    if isinstance(expr, InList):
+        return InList(
+            term=_bind_scoped(expr.term, output_names, scope),
+            values=expr.values,
         )
     raise SqlError(f"cannot bind HAVING node {type(expr).__name__}")
 
@@ -324,42 +538,51 @@ def _columns_of(expr: Expr, schema: TableSchema) -> List[str]:
     return [c for c in expr.columns() if schema.has_column(c)]
 
 
-def _bind_expr(expr: Expr, schemas: Tuple[TableSchema, ...]) -> Expr:
+def _bind_expr(expr: Expr, scope: _Scope) -> Expr:
     """Validate references and pad CHAR literals in comparisons.
 
-    ``schemas`` lists the tables in scope: the main table first, then
-    each joined table in join order (name lookups resolve first match).
+    ``scope`` lists the tables the statement can see: the main table
+    first, then each joined table in join order, addressed by alias.
     """
+    schemas = scope.schemas
     if isinstance(expr, ColumnRef):
-        if any(s.has_column(expr.name) for s in schemas):
-            return expr
-        raise SqlError(f"unknown column {expr.name!r}")
+        return scope.resolve(expr)
     if isinstance(expr, Literal):
         return expr
+    if isinstance(expr, (ScalarSubquery, InSubquery)):
+        raise SqlError(
+            "subqueries are only supported through the statement pipeline "
+            "(repro.db.sql.pipeline.Session), which folds them before "
+            "binding"
+        )
     if isinstance(expr, BinOp):
         return BinOp(
             op=expr.op,
-            left=_bind_expr(expr.left, schemas),
-            right=_bind_expr(expr.right, schemas),
+            left=_bind_expr(expr.left, scope),
+            right=_bind_expr(expr.right, scope),
         )
     if isinstance(expr, Compare):
-        left = _bind_expr(expr.left, schemas)
-        right = _bind_expr(expr.right, schemas)
+        left = _bind_expr(expr.left, scope)
+        right = _bind_expr(expr.right, scope)
         left, right = _pad_char_literal(left, right, schemas)
         right, left = _pad_char_literal(right, left, schemas)
         return Compare(op=expr.op, left=left, right=right)
     if isinstance(expr, And):
-        return And(terms=tuple(_bind_expr(t, schemas) for t in expr.terms))
+        return And(terms=tuple(_bind_expr(t, scope) for t in expr.terms))
     if isinstance(expr, Or):
-        return Or(terms=tuple(_bind_expr(t, schemas) for t in expr.terms))
+        return Or(terms=tuple(_bind_expr(t, scope) for t in expr.terms))
     if isinstance(expr, Not):
-        return Not(term=_bind_expr(expr.term, schemas))
+        return Not(term=_bind_expr(expr.term, scope))
     if isinstance(expr, Between):
         return Between(
-            term=_bind_expr(expr.term, schemas),
-            low=_bind_expr(expr.low, schemas),
-            high=_bind_expr(expr.high, schemas),
+            term=_bind_expr(expr.term, scope),
+            low=_bind_expr(expr.low, scope),
+            high=_bind_expr(expr.high, scope),
         )
+    if isinstance(expr, InList):
+        term = _bind_expr(expr.term, scope)
+        values = _pad_in_list(term, expr.values, schemas)
+        return InList(term=term, values=values)
     raise SqlError(f"cannot bind expression node {type(expr).__name__}")
 
 
@@ -377,3 +600,20 @@ def _pad_char_literal(side: Expr, other: Expr, schemas: Tuple[TableSchema, ...])
                 padded = other.value.encode().ljust(dtype.width, b"\x00")
                 return side, Literal(padded)
     return side, other
+
+
+def _pad_in_list(term: Expr, values: Tuple[Any, ...], schemas) -> Tuple[Any, ...]:
+    """NUL-pad str members of an IN list when the term is a CHAR column."""
+    if not isinstance(term, ColumnRef):
+        return values
+    for sch in schemas:
+        if sch.has_column(term.name):
+            dtype = sch.column(term.name).dtype
+            if dtype.np_dtype is None:
+                return tuple(
+                    v.encode().ljust(dtype.width, b"\x00")
+                    if isinstance(v, str) else v
+                    for v in values
+                )
+            break
+    return values

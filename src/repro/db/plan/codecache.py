@@ -36,6 +36,7 @@ from repro.db.expr import (
     ColumnRef,
     Compare,
     Expr,
+    InList,
     Literal,
     Not,
     Or,
@@ -70,6 +71,10 @@ def _expr_shape(expr: Optional[Expr], column_token) -> str:
         return f"!{_expr_shape(expr.term, column_token)}"
     if isinstance(expr, Between):
         return f"bw({_expr_shape(expr.term, column_token)})"
+    if isinstance(expr, InList):
+        # Membership over N runtime constants: the generated code differs
+        # by list length, not by the values.
+        return f"in({_expr_shape(expr.term, column_token)},{len(expr.values)})"
     raise PlanError(f"cannot shape expression {type(expr).__name__}")
 
 

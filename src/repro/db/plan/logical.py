@@ -76,8 +76,12 @@ def build_plan(query: BoundQuery, access_path: str = "scan") -> LogicalNode:
             f"{o.expr}{' DESC' if o.descending else ''}" for o in query.order_by
         )
         node = LogicalNode(kind="Sort", detail=keys, children=(node,))
-    if query.limit is not None:
-        node = LogicalNode(kind="Limit", detail=str(query.limit), children=(node,))
+    offset = getattr(query, "offset", None)
+    if query.limit is not None or offset:
+        detail = "all" if query.limit is None else str(query.limit)
+        if offset:
+            detail += f" offset {offset}"
+        node = LogicalNode(kind="Limit", detail=detail, children=(node,))
     return node
 
 

@@ -1,24 +1,84 @@
-"""SQL front end: lexer, parser, and AST nodes for the supported subset."""
+"""SQL front end: lexer, parser, AST nodes, and the statement pipeline.
 
-from repro.db.sql.lexer import Token, TokenKind, tokenize
+The one-door entry point is :class:`~repro.db.sql.pipeline.Session` —
+``Session().execute("SELECT ...")`` runs parse → bind → plan → exec with
+spans and metrics; DML statements run as MVCC transactions against the
+session's WAL. :func:`parse`/:func:`parse_statement` stay available for
+callers that only need the AST.
+"""
+
+from repro.db.sql.lexer import (
+    Token,
+    TokenKind,
+    normalize_sql,
+    statement_shape,
+    tokenize,
+)
 from repro.db.sql.nodes import (
     Aggregate,
+    BeginStmt,
+    CommitStmt,
+    CreateTableStmt,
+    DeleteStmt,
+    DropTableStmt,
+    ExplainStmt,
+    InsertStmt,
+    InSubquery,
     JoinClause,
     OrderItem,
+    RollbackStmt,
+    ScalarSubquery,
     SelectItem,
     SelectStmt,
+    UpdateStmt,
 )
-from repro.db.sql.parser import Parser, parse
+from repro.db.sql.parser import Parser, parse, parse_statement
+
+# The pipeline pulls in the binder/optimizer/engine stack, which itself
+# imports repro.db.sql.nodes — resolve Session & friends lazily (PEP 562)
+# to keep `import repro.db.sql` cycle-free.
+_PIPELINE_EXPORTS = (
+    "Session",
+    "SqlStats",
+    "StatementResult",
+    "split_statements",
+)
+
+
+def __getattr__(name):
+    if name in _PIPELINE_EXPORTS:
+        from repro.db.sql import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Aggregate",
+    "BeginStmt",
+    "CommitStmt",
+    "CreateTableStmt",
+    "DeleteStmt",
+    "DropTableStmt",
+    "ExplainStmt",
+    "InSubquery",
+    "InsertStmt",
     "JoinClause",
     "OrderItem",
     "Parser",
+    "RollbackStmt",
+    "ScalarSubquery",
     "SelectItem",
     "SelectStmt",
+    "Session",
+    "SqlStats",
+    "StatementResult",
     "Token",
     "TokenKind",
+    "UpdateStmt",
+    "normalize_sql",
     "parse",
+    "parse_statement",
+    "split_statements",
+    "statement_shape",
     "tokenize",
 ]

@@ -3,6 +3,16 @@
 Produces a flat token list; the recursive-descent parser walks it with
 one token of lookahead. Keywords are case-insensitive; identifiers are
 lowercased (the catalog is lowercase-normalized).
+
+Every token carries its character offset *and* 1-based line/column, so
+lexer and parser errors can point at the exact spot with a caret-annotated
+snippet (:func:`error_at`). String literals support the standard ``''``
+escape; an unclosed quote is a hard error located at the opening quote.
+
+Two text-normalization helpers serve the statement pipeline:
+:func:`normalize_sql` canonicalizes whitespace/case (the parse/bind memo
+key), and :func:`statement_shape` additionally blanks literals to ``?``
+(the code-fragment-cache prefix, shared across literal values).
 """
 
 from __future__ import annotations
@@ -27,9 +37,16 @@ KEYWORDS = {
     "select", "from", "where", "group", "order", "by", "having", "limit",
     "as", "and", "or", "not", "between", "asc", "desc", "join", "on", "distinct",
     "sum", "avg", "count", "min", "max", "date", "interval", "day",
+    # Statement surface beyond SELECT.
+    "offset", "in", "insert", "into", "values", "update", "set", "delete",
+    "create", "table", "drop", "begin", "commit", "rollback", "abort",
+    "explain", "analyze",
 }
 
-_SYMBOLS = ("<=", ">=", "<>", "!=", "(", ")", ",", "*", "+", "-", "/", "=", "<", ">", ".")
+_SYMBOLS = (
+    "<=", ">=", "<>", "!=", "(", ")", ",", "*", "+", "-", "/", "=",
+    "<", ">", ".", ";",
+)
 
 
 @dataclass(frozen=True)
@@ -37,12 +54,44 @@ class Token:
     kind: TokenKind
     text: str
     position: int
+    line: int = 1
+    column: int = 1
 
     def is_keyword(self, word: str) -> bool:
         return self.kind is TokenKind.KEYWORD and self.text == word
 
     def __str__(self) -> str:
-        return f"{self.text!r}"
+        return f"{self.text!r}" if self.kind is not TokenKind.EOF else "end of input"
+
+
+def caret_snippet(sql: str, position: int) -> str:
+    """The source line containing ``position`` with a ``^`` marker under it."""
+    position = min(max(position, 0), len(sql))
+    start = sql.rfind("\n", 0, position) + 1
+    end = sql.find("\n", position)
+    if end < 0:
+        end = len(sql)
+    line = sql[start:end]
+    return f"  {line}\n  {' ' * (position - start)}^"
+
+
+def location_of(sql: str, position: int) -> "tuple[int, int]":
+    """1-based (line, column) of a character offset in ``sql``."""
+    position = min(max(position, 0), len(sql))
+    line = sql.count("\n", 0, position) + 1
+    column = position - (sql.rfind("\n", 0, position) + 1) + 1
+    return line, column
+
+
+def error_at(message: str, sql: str, position: int) -> SqlError:
+    """Build a :class:`SqlError` carrying location + caret snippet."""
+    line, column = location_of(sql, position)
+    return SqlError(
+        f"{message} (line {line}, column {column})\n"
+        f"{caret_snippet(sql, position)}",
+        line=line,
+        column=column,
+    )
 
 
 def tokenize(sql: str) -> List[Token]:
@@ -50,21 +99,57 @@ def tokenize(sql: str) -> List[Token]:
     tokens: List[Token] = []
     i = 0
     n = len(sql)
+    line = 1
+    bol = 0  # index of the current line's first character
+
+    def _tok(kind: TokenKind, text: str, start: int) -> Token:
+        return Token(kind, text, start, line, start - bol + 1)
+
+    def _consume_newlines(start: int, end: int) -> None:
+        nonlocal line, bol
+        at = sql.find("\n", start, end)
+        while at >= 0:
+            line += 1
+            bol = at + 1
+            at = sql.find("\n", at + 1, end)
+
     while i < n:
         ch = sql[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            bol = i
+            continue
         if ch.isspace():
             i += 1
             continue
         if ch == "-" and sql[i : i + 2] == "--":
             newline = sql.find("\n", i)
-            i = n if newline < 0 else newline + 1
+            if newline < 0:
+                i = n
+            else:
+                i = newline + 1
+                line += 1
+                bol = i
             continue
         if ch == "'":
-            end = sql.find("'", i + 1)
-            if end < 0:
-                raise SqlError(f"unterminated string literal at offset {i}")
-            tokens.append(Token(TokenKind.STRING, sql[i + 1 : end], i))
-            i = end + 1
+            start = i
+            pieces: List[str] = []
+            j = i + 1
+            while True:
+                end = sql.find("'", j)
+                if end < 0:
+                    raise error_at("unterminated string literal", sql, start)
+                pieces.append(sql[j:end])
+                if sql[end + 1 : end + 2] == "'":  # '' escapes one quote
+                    pieces.append("'")
+                    j = end + 2
+                    continue
+                j = end + 1
+                break
+            tokens.append(_tok(TokenKind.STRING, "".join(pieces), start))
+            _consume_newlines(start, j)
+            i = j
             continue
         if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
             j = i
@@ -72,7 +157,7 @@ def tokenize(sql: str) -> List[Token]:
             while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
                 seen_dot = seen_dot or sql[j] == "."
                 j += 1
-            tokens.append(Token(TokenKind.NUMBER, sql[i:j], i))
+            tokens.append(_tok(TokenKind.NUMBER, sql[i:j], i))
             i = j
             continue
         if ch.isalpha() or ch == "_":
@@ -81,16 +166,44 @@ def tokenize(sql: str) -> List[Token]:
                 j += 1
             word = sql[i:j].lower()
             kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
-            tokens.append(Token(kind, word, i))
+            tokens.append(_tok(kind, word, i))
             i = j
             continue
         for sym in _SYMBOLS:
             if sql.startswith(sym, i):
                 canonical = "<>" if sym == "!=" else sym
-                tokens.append(Token(TokenKind.SYMBOL, canonical, i))
+                tokens.append(_tok(TokenKind.SYMBOL, canonical, i))
                 i += len(sym)
                 break
         else:
-            raise SqlError(f"unexpected character {ch!r} at offset {i}")
-    tokens.append(Token(TokenKind.EOF, "", n))
+            raise error_at(f"unexpected character {ch!r}", sql, i)
+    tokens.append(Token(TokenKind.EOF, "", n, line, n - bol + 1))
     return tokens
+
+
+def _render(tok: Token, blank_literals: bool) -> str:
+    if tok.kind is TokenKind.STRING:
+        if blank_literals:
+            return "?"
+        return "'" + tok.text.replace("'", "''") + "'"
+    if tok.kind is TokenKind.NUMBER and blank_literals:
+        return "?"
+    return tok.text
+
+
+def normalize_sql(sql: str) -> str:
+    """Canonical statement text: lowercased keywords/identifiers, single
+    spaces, comments stripped. Two statements differing only in case or
+    whitespace normalize identically — the parse/bind memo key."""
+    return " ".join(
+        _render(t, blank_literals=False) for t in tokenize(sql)[:-1]
+    )
+
+
+def statement_shape(sql: str) -> str:
+    """Like :func:`normalize_sql` but with every literal blanked to ``?``:
+    the textual half of a code-fragment-cache key, shared by statements
+    that differ only in constants."""
+    return " ".join(
+        _render(t, blank_literals=True) for t in tokenize(sql)[:-1]
+    )

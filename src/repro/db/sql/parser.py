@@ -2,23 +2,40 @@
 
 Grammar (roughly)::
 
-    select   := SELECT item (',' item)* FROM ident join* [WHERE pred]
-                [GROUP BY ident (',' ident)*]
-                [ORDER BY order (',' order)*] [LIMIT number]
-    join     := JOIN ident ON ident '=' ident
+    statement := select | insert | update | delete | create | drop
+               | begin | commit | rollback | explain            [';']
+    select   := SELECT [DISTINCT] item (',' item)* FROM tableref join*
+                [WHERE pred] [GROUP BY name (',' name)*] [HAVING pred]
+                [ORDER BY order (',' order)*] [LIMIT number] [OFFSET number]
+    tableref := ident [[AS] ident]
+    join     := JOIN tableref ON ref '=' ref
+    ref      := ident ['.' ident]
     item     := expr [AS ident] | agg '(' (expr | '*') ')' [AS ident]
+    insert   := INSERT INTO ident ['(' ident (',' ident)* ')']
+                VALUES tuple (',' tuple)*
+    update   := UPDATE tableref SET ident '=' expr (',' ...)* [WHERE pred]
+    delete   := DELETE FROM tableref [WHERE pred]
+    create   := CREATE TABLE ident '(' ident type (',' ident type)* ')'
+    explain  := EXPLAIN [ANALYZE] statement
     pred     := or_expr
     or_expr  := and_expr (OR and_expr)*
     and_expr := not_expr (AND not_expr)*
     not_expr := NOT not_expr | cmp
-    cmp      := add ((cmpop add) | BETWEEN add AND add)?
+    cmp      := add ((cmpop add) | BETWEEN add AND add
+                | [NOT] IN '(' (values | select) ')')?
     add      := mul (('+'|'-') mul)*
     mul      := atom (('*'|'/') atom)*
-    atom     := number | string | date | interval | ident | '(' pred ')'
+    atom     := number | string | date | interval | ref | '-' atom
+              | '(' (pred | select) ')'
 
 ``DATE 'YYYY-MM-DD'`` folds to its day number and ``INTERVAL 'n' DAY``
 folds to ``n``, so date arithmetic works over plain integers — matching
-how DATE columns are stored.
+how DATE columns are stored. ``(SELECT ...)`` in expression position
+produces a :class:`ScalarSubquery`/:class:`InSubquery` placeholder the
+statement pipeline folds to a constant before binding.
+
+Every error is a :class:`SqlError` with the offending token's line/column
+and a caret-annotated snippet of the statement text.
 """
 
 from __future__ import annotations
@@ -33,29 +50,49 @@ from repro.db.expr import (
     ColumnRef,
     Compare,
     Expr,
+    InList,
     Literal,
     Not,
     Or,
 )
-from repro.db.sql.lexer import Token, TokenKind, tokenize
+from repro.db.sql.lexer import Token, TokenKind, error_at, tokenize
 from repro.db.sql.nodes import (
     Aggregate,
+    BeginStmt,
+    CommitStmt,
+    CreateTableStmt,
+    DeleteStmt,
+    DropTableStmt,
+    ExplainStmt,
+    InsertStmt,
+    InSubquery,
     JoinClause,
     OrderItem,
+    RollbackStmt,
+    ScalarSubquery,
     SelectItem,
     SelectStmt,
     Star,
+    UpdateStmt,
 )
 from repro.errors import SqlError
 
 _EPOCH = datetime.date(1970, 1, 1)
 _CMP_OPS = ("=", "<>", "<", "<=", ">", ">=")
 
+#: Keywords that terminate a table reference (so a bare identifier after
+#: a table name can safely be taken as its alias).
+_TABLE_STOP = {
+    "join", "on", "where", "group", "having", "order", "limit", "offset",
+    "set",
+}
+
 
 class Parser:
     """One-token-lookahead parser over a token list."""
 
     def __init__(self, sql: str):
+        self._sql = sql
         self._tokens = tokenize(sql)
         self._pos = 0
 
@@ -66,25 +103,37 @@ class Parser:
     def _cur(self) -> Token:
         return self._tokens[self._pos]
 
+    def _peek(self, ahead: int = 1) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
     def _advance(self) -> Token:
         tok = self._cur
         self._pos += 1
         return tok
 
+    def _error(self, message: str, tok: Optional[Token] = None) -> SqlError:
+        tok = tok or self._cur
+        return error_at(message, self._sql, tok.position)
+
     def _expect_symbol(self, sym: str) -> None:
         if self._cur.kind is not TokenKind.SYMBOL or self._cur.text != sym:
-            raise SqlError(f"expected {sym!r}, found {self._cur}")
+            raise self._error(f"expected {sym!r}, found {self._cur}")
         self._advance()
 
     def _expect_keyword(self, word: str) -> None:
         if not self._cur.is_keyword(word):
-            raise SqlError(f"expected {word.upper()}, found {self._cur}")
+            raise self._error(f"expected {word.upper()}, found {self._cur}")
         self._advance()
 
-    def _expect_ident(self) -> str:
+    def _expect_ident(self, what: str = "identifier") -> str:
         if self._cur.kind is not TokenKind.IDENT:
-            raise SqlError(f"expected identifier, found {self._cur}")
+            raise self._error(f"expected {what}, found {self._cur}")
         return self._advance().text
+
+    def _expect_number(self, what: str) -> int:
+        if self._cur.kind is not TokenKind.NUMBER:
+            raise self._error(f"expected number after {what}, found {self._cur}")
+        return int(self._advance().text)
 
     def _match_symbol(self, sym: str) -> bool:
         if self._cur.kind is TokenKind.SYMBOL and self._cur.text == sym:
@@ -101,8 +150,60 @@ class Parser:
     # ------------------------------------------------------------------
     # Statements.
     # ------------------------------------------------------------------
+    def parse_statement(self):
+        """Parse one statement of any kind (optionally ``;``-terminated)."""
+        stmt = self._statement()
+        self._match_symbol(";")
+        if self._cur.kind is not TokenKind.EOF:
+            raise self._error(f"trailing input at {self._cur}")
+        return stmt
+
+    def _statement(self):
+        tok = self._cur
+        if tok.is_keyword("select"):
+            return self._select_body()
+        if tok.is_keyword("insert"):
+            return self._insert()
+        if tok.is_keyword("update"):
+            return self._update()
+        if tok.is_keyword("delete"):
+            return self._delete()
+        if tok.is_keyword("create"):
+            return self._create_table()
+        if tok.is_keyword("drop"):
+            self._advance()
+            self._expect_keyword("table")
+            return DropTableStmt(name=self._expect_ident("table name"))
+        if tok.is_keyword("begin"):
+            self._advance()
+            return BeginStmt()
+        if tok.is_keyword("commit"):
+            self._advance()
+            return CommitStmt()
+        if tok.is_keyword("rollback") or tok.is_keyword("abort"):
+            self._advance()
+            return RollbackStmt()
+        if tok.is_keyword("explain"):
+            self._advance()
+            analyze = self._match_keyword("analyze")
+            if self._cur.is_keyword("explain"):
+                raise self._error("EXPLAIN cannot nest")
+            return ExplainStmt(target=self._statement(), analyze=analyze)
+        raise self._error(f"expected a statement, found {self._cur}")
+
     def parse_select(self) -> SelectStmt:
         self._expect_keyword("select")
+        stmt = self._select_tail()
+        self._match_symbol(";")
+        if self._cur.kind is not TokenKind.EOF:
+            raise self._error(f"trailing input at {self._cur}")
+        return stmt
+
+    def _select_body(self) -> SelectStmt:
+        self._expect_keyword("select")
+        return self._select_tail()
+
+    def _select_tail(self) -> SelectStmt:
         distinct = self._match_keyword("distinct")
         if self._cur.kind is TokenKind.SYMBOL and self._cur.text == "*":
             self._advance()
@@ -112,7 +213,7 @@ class Parser:
             while self._match_symbol(","):
                 items.append(self._select_item())
         self._expect_keyword("from")
-        table = self._expect_ident()
+        table, alias = self._table_ref()
         joins: List[JoinClause] = []
         while self._match_keyword("join"):
             joins.append(self._join_clause())
@@ -122,14 +223,14 @@ class Parser:
         group_by: Tuple[str, ...] = ()
         if self._match_keyword("group"):
             self._expect_keyword("by")
-            names = [self._expect_ident()]
+            names = [self._group_name()]
             while self._match_symbol(","):
-                names.append(self._expect_ident())
+                names.append(self._group_name())
             group_by = tuple(names)
         having = None
         if self._match_keyword("having"):
             if not group_by:
-                raise SqlError("HAVING requires GROUP BY in this dialect")
+                raise self._error("HAVING requires GROUP BY in this dialect")
             having = self._predicate()
         order_by: Tuple[OrderItem, ...] = ()
         if self._match_keyword("order"):
@@ -140,11 +241,10 @@ class Parser:
             order_by = tuple(orders)
         limit = None
         if self._match_keyword("limit"):
-            if self._cur.kind is not TokenKind.NUMBER:
-                raise SqlError(f"expected number after LIMIT, found {self._cur}")
-            limit = int(self._advance().text)
-        if self._cur.kind is not TokenKind.EOF:
-            raise SqlError(f"trailing input at {self._cur}")
+            limit = self._expect_number("LIMIT")
+        offset = None
+        if self._match_keyword("offset"):
+            offset = self._expect_number("OFFSET")
         return SelectStmt(
             items=tuple(items),
             table=table,
@@ -155,15 +255,50 @@ class Parser:
             order_by=order_by,
             limit=limit,
             distinct=distinct,
+            offset=offset,
+            alias=alias,
         )
 
+    def _table_ref(self) -> Tuple[str, Optional[str]]:
+        name = self._expect_ident("table name")
+        alias = None
+        if self._match_keyword("as"):
+            alias = self._expect_ident("table alias")
+        elif (
+            self._cur.kind is TokenKind.IDENT
+            and self._cur.text not in _TABLE_STOP
+        ):
+            alias = self._advance().text
+        return name, alias
+
+    def _group_name(self) -> str:
+        # Accept an optional qualifier; grouping keys are bare column
+        # names downstream (bound columns are unambiguous by then).
+        name = self._expect_ident("GROUP BY column")
+        if self._match_symbol("."):
+            name = self._expect_ident("column name")
+        return name
+
     def _join_clause(self) -> JoinClause:
-        table = self._expect_ident()
+        table, alias = self._table_ref()
         self._expect_keyword("on")
-        left = self._expect_ident()
+        left = self._qualified_ref()
         self._expect_symbol("=")
-        right = self._expect_ident()
-        return JoinClause(table=table, left_col=left, right_col=right)
+        right = self._qualified_ref()
+        return JoinClause(
+            table=table,
+            left_col=left.name,
+            right_col=right.name,
+            alias=alias,
+            left_qual=left.qualifier,
+            right_qual=right.qualifier,
+        )
+
+    def _qualified_ref(self) -> ColumnRef:
+        first = self._expect_ident("column reference")
+        if self._match_symbol("."):
+            return ColumnRef(name=self._expect_ident("column name"), qualifier=first)
+        return ColumnRef(name=first)
 
     def _order_item(self) -> OrderItem:
         expr = self._add()
@@ -189,8 +324,89 @@ class Parser:
             expr = self._add()
         alias = None
         if self._match_keyword("as"):
-            alias = self._expect_ident()
+            alias = self._expect_ident("output alias")
         return SelectItem(expr=expr, alias=alias)
+
+    # ------------------------------------------------------------------
+    # DML / DDL.
+    # ------------------------------------------------------------------
+    def _insert(self) -> InsertStmt:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_ident("table name")
+        columns: Optional[Tuple[str, ...]] = None
+        if self._match_symbol("("):
+            names = [self._expect_ident("column name")]
+            while self._match_symbol(","):
+                names.append(self._expect_ident("column name"))
+            self._expect_symbol(")")
+            columns = tuple(names)
+        self._expect_keyword("values")
+        rows = [self._value_tuple()]
+        while self._match_symbol(","):
+            rows.append(self._value_tuple())
+        return InsertStmt(table=table, columns=columns, rows=tuple(rows))
+
+    def _value_tuple(self) -> Tuple[Expr, ...]:
+        self._expect_symbol("(")
+        values = [self._add()]
+        while self._match_symbol(","):
+            values.append(self._add())
+        self._expect_symbol(")")
+        return tuple(values)
+
+    def _update(self) -> UpdateStmt:
+        self._expect_keyword("update")
+        table, alias = self._table_ref()
+        self._expect_keyword("set")
+        assignments = [self._assignment()]
+        while self._match_symbol(","):
+            assignments.append(self._assignment())
+        where = None
+        if self._match_keyword("where"):
+            where = self._predicate()
+        return UpdateStmt(
+            table=table, assignments=tuple(assignments), where=where, alias=alias
+        )
+
+    def _assignment(self) -> Tuple[str, Expr]:
+        name = self._expect_ident("column name")
+        if self._match_symbol("."):
+            name = self._expect_ident("column name")
+        self._expect_symbol("=")
+        return name, self._add()
+
+    def _delete(self) -> DeleteStmt:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table, alias = self._table_ref()
+        where = None
+        if self._match_keyword("where"):
+            where = self._predicate()
+        return DeleteStmt(table=table, where=where, alias=alias)
+
+    def _create_table(self) -> CreateTableStmt:
+        self._expect_keyword("create")
+        self._expect_keyword("table")
+        name = self._expect_ident("table name")
+        self._expect_symbol("(")
+        columns = [self._column_def()]
+        while self._match_symbol(","):
+            columns.append(self._column_def())
+        self._expect_symbol(")")
+        return CreateTableStmt(name=name, columns=tuple(columns))
+
+    def _column_def(self) -> Tuple[str, str]:
+        name = self._expect_ident("column name")
+        tok = self._cur
+        if tok.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
+            raise self._error(f"expected a type name, found {tok}")
+        type_text = self._advance().text
+        if self._match_symbol("("):
+            width = self._expect_number(type_text.upper())
+            self._expect_symbol(")")
+            type_text = f"{type_text}({width})"
+        return name, type_text
 
     # ------------------------------------------------------------------
     # Predicates and expressions.
@@ -211,7 +427,8 @@ class Parser:
         return terms[0] if len(terms) == 1 else And(terms=tuple(terms))
 
     def _not_expr(self) -> Expr:
-        if self._match_keyword("not"):
+        if self._cur.is_keyword("not") and not self._peek().is_keyword("in"):
+            self._advance()
             return Not(term=self._not_expr())
         return self._comparison()
 
@@ -226,7 +443,32 @@ class Parser:
             self._expect_keyword("and")
             high = self._add()
             return Between(term=left, low=low, high=high)
+        if self._cur.is_keyword("not") and self._peek().is_keyword("in"):
+            self._advance()
+            self._advance()
+            return Not(term=self._in_rest(left))
+        if self._match_keyword("in"):
+            return self._in_rest(left)
         return left
+
+    def _in_rest(self, term: Expr) -> Expr:
+        self._expect_symbol("(")
+        if self._cur.is_keyword("select"):
+            select = self._select_body()
+            self._expect_symbol(")")
+            return InSubquery(term=term, select=select)
+        values = [self._in_member()]
+        while self._match_symbol(","):
+            values.append(self._in_member())
+        self._expect_symbol(")")
+        return InList(term=term, values=tuple(values))
+
+    def _in_member(self):
+        tok = self._cur
+        expr = self._add()
+        if not isinstance(expr, Literal):
+            raise self._error("IN list members must be literals", tok)
+        return expr.value
 
     def _add(self) -> Expr:
         left = self._mul()
@@ -244,6 +486,12 @@ class Parser:
 
     def _atom(self) -> Expr:
         tok = self._cur
+        if tok.kind is TokenKind.SYMBOL and tok.text == "-":
+            self._advance()
+            inner = self._atom()
+            if isinstance(inner, Literal) and isinstance(inner.value, (int, float)):
+                return Literal(-inner.value)
+            return BinOp(op="-", left=Literal(0), right=inner)
         if tok.kind is TokenKind.NUMBER:
             self._advance()
             text = tok.text
@@ -254,30 +502,53 @@ class Parser:
         if tok.is_keyword("date"):
             self._advance()
             if self._cur.kind is not TokenKind.STRING:
-                raise SqlError(f"expected date string after DATE, found {self._cur}")
+                raise self._error(
+                    f"expected date string after DATE, found {self._cur}"
+                )
             raw = self._advance().text
             try:
                 day = datetime.date.fromisoformat(raw)
             except ValueError as exc:
-                raise SqlError(f"bad date literal {raw!r}: {exc}")
+                raise self._error(f"bad date literal {raw!r}: {exc}", tok)
             return Literal((day - _EPOCH).days)
         if tok.is_keyword("interval"):
             self._advance()
             if self._cur.kind is not TokenKind.STRING:
-                raise SqlError(f"expected quantity after INTERVAL, found {self._cur}")
+                raise self._error(
+                    f"expected quantity after INTERVAL, found {self._cur}"
+                )
             qty = int(self._advance().text)
             self._expect_keyword("day")
             return Literal(qty)
+        if tok.kind is TokenKind.KEYWORD and tok.text in Aggregate.FUNCS:
+            raise self._error(
+                f"aggregate {tok.text}() is only allowed in the select "
+                "list; filter aggregated values in HAVING via the output "
+                "alias"
+            )
         if tok.kind is TokenKind.IDENT:
             self._advance()
+            if self._match_symbol("."):
+                return ColumnRef(
+                    name=self._expect_ident("column name"), qualifier=tok.text
+                )
             return ColumnRef(name=tok.text)
         if self._match_symbol("("):
+            if self._cur.is_keyword("select"):
+                select = self._select_body()
+                self._expect_symbol(")")
+                return ScalarSubquery(select=select)
             inner = self._predicate()
             self._expect_symbol(")")
             return inner
-        raise SqlError(f"unexpected token {tok}")
+        raise self._error(f"unexpected token {tok}")
 
 
 def parse(sql: str) -> SelectStmt:
     """Parse one ``SELECT`` statement."""
     return Parser(sql).parse_select()
+
+
+def parse_statement(sql: str):
+    """Parse one statement of any supported kind (the pipeline entry)."""
+    return Parser(sql).parse_statement()

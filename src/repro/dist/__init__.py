@@ -24,7 +24,7 @@ from repro.dist.plan import (
     execute_plan,
     merge_partials,
 )
-from repro.dist.queries import q1_plan, q6_plan
+from repro.dist.queries import dist_plan_for, q1_plan, q6_plan
 from repro.dist.replica import ReplicaStats, ShardReplica
 from repro.dist.worker import InlineShardHost, ProcessShardHost, WorkerBoot
 
@@ -45,6 +45,7 @@ __all__ = [
     "ShardPartial",
     "ShardReplica",
     "WorkerBoot",
+    "dist_plan_for",
     "execute_fragment",
     "execute_plan",
     "merge_partials",

@@ -19,18 +19,209 @@ exercises shard pruning and boundary-shard filtering.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.core.selection import CompareOp
+from repro.db.expr import And, Between, BinOp, ColumnRef, Compare, Expr, Literal
+from repro.db.plan.binder import BoundQuery
 from repro.dist.plan import AggSpec, AggTerm, DistPlan, DistPredicate
+from repro.errors import PlanError
 from repro.workloads.tpch import _days
 
-__all__ = ["q1_plan", "q6_plan"]
+__all__ = ["dist_plan_for", "q1_plan", "q6_plan"]
 
 #: Q1's date cutoff: shipdate <= 1998-12-01 - 90 days.
 Q1_SHIP_CUTOFF = _days(1998, 12, 1) - 90
 Q6_SHIP_LO = _days(1994, 1, 1)
 Q6_SHIP_HI = _days(1995, 1, 1) - 1  # inclusive form of "< 1995-01-01"
+
+
+# ----------------------------------------------------------------------
+# The SQL bridge: BoundQuery → DistPlan, where expressible.
+# ----------------------------------------------------------------------
+_CMP_OPS = {
+    "<": CompareOp.LT,
+    "<=": CompareOp.LE,
+    ">": CompareOp.GT,
+    ">=": CompareOp.GE,
+    "=": CompareOp.EQ,
+    "<>": CompareOp.NE,
+}
+_CMP_FLIP = {
+    CompareOp.LT: CompareOp.GT,
+    CompareOp.LE: CompareOp.GE,
+    CompareOp.GT: CompareOp.LT,
+    CompareOp.GE: CompareOp.LE,
+    CompareOp.EQ: CompareOp.EQ,
+    CompareOp.NE: CompareOp.NE,
+}
+
+
+def _conjuncts(expr: Expr) -> List[Expr]:
+    if isinstance(expr, And):
+        out: List[Expr] = []
+        for term in expr.terms:
+            out.extend(_conjuncts(term))
+        return out
+    return [expr]
+
+
+def _as_predicates(expr: Optional[Expr]) -> Tuple[DistPredicate, ...]:
+    """WHERE as pushed-down ``col <op> int`` conjuncts, or PlanError."""
+    if expr is None:
+        return ()
+    preds: List[DistPredicate] = []
+    for term in _conjuncts(expr):
+        if isinstance(term, Between):
+            if not isinstance(term.term, ColumnRef) or not (
+                isinstance(term.low, Literal) and isinstance(term.high, Literal)
+            ):
+                raise PlanError(f"cannot push down BETWEEN form {term}")
+            preds.append(
+                DistPredicate(term.term.name, CompareOp.GE, term.low.value)
+            )
+            preds.append(
+                DistPredicate(term.term.name, CompareOp.LE, term.high.value)
+            )
+            continue
+        if not isinstance(term, Compare):
+            raise PlanError(f"cannot push down predicate {term}")
+        op = _CMP_OPS.get(term.op)
+        if op is None:
+            raise PlanError(f"cannot push down operator {term.op!r}")
+        left, right = term.left, term.right
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            left, right, op = right, left, _CMP_FLIP[op]
+        if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+            raise PlanError(f"cannot push down predicate {term}")
+        if not isinstance(right.value, int):
+            raise PlanError(
+                f"shard predicates are integer-only, got {right.value!r}"
+            )
+        preds.append(DistPredicate(left.name, op, right.value))
+    return tuple(preds)
+
+
+def _probe_affine(expr: Expr, column: str) -> Tuple[int, int]:
+    """Extract ``(coeff, const)`` when ``expr`` is affine in ``column``
+    with integer coefficients, else PlanError."""
+    vals = []
+    for x in (0, 1, 2):
+        try:
+            vals.append(expr.eval_row({column: x}))
+        except Exception:
+            raise PlanError(f"cannot evaluate factor {expr} for pushdown")
+    const, at1, at2 = vals
+    coeff = at1 - const
+    if at2 - at1 != coeff:  # not linear
+        raise PlanError(f"factor {expr} is not affine in {column!r}")
+    if not (isinstance(coeff, int) and isinstance(const, int)):
+        raise PlanError(f"factor {expr} is not integer-affine")
+    return coeff, const
+
+
+def _factors(expr: Expr) -> List[Expr]:
+    """Split a top-level integer product into its factors."""
+    if isinstance(expr, BinOp) and expr.op == "*":
+        return _factors(expr.left) + _factors(expr.right)
+    return [expr]
+
+
+def _as_terms(expr: Expr, name: str) -> Tuple[AggTerm, ...]:
+    """SUM argument as a product of integer-affine single-column terms."""
+    terms: List[AggTerm] = []
+    scale = 1
+    for factor in _factors(expr):
+        if isinstance(factor, Literal):
+            if not isinstance(factor.value, int):
+                raise PlanError(
+                    f"aggregate {name!r}: non-integer factor {factor.value!r}"
+                )
+            scale *= factor.value
+            continue
+        cols = sorted(factor.columns())
+        if len(cols) != 1:
+            raise PlanError(
+                f"aggregate {name!r}: factor {factor} must touch exactly "
+                f"one column"
+            )
+        coeff, const = _probe_affine(factor, cols[0])
+        terms.append(AggTerm(cols[0], coeff=coeff, const=const))
+    if not terms:
+        raise PlanError(f"aggregate {name!r} has no column factor")
+    if scale != 1:
+        first = terms[0]
+        terms[0] = AggTerm(
+            first.column, coeff=first.coeff * scale, const=first.const * scale
+        )
+    return tuple(terms)
+
+
+def dist_plan_for(bound: BoundQuery, key_column: str) -> DistPlan:
+    """Translate a bound single-table SELECT into a :class:`DistPlan`.
+
+    The scatter-gather layer speaks a deliberately narrow, exactly-
+    mergeable dialect; this raises :class:`~repro.errors.PlanError` for
+    anything outside it (joins, HAVING, LIMIT/OFFSET, DISTINCT, avg,
+    non-integer predicates, non-affine aggregate arguments, ORDER BY
+    that is not an ascending group-key prefix). Callers fall back to
+    single-node execution on PlanError — the SQL fuzzer uses this to
+    route shardable statements through the cluster.
+    """
+    if bound.joins:
+        raise PlanError("scatter-gather plans are single-table")
+    if bound.having is not None:
+        raise PlanError("HAVING is not pushed down")
+    if bound.limit is not None or getattr(bound, "offset", None):
+        raise PlanError("LIMIT/OFFSET are not distributed")
+    if bound.distinct:
+        raise PlanError("DISTINCT is not distributed")
+    if bound.order_by:
+        raise PlanError("ORDER BY is not distributed")
+
+    predicates = _as_predicates(bound.where)
+    aggregated = any(o.kind != "expr" for o in bound.outputs)
+    if aggregated:
+        specs: List[AggSpec] = []
+        for out in bound.outputs:
+            if out.kind == "expr":
+                if not (
+                    isinstance(out.expr, ColumnRef)
+                    and out.expr.name in bound.group_by
+                ):
+                    raise PlanError(
+                        f"output {out.name!r} must be a group key or an "
+                        f"aggregate"
+                    )
+                continue
+            if out.kind == "count" and out.expr is None:
+                specs.append(AggSpec(out.name, "count"))
+                continue
+            if out.kind not in ("sum", "min", "max"):
+                raise PlanError(f"aggregate {out.kind!r} is not distributed")
+            specs.append(
+                AggSpec(out.name, out.kind, _as_terms(out.expr, out.name))
+            )
+        return DistPlan(
+            table=bound.table.schema.name,
+            key_column=key_column,
+            predicates=predicates,
+            group_by=bound.group_by,
+            aggregates=tuple(specs),
+        )
+    columns: List[str] = []
+    for out in bound.outputs:
+        if not isinstance(out.expr, ColumnRef):
+            raise PlanError(
+                f"gather output {out.name!r} must be a plain column"
+            )
+        columns.append(out.expr.name)
+    return DistPlan(
+        table=bound.table.schema.name,
+        key_column=key_column,
+        predicates=predicates,
+        columns=tuple(columns),
+    )
 
 
 def q1_plan(

@@ -23,7 +23,17 @@ class SchemaError(ReproError):
 
 
 class SqlError(ReproError):
-    """SQL text could not be lexed, parsed, or bound against the catalog."""
+    """SQL text could not be lexed, parsed, or bound against the catalog.
+
+    Lexer- and parser-raised instances carry ``line``/``column`` (1-based)
+    locating the offending token in the statement text; binder errors and
+    programmatic uses leave them ``None``.
+    """
+
+    def __init__(self, message: str, *, line=None, column=None):
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 class PlanError(ReproError):

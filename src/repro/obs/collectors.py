@@ -370,6 +370,51 @@ def register_breaker(registry: MetricsRegistry, breaker, **labels: Any) -> None:
 
 
 # ----------------------------------------------------------------------
+# sql: the unified statement pipeline.
+# ----------------------------------------------------------------------
+def register_sql(registry: MetricsRegistry, session, **labels: Any) -> None:
+    """Statement-mix and outcome telemetry of one SQL
+    :class:`~repro.db.sql.pipeline.Session`.
+
+    Monotone ``sql_*_total`` counters for statements by kind, errors and
+    rows moved, plus the session's transaction view: commit/conflict
+    totals read off the MVCC manager and an ``sql_txn_open`` gauge (0/1 —
+    is an explicit transaction open right now).
+    """
+
+    def collect() -> Dict[str, float]:
+        s = session.stats
+        m = session.manager.stats
+        return {
+            fmt_name("sql_statements_total", **labels): float(s.statements),
+            fmt_name("sql_selects_total", **labels): float(s.selects),
+            fmt_name("sql_dml_total", **labels): float(
+                s.inserts + s.updates + s.deletes
+            ),
+            fmt_name("sql_inserts_total", **labels): float(s.inserts),
+            fmt_name("sql_updates_total", **labels): float(s.updates),
+            fmt_name("sql_deletes_total", **labels): float(s.deletes),
+            fmt_name("sql_ddl_total", **labels): float(s.ddl),
+            fmt_name("sql_explains_total", **labels): float(s.explains),
+            fmt_name("sql_errors_total", **labels): float(s.errors),
+            fmt_name("sql_rows_returned_total", **labels): float(
+                s.rows_returned
+            ),
+            fmt_name("sql_rows_written_total", **labels): float(
+                s.rows_written
+            ),
+            fmt_name("sql_subqueries_folded_total", **labels): float(
+                s.subqueries_folded
+            ),
+            fmt_name("sql_txn_commits_total", **labels): float(m.committed),
+            fmt_name("sql_txn_conflicts_total", **labels): float(m.conflicts),
+            fmt_name("sql_txn_open", **labels): float(session.in_transaction),
+        }
+
+    registry.register_collector(collect)
+
+
+# ----------------------------------------------------------------------
 # dist: the scatter-gather shard cluster.
 # ----------------------------------------------------------------------
 def register_dist(registry: MetricsRegistry, cluster, **labels: Any) -> None:

@@ -3,6 +3,15 @@
 import numpy as np
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden transcript files instead of comparing",
+    )
+
 from repro.db import Catalog, Column, TableSchema
 from repro.db.types import CHAR, DECIMAL, INT32, INT64
 from repro.hw.config import TEST_PLATFORM, ZYNQ_ULTRASCALE

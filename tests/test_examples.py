@@ -41,6 +41,14 @@ class TestExamples:
         assert "oltp.txn" in out  # OLTP span tree
         assert "fabric.refresh" in out  # OLAP span tree
 
+    def test_sql_htap(self, capsys, monkeypatch):
+        run_example("sql_htap.py", monkeypatch=monkeypatch)
+        out = capsys.readouterr().out
+        assert "SQL == programmatic" in out
+        assert "sql.analyze" in out  # EXPLAIN ANALYZE span tree
+        assert "sql_statements_total" in out
+        assert "identical through both doors" in out
+
     def test_physical_design(self, capsys, monkeypatch):
         run_example("physical_design.py", monkeypatch=monkeypatch)
         out = capsys.readouterr().out

@@ -220,3 +220,76 @@ class TestMetricsSchemaCheck:
         doc = self._valid_doc()
         doc["interval_cycles"] = 0
         assert self._check(tmp_path, doc).returncode == 1
+
+    # ------------------------------------------------------------------
+    # SQL front-door series semantics.
+    # ------------------------------------------------------------------
+    def test_sql_counter_decrease_fails(self, tmp_path):
+        doc = self._valid_doc()
+        doc["series"] = {"sql_statements_total": [3.0, 2.0]}
+        proc = self._check(tmp_path, doc)
+        assert proc.returncode == 1
+        assert "counter decreased" in proc.stderr
+
+    def test_sql_negative_sample_fails(self, tmp_path):
+        doc = self._valid_doc()
+        doc["series"] = {"sql_rows_returned_total": [-1.0, 0.0]}
+        assert self._check(tmp_path, doc).returncode == 1
+
+    def test_sql_txn_open_must_be_binary(self, tmp_path):
+        doc = self._valid_doc()
+        doc["series"] = {"sql_txn_open": [0.0, 2.0]}
+        proc = self._check(tmp_path, doc)
+        assert proc.returncode == 1
+        assert "0/1" in proc.stderr
+
+    def test_clean_sql_series_passes(self, tmp_path):
+        doc = self._valid_doc()
+        doc["series"] = {
+            "sql_statements_total": [1.0, 4.0],
+            "sql_txn_open": [None, 1.0],
+        }
+        proc = self._check(tmp_path, doc)
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestSqlSpanCheck:
+    """A real statement trace must pass the checker, and ``sql.*`` spans
+    stripped of their layer tag must fail it."""
+
+    def _check(self, path):
+        return subprocess.run(
+            [sys.executable,
+             os.path.join(REPO, "scripts", "check_trace_schema.py"), str(path)],
+            capture_output=True, text=True,
+        )
+
+    def _statement_trace(self):
+        from repro.db.sql.pipeline import Session
+        from repro.obs import Tracer
+
+        s = Session(tracer=Tracer())
+        s.execute("CREATE TABLE t (id INT32, v INT32)")
+        s.execute("INSERT INTO t (id, v) VALUES (1, 10), (2, 20)")
+        s.execute("SELECT sum(v) AS s FROM t")
+        trace = s.last_trace
+        s.close()
+        return trace
+
+    def test_statement_trace_passes(self, tmp_path):
+        path = tmp_path / "TRACE_sql.json"
+        path.write_text(self._statement_trace().to_chrome_json())
+        proc = self._check(path)
+        assert proc.returncode == 0, proc.stderr
+        assert "spans" in proc.stdout
+
+    def test_sql_span_without_layer_fails(self, tmp_path):
+        doc = json.loads(self._statement_trace().to_chrome_json())
+        for event in doc["traceEvents"]:
+            if event["name"].startswith("sql."):
+                event["args"].pop("layer", None)
+        path = tmp_path / "TRACE_sql.json"
+        path.write_text(json.dumps(doc))
+        proc = self._check(path)
+        assert proc.returncode == 1
+        assert "layer == 'sql'" in proc.stderr

@@ -127,8 +127,16 @@ class TestParser:
         assert stmt.where.right == Literal("N")
 
     def test_trailing_garbage_rejected(self):
+        # "banana" alone would be a table alias now; two trailing idents
+        # can never parse.
         with pytest.raises(SqlError):
-            parse("SELECT a FROM t banana")
+            parse("SELECT a FROM t banana split")
+
+    def test_table_alias(self):
+        stmt = parse("SELECT t.a FROM things t")
+        assert stmt.table == "things"
+        assert stmt.alias == "t"
+        assert stmt.items[0].expr.qualifier == "t"
 
     def test_missing_from_rejected(self):
         with pytest.raises(SqlError):
