@@ -51,6 +51,7 @@ def run_scenario(
     seed: int = SEED,
     horizon: float = HORIZON_CYCLES,
     metrics: Optional[MetricsRegistry] = None,
+    slo=None,
 ):
     """One drained front-door run; ``hostile`` adds the analytics tenant's
     offered load (its quota stays configured either way)."""
@@ -59,7 +60,7 @@ def run_scenario(
         s for s in overload_specs() if hostile or s.tenant_id != "analytics"
     ]
     scheduler = ServeScheduler(
-        config, synthetic_executor(seed=seed), metrics=metrics
+        config, synthetic_executor(seed=seed), metrics=metrics, slo=slo
     )
     submit_open_loop(scheduler, specs, horizon, seed=seed)
     report = scheduler.run_until_drained()
@@ -122,16 +123,39 @@ def main(argv=None) -> int:
         print(f"wrote {args.json}")
 
     if args.chart:
-        from repro.bench.chart import metrics_chart, tenant_latency_panels
+        from repro.bench.chart import (
+            metrics_chart,
+            slo_burn_panels,
+            tenant_latency_panels,
+        )
+        from repro.obs import SloMonitor, SloObjective
 
         metrics = MetricsRegistry()
         sampler = metrics.attach_sampler(interval_cycles=SAMPLE_INTERVAL_CYCLES)
-        run_scenario(True, args.seed, args.horizon, metrics=metrics)
+        slo = SloMonitor(
+            [
+                SloObjective(tenant=t, objective="latency")
+                for t in PROTECTED
+            ]
+            + [
+                SloObjective(tenant=t, objective="availability")
+                for t in PROTECTED
+            ]
+        )
+        run_scenario(True, args.seed, args.horizon, metrics=metrics, slo=slo)
         sampler.sample_now()
-        panels = tenant_latency_panels(sampler.series)
+        panels = tenant_latency_panels(sampler.series) + slo_burn_panels(
+            sampler.series
+        )
         print()
         print(metrics_chart(sampler.series, panels=panels,
                             width=40, height=10))
+        for state in slo.states.values():
+            print(
+                f"  slo {state.objective.tenant}/{state.objective.objective}: "
+                f"{state.breaches_total} breaches, "
+                f"burn fast={state.burn_fast:.2f} slow={state.burn_slow:.2f}"
+            )
     return 0
 
 

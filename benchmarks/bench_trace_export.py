@@ -12,10 +12,17 @@ Before exporting, the script re-verifies the spine's core invariant on
 each run: replaying the trace's charge events rebuilds the flat cost
 ledger bit for bit.
 
+``--dist N`` switches to the cross-process mode: Q6 scattered over an
+N-shard :class:`~repro.dist.ShardCluster` of real worker processes, each
+shipping its span batch back over the RPC pipe — the export then renders
+one Perfetto track per shard (``--json TRACE_dist.json``).
+
 Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_trace_export.py \
         --rows 20000 --engine rm --json TRACE_q6.json
+    PYTHONPATH=src python benchmarks/bench_trace_export.py \
+        --rows 20000 --dist 4 --json TRACE_dist.json
 """
 
 from __future__ import annotations
@@ -25,10 +32,45 @@ import sys
 
 from repro.bench.harness import write_trace
 from repro.db.engines import all_engines
-from repro.obs import Tracer
+from repro.obs import Trace, Tracer
 from repro.workloads.tpch import Q6, generate_lineitem
 
 ENGINES = ("row", "column", "rm")
+
+
+def run_dist(nrows: int, nshards: int) -> Trace:
+    """Q6 over a process-per-shard cluster, span batches grafted."""
+    import numpy as np
+
+    from repro.db.sharding import ShardedTable
+    from repro.dist import DistConfig, ShardCluster, q6_plan
+
+    _, table = generate_lineitem(nrows=nrows, seed=42)
+    keys = table.column("l_orderkey")
+    qs = np.linspace(0, 1, nshards + 1)[1:-1]
+    bounds = sorted({int(np.quantile(keys, q)) for q in qs})
+    sharded = ShardedTable(table.schema, "l_orderkey", bounds)
+    sharded.bulk_load(
+        {
+            c.name: (
+                table.column(c.name).view(f"S{c.dtype.width}").reshape(-1)
+                if c.dtype.np_dtype is None
+                else table.column(c.name)
+            )
+            for c in table.schema.user_columns
+        }
+    )
+    tracer = Tracer()
+    with ShardCluster(sharded, DistConfig()) as cluster:
+        distributed = cluster.query(q6_plan(), tracer=tracer)
+        serial = cluster.run_serial(q6_plan())
+    if distributed.groups != serial.groups:
+        raise AssertionError("distributed Q6 diverged from serial replay")
+    trace = Trace(tracer.last)
+    replayed = trace.to_ledger()
+    if replayed.buckets != cluster.ledger.buckets:
+        raise AssertionError("dist trace replay diverged from the ledger")
+    return trace
 
 
 def run(nrows: int, memory_model: str):
@@ -60,7 +102,23 @@ def main(argv=None) -> int:
         help="which engine's trace to export as Chrome JSON",
     )
     parser.add_argument("--json", default=None, help="trace-event output path")
+    parser.add_argument(
+        "--dist",
+        type=int,
+        default=0,
+        metavar="N",
+        help="export a cross-process trace from an N-shard cluster instead",
+    )
     args = parser.parse_args(argv)
+
+    if args.dist:
+        trace = run_dist(args.rows, args.dist)
+        print(f"=== dist — Q6, {args.rows} rows, {args.dist} shards ===")
+        print(trace.render())
+        if args.json:
+            path = write_trace(trace, args.json)
+            print(f"wrote {path} ({args.dist}-shard cross-process trace)")
+        return 0
 
     results = run(args.rows, args.model)
     for name, out in results.items():

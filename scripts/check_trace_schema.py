@@ -34,6 +34,16 @@ Two formats are recognized by content, not filename:
   SQL front-door series (``sql_*``): non-negative everywhere, every
   ``*_total`` counter monotone non-decreasing, and ``sql_txn_open`` a
   0/1 gauge (is an explicit transaction open right now).
+  SLO series (``slo_*``): burn rates non-negative, ``slo_in_breach`` a
+  0/1 gauge, ``*_total`` counters monotone. Flight-recorder series
+  (``journal_*``): non-negative, ``*_total`` counters monotone.
+
+* Flight-recorder dumps (``FlightRecorder.dump`` output, ``"schema":
+  "journal/v1"``) are checked for: a non-empty ``events`` array of
+  objects with strictly increasing integer ``seq``, non-negative finite
+  ``cycles``, and a non-empty string ``kind``; ``capacity`` positive;
+  ``dropped``/``events_total`` non-negative and consistent with the
+  retained event count.
 
   Chrome traces additionally get a statement-pipeline check: every
   ``sql.*`` span must carry ``layer == "sql"`` so the pipeline's spans
@@ -169,6 +179,50 @@ def _sql_errors(name: str, column) -> "str | None":
     return None
 
 
+def _slo_errors(name: str, column) -> "str | None":
+    """Semantic checks for one ``slo_*`` series; None when clean.
+
+    Burn rates and counts must be non-negative; ``slo_in_breach`` is a
+    0/1 gauge; ``*_total`` counters are monotone non-decreasing.
+    """
+    base = name.split("{", 1)[0]
+    prev = None
+    for i, v in enumerate(column):
+        if v is None:
+            continue
+        if v < 0:
+            return f"series {name!r}[{i}]: negative slo sample {v!r}"
+        if base == "slo_in_breach" and v not in (0, 1):
+            return f"series {name!r}[{i}]: slo_in_breach must be 0/1, got {v!r}"
+        if base.endswith("_total"):
+            if prev is not None and v < prev:
+                return (
+                    f"series {name!r}[{i}]: counter decreased "
+                    f"({prev!r} -> {v!r})"
+                )
+            prev = v
+    return None
+
+
+def _journal_errors(name: str, column) -> "str | None":
+    """Semantic checks for one ``journal_*`` series; None when clean."""
+    base = name.split("{", 1)[0]
+    prev = None
+    for i, v in enumerate(column):
+        if v is None:
+            continue
+        if v < 0:
+            return f"series {name!r}[{i}]: negative journal sample {v!r}"
+        if base.endswith("_total"):
+            if prev is not None and v < prev:
+                return (
+                    f"series {name!r}[{i}]: counter decreased "
+                    f"({prev!r} -> {v!r})"
+                )
+            prev = v
+    return None
+
+
 def _dist_hedge_errors(series) -> "str | None":
     """Cross-series invariant: hedge wins can never outrun hedges."""
     for name, wins in series.items():
@@ -254,6 +308,14 @@ def check_metrics(path: str, doc: dict) -> int:
             err = _sql_errors(name, column)
             if err is not None:
                 return _fail(err)
+        if name.startswith("slo_"):
+            err = _slo_errors(name, column)
+            if err is not None:
+                return _fail(err)
+        if name.startswith("journal_"):
+            err = _journal_errors(name, column)
+            if err is not None:
+                return _fail(err)
 
     err = _dist_hedge_errors(series)
     if err is not None:
@@ -262,6 +324,57 @@ def check_metrics(path: str, doc: dict) -> int:
     print(
         f"OK: {path} — {len(series)} series x {len(ticks)} samples, "
         f"every {interval:g} cycles"
+    )
+    return 0
+
+
+def check_journal(path: str, doc: dict) -> int:
+    capacity = doc.get("capacity")
+    if not isinstance(capacity, int) or capacity < 1:
+        return _fail(f"capacity must be a positive integer, got {capacity!r}")
+    for key in ("dropped", "events_total"):
+        v = doc.get(key)
+        if not isinstance(v, int) or v < 0:
+            return _fail(f"{key} must be a non-negative integer, got {v!r}")
+    events = doc.get("events")
+    if not isinstance(events, list) or not events:
+        return _fail("'events' must be a non-empty array")
+    if len(events) > capacity:
+        return _fail(
+            f"{len(events)} retained events exceed capacity {capacity}"
+        )
+    if doc["events_total"] < len(events):
+        return _fail(
+            f"events_total {doc['events_total']} below the "
+            f"{len(events)} retained events"
+        )
+    prev_seq = None
+    for i, event in enumerate(events):
+        where = f"events[{i}]"
+        if not isinstance(event, dict):
+            return _fail(f"{where}: not an object")
+        seq = event.get("seq")
+        if not isinstance(seq, int) or seq < 1:
+            return _fail(f"{where}: bad seq {seq!r}")
+        if prev_seq is not None and seq <= prev_seq:
+            return _fail(f"{where}: seq {seq!r} not after {prev_seq!r}")
+        prev_seq = seq
+        cycles = event.get("cycles")
+        if (
+            not isinstance(cycles, (int, float))
+            or not math.isfinite(cycles)
+            or cycles < 0
+        ):
+            return _fail(f"{where}: bad cycles {cycles!r}")
+        kind = event.get("kind")
+        if not isinstance(kind, str) or not kind:
+            return _fail(f"{where}: bad kind {kind!r}")
+        for err in _finite_numbers(event.get("attrs", {}), f"{where}.attrs"):
+            return _fail(err)
+    print(
+        f"OK: {path} — {len(events)} events retained "
+        f"({doc['events_total']} total, {doc['dropped']} dropped), "
+        f"reason {doc.get('reason', '')!r}"
     )
     return 0
 
@@ -277,6 +390,10 @@ def check(path: str) -> int:
         "repro.metrics"
     ):
         return check_metrics(path, doc)
+    if isinstance(doc, dict) and str(doc.get("schema", "")).startswith(
+        "journal/"
+    ):
+        return check_journal(path, doc)
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         return _fail("top level must be an object with 'traceEvents'")
     events = doc["traceEvents"]

@@ -170,3 +170,27 @@ def tenant_latency_panels(
         if m:
             by_tenant.setdefault(m.group(1), []).append(name)
     return [(tenant, sorted(names)) for tenant, names in sorted(by_tenant.items())]
+
+
+def slo_burn_panels(series) -> List:
+    """Group a sampled run's ``slo_burn_rate_*`` series into chart panels.
+
+    One ``("tenant SLO burn", [series names])`` panel per tenant, fast
+    and slow windows side by side — rendered next to
+    :func:`tenant_latency_panels` so a latency spike and the burn-rate
+    alarm it feeds line up on the same simulated-time axis.
+    """
+    import re
+
+    by_tenant: Dict[str, List[str]] = {}
+    for name in series.series:
+        base = name.split("{", 1)[0]
+        if base not in ("slo_burn_rate_fast", "slo_burn_rate_slow"):
+            continue
+        m = re.search(r'tenant="([^"]+)"', name)
+        if m:
+            by_tenant.setdefault(m.group(1), []).append(name)
+    return [
+        (f"{tenant} SLO burn", sorted(names))
+        for tenant, names in sorted(by_tenant.items())
+    ]

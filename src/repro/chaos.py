@@ -834,7 +834,7 @@ def _in_missing(key: int, missing) -> bool:
     )
 
 
-def _shard_kill_cluster(seed: int, n_txns: int, config):
+def _shard_kill_cluster(seed: int, n_txns: int, config, recorder=None):
     """One seeded write mix through a durable 4-shard cluster, with one
     independent :class:`ShadowOracle` per shard fault domain."""
     from repro.db.sharding import ShardedTable
@@ -843,7 +843,8 @@ def _shard_kill_cluster(seed: int, n_txns: int, config):
     schema = orders_schema()
     boundaries = [100, 200, 300]
     cluster = ShardCluster(
-        ShardedTable(schema, "o_id", boundaries), config, durable=True
+        ShardedTable(schema, "o_id", boundaries), config, durable=True,
+        journal=recorder,
     )
     cluster.start()
     oracles = [ShadowOracle() for _ in cluster.sharded.shards]
@@ -946,6 +947,7 @@ def run_shard_kill_chaos(
     seed: int,
     n_txns: int = 120,
     lineitem_rows: int = 20_000,
+    recorder=None,
 ) -> ShardKillChaosReport:
     """The scatter-gather suite: kill a shard at every scatter boundary.
 
@@ -1016,7 +1018,7 @@ def run_shard_kill_chaos(
 
     # 1. Kill-rotation: every shard dies once, at a scatter boundary.
     cluster, oracles = _shard_kill_cluster(
-        seed, n_txns, DistConfig(deadline_s=5.0)
+        seed, n_txns, DistConfig(deadline_s=5.0), recorder=recorder
     )
     try:
         report.shards = len(cluster.sharded.shards)
@@ -1068,6 +1070,7 @@ def run_shard_kill_chaos(
             fault_rates={SHARD_CRASH: 1.0},
             fault_shards=frozenset({dead_shard}),
         ),
+        recorder=recorder,
     )
     try:
         lo, hi = cluster.sharded.shard_bounds(dead_shard)
@@ -1123,6 +1126,7 @@ def run_shard_kill_chaos(
             fault_shards=frozenset({stalled_shard}),
             fault_incarnations=frozenset({0}),
         ),
+        recorder=recorder,
     )
     try:
         expected = oracle_answer(cluster, oracles, plan)
@@ -1222,7 +1226,23 @@ def main(argv=None) -> int:
         default=80,
         help="sql-fuzz mode: statements per seeded stream",
     )
+    parser.add_argument(
+        "--journal",
+        type=str,
+        default="",
+        help="flight-recorder dump path — the run records fault-handling "
+        "decisions into a bounded ring and dumps it as journal/v1 JSON "
+        "when any invariant fails (shard-kill and sql-fuzz modes)",
+    )
     args = parser.parse_args(argv)
+
+    recorder = None
+    if args.journal:
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(
+            capacity=4096, auto_dump_path=args.journal
+        )
 
     if args.mode == "sql-fuzz":
         # Imported lazily: the fuzz harness pulls in the SQL pipeline and
@@ -1230,7 +1250,8 @@ def main(argv=None) -> int:
         from repro.db.sql.fuzz import run_sql_fuzz
 
         freport = run_sql_fuzz(
-            args.seed, steps=args.steps, crash_points=args.torn
+            args.seed, steps=args.steps, crash_points=args.torn,
+            recorder=recorder,
         )
         print(
             f"sql-fuzz chaos seed={freport.seed}: {freport.steps} steps — "
@@ -1249,10 +1270,18 @@ def main(argv=None) -> int:
             with open(args.json, "w") as f:
                 json.dump(freport.to_dict(), f, indent=2)
             print(f"wrote {args.json}")
+        if recorder is not None and not freport.passed:
+            recorder.auto_dump(
+                f"sql-fuzz chaos seed={freport.seed}: "
+                f"{len(freport.violations)} violations"
+            )
+            print(f"wrote flight-recorder dump {recorder.last_dump_path}")
         return 0 if freport.passed else 1
 
     if args.mode == "shard-kill":
-        kreport = run_shard_kill_chaos(args.seed, n_txns=args.txns)
+        kreport = run_shard_kill_chaos(
+            args.seed, n_txns=args.txns, recorder=recorder
+        )
         print(
             f"shard-kill chaos seed={kreport.seed}: {kreport.txns} txns over "
             f"{kreport.shards} shards ({kreport.rows} rows) — "
@@ -1271,6 +1300,12 @@ def main(argv=None) -> int:
             with open(args.json, "w") as f:
                 json.dump(kreport.to_dict(), f, indent=2)
             print(f"wrote {args.json}")
+        if recorder is not None and not kreport.passed:
+            recorder.auto_dump(
+                f"shard-kill chaos seed={kreport.seed}: "
+                f"{len(kreport.violations)} violations"
+            )
+            print(f"wrote flight-recorder dump {recorder.last_dump_path}")
         return 0 if kreport.passed else 1
 
     if args.mode == "overload":

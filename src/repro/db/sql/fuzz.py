@@ -366,20 +366,23 @@ def _decode(value):
 # The harness.
 # ----------------------------------------------------------------------
 class _Harness:
-    def __init__(self, seed: int, crash: bool, side_table: bool):
+    def __init__(self, seed: int, crash: bool, side_table: bool, recorder=None):
         self.report: Optional[SqlFuzzReport] = None  # set by run_sql_fuzz
         self.rng = random.Random(seed)
         self.wal = WriteAheadLog(device=SsdLog()) if crash else None
         self.catalog = Catalog()
         self.manager = TransactionManager(wal=self.wal)
         self.primary = Session(
-            catalog=self.catalog, manager=self.manager, exec_mode="vector"
+            catalog=self.catalog, manager=self.manager, exec_mode="vector",
+            journal=recorder,
         )
         self.volcano = Session(
-            catalog=self.catalog, manager=self.manager, exec_mode="volcano"
+            catalog=self.catalog, manager=self.manager, exec_mode="volcano",
+            journal=recorder,
         )
         self.twin = Session(
-            catalog=self.catalog, manager=self.manager, exec_mode="vector"
+            catalog=self.catalog, manager=self.manager, exec_mode="vector",
+            journal=recorder,
         )
         self.oracle = SqlOracle()
         self.gen = StatementGen(self.rng, side_table=side_table)
@@ -578,6 +581,7 @@ def run_sql_fuzz(
     steps: int = 60,
     crash_points: int = 0,
     side_table: bool = True,
+    recorder=None,
 ) -> SqlFuzzReport:
     """One seeded differential run; see the module docstring.
 
@@ -586,10 +590,16 @@ def run_sql_fuzz(
     offsets on top of every record boundary after the stream finishes.
     (The side table is non-MVCC and never written by DML, so it stays
     out of the WAL and out of the recovery contract.)
+
+    ``recorder`` is an optional :class:`~repro.obs.FlightRecorder`: the
+    fuzzed sessions journal every statement error into it, so a crashing
+    stream's dump shows the statement sequence that led to the failure.
     """
     t0 = time.perf_counter()
     report = SqlFuzzReport(seed=seed, steps=steps)
-    harness = _Harness(seed, crash=crash_points > 0, side_table=side_table)
+    harness = _Harness(
+        seed, crash=crash_points > 0, side_table=side_table, recorder=recorder
+    )
     harness.report = report
     for _ in range(steps):
         harness.step()

@@ -160,6 +160,7 @@ class Session:
         metrics: Optional[MetricsRegistry] = None,
         codecache=None,
         retry_policy: Optional[RetryPolicy] = None,
+        journal=None,
     ):
         if engine is not None and catalog is not None \
                 and engine.catalog is not catalog:
@@ -191,6 +192,14 @@ class Session:
         self.manager = manager
         self.optimizer = Optimizer(self.catalog, engine.platform)
         self.retry_policy = retry_policy
+        from repro.obs.journal import active_journal
+
+        #: Flight recorder: statement errors are journaled (kind
+        #: ``sql.error``) so a fuzz crash's black box shows the failing
+        #: statement sequence, not just the final exception.
+        self.journal = active_journal(journal)
+        if self.journal is not None and self.manager.wal is not None:
+            self.manager.wal.attach_journal(self.journal)
         self.stats = SqlStats()
         #: Span tree of the most recent statement (tracer sessions).
         self.last_trace: Optional[Trace] = None
@@ -228,8 +237,15 @@ class Session:
                     ps.set_attrs(kind=type(stmt).__name__)
                 out = self._dispatch(stmt, sql)
                 span.set_attrs(kind=out.kind, rows=out.rows_affected)
-        except ReproError:
+        except ReproError as exc:
             self.stats.errors += 1
+            if self.journal is not None:
+                self.journal.record(
+                    "sql.error",
+                    error=type(exc).__name__,
+                    message=str(exc)[:200],
+                    sql=sql[:200],
+                )
             raise
         self.stats.statements += 1
         out.cycles += self._sub_cycles

@@ -324,6 +324,9 @@ class WriteAheadLog:
         #: counters are exposed through a collector.
         self.metrics: Optional["MetricsRegistry"] = None
         self._m_fsync = None
+        #: Flight-recorder hook: checkpoint truncations and recovery
+        #: passes are journaled when one is attached.
+        self.journal = None
         if metrics is not None:
             self.attach_metrics(metrics)
 
@@ -344,6 +347,15 @@ class WriteAheadLog:
             help="Commit-barrier flush latency in simulated CPU cycles",
         )
         register_wal(reg, self)
+
+    def attach_journal(self, journal) -> None:
+        """Wire this WAL into a flight recorder (idempotent)."""
+        from repro.obs.journal import active_journal
+
+        j = active_journal(journal)
+        if j is None or self.journal is not None:
+            return
+        self.journal = j
 
     # ------------------------------------------------------------------
     # Appending.
@@ -533,6 +545,14 @@ class Checkpointer:
             self.wal.device.truncate(marker)
         self.taken += 1
         self.last = cp
+        if self.wal.journal is not None:
+            self.wal.journal.record(
+                "wal.checkpoint",
+                checkpoint_id=cp.checkpoint_id,
+                nbytes=cp.nbytes,
+                tables=len(cp.snapshots),
+                clock=cp.clock,
+            )
         return cp
 
 
@@ -640,6 +660,15 @@ def recover(
             records_scanned=result.report.records_scanned,
             committed_redone=result.report.committed_redone,
             torn_tail_bytes=result.report.torn_tail_bytes,
+        )
+    if wal.journal is not None:
+        wal.journal.record(
+            "wal.recovery",
+            records_scanned=result.report.records_scanned,
+            committed_redone=result.report.committed_redone,
+            uncommitted_dropped=result.report.uncommitted_dropped,
+            torn_tail_bytes=result.report.torn_tail_bytes,
+            checkpoint_id=result.report.checkpoint_id,
         )
     return result
 

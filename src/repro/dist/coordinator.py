@@ -65,7 +65,17 @@ from repro.dist.worker import (
     WorkerBoot,
 )
 from repro.errors import ExecutionError, PartialResultError, WorkerTimeoutError
-from repro.obs import maybe_span
+from repro.obs import TraceContext, maybe_span, new_trace_id
+from repro.obs.distctx import graft_partial
+from repro.obs.journal import (
+    EV_HEDGE_WIN,
+    EV_PARTIAL_RESULT,
+    EV_SHARD_KILL,
+    EV_SHARD_RESTART,
+    EV_SHARD_STALE,
+    EV_SHARD_TIMEOUT,
+    active_journal,
+)
 
 __all__ = ["DistConfig", "ClusterStats", "ShardCluster"]
 
@@ -127,6 +137,7 @@ class ShardCluster:
         config: Optional[DistConfig] = None,
         durable: bool = False,
         tracer=None,
+        journal=None,
     ):
         if durable and not sharded.schema.mvcc:
             raise ExecutionError(
@@ -137,6 +148,10 @@ class ShardCluster:
         self.config = config or DistConfig()
         self.durable = durable
         self.tracer = tracer
+        #: Flight recorder for fault-handling decisions (restart, kill,
+        #: stale fence, hedge win, timeout, partial result). Folded to
+        #: None when disabled, so hot paths pay one is-None check.
+        self.journal = active_journal(journal)
         self.stats = ClusterStats()
         #: Cross-query cost accumulation (plain ledger; per-query ledgers
         #: merge into it so traced/untraced runs accumulate identically).
@@ -257,7 +272,7 @@ class ShardCluster:
                 self.stats.recovered_bytes_total += recovery["bytes_applied"]
         return host, info
 
-    def _restart(self, i: int, stats=None) -> None:
+    def _restart(self, i: int, stats=None, tracer=None) -> None:
         """Kill shard *i*'s worker and bring up the next incarnation,
         recovered from the shard's durable log (durable mode)."""
         host = self._hosts[i]
@@ -265,7 +280,17 @@ class ShardCluster:
             host.kill()
             host.close()
         self._incarnations[i] += 1
-        self._hosts[i], _info = self._spawn(i)
+        with maybe_span(
+            tracer, "dist.recovery", layer="dist",
+            shard=i, incarnation=self._incarnations[i],
+        ) as span:
+            self._hosts[i], info = self._spawn(i)
+            recovery = info.get("recovery")
+            if recovery is not None:
+                span.set_attrs(
+                    bytes_applied=recovery.get("bytes_applied", 0),
+                    records_applied=recovery.get("records_applied", 0),
+                )
         self.stats.restarts_total += 1
         if stats is not None:
             stats.restarts += 1
@@ -273,6 +298,13 @@ class ShardCluster:
             self.stats.recoveries_total += 1
             if stats is not None:
                 stats.recoveries += 1
+        if self.journal is not None:
+            self.journal.record(
+                EV_SHARD_RESTART,
+                shard=i,
+                incarnation=self._incarnations[i],
+                durable=self.durable,
+            )
 
     def kill_shard(self, index: int) -> None:
         """The chaos harness's hammer: SIGKILL one fault domain."""
@@ -280,6 +312,12 @@ class ShardCluster:
         if host is not None:
             host.kill()
         self.stats.kills_total += 1
+        if self.journal is not None:
+            self.journal.record(
+                EV_SHARD_KILL,
+                shard=index,
+                incarnation=self._incarnations[index],
+            )
 
     # ------------------------------------------------------------------
     # Durable-mode writes + replication.
@@ -360,13 +398,21 @@ class ShardCluster:
         ts = self.default_snapshot() if snapshot_ts is None else snapshot_ts
         ledger = CostLedger(tracer=tracer, metrics=metrics)
         self.stats.queries_total += 1
+        # The cross-process identity: shipped with every exec so workers
+        # record their span trees under it (repro.obs.distctx).
+        ctx = (
+            TraceContext(trace_id=new_trace_id())
+            if tracer is not None and tracer.enabled
+            else None
+        )
         result: DistResult
         with maybe_span(
-            tracer, "dist.query", layer="dist", mode="scatter-gather"
+            tracer, "dist.query", layer="dist", mode="scatter-gather",
+            trace_id=ctx.trace_id if ctx is not None else "",
         ):
             indexes = self.sharded.shards_for_range(plan.key_low, plan.key_high)
             stats_partials = self._scatter_gather(
-                indexes, plan, ts, tracer
+                indexes, plan, ts, tracer, ctx
             )
             stats, partials, missing = stats_partials
             with maybe_span(tracer, "dist.gather", layer="dist"):
@@ -380,7 +426,20 @@ class ShardCluster:
             result.missing_ranges = tuple(missing)
             result.degraded = True
             self.stats.partial_results_total += 1
+            if self.journal is not None:
+                self.journal.record(
+                    EV_PARTIAL_RESULT,
+                    missing=len(missing),
+                    planned=len(indexes),
+                    ranges=str(missing),
+                    allowed=allow_partial,
+                )
             if not allow_partial:
+                if self.journal is not None:
+                    self.journal.auto_dump(
+                        f"PartialResultError: {len(missing)} of "
+                        f"{len(indexes)} shard ranges unanswered"
+                    )
                 raise PartialResultError(
                     f"{len(missing)} of {len(indexes)} shard ranges "
                     f"unanswered after {self.config.retries} retries: "
@@ -410,7 +469,18 @@ class ShardCluster:
     # ------------------------------------------------------------------
     # The per-shard await state machine.
     # ------------------------------------------------------------------
-    def _scatter_gather(self, indexes, plan, ts, tracer):
+    def _exec_msg(self, i, rid, plan, ts, ctx) -> tuple:
+        """The exec message for one shard attempt. Untraced statements
+        keep the legacy 5-tuple; traced ones append the shard's child
+        TraceContext (old workers would simply ignore a 6th element)."""
+        if ctx is None:
+            return ("exec", rid, plan, ts, self._fence(i))
+        return (
+            "exec", rid, plan, ts, self._fence(i),
+            ctx.child(i, self._incarnations[i]),
+        )
+
+    def _scatter_gather(self, indexes, plan, ts, tracer, ctx=None):
         from repro.dist.plan import DistQueryStats
 
         stats = DistQueryStats()
@@ -422,7 +492,7 @@ class ShardCluster:
                 host = self._hosts[i]
                 rid = self._rid()
                 if host is not None and host.send(
-                    ("exec", rid, plan, ts, self._fence(i))
+                    self._exec_msg(i, rid, plan, ts, ctx)
                 ):
                     stats.attempts += 1
                     self.stats.rpcs_total += 1
@@ -434,7 +504,8 @@ class ShardCluster:
                 tracer, "dist.shard_exec", layer="dist", shard=i
             ):
                 partial = self._await_shard(
-                    i, plan, ts, stats, first=pending.get(i)
+                    i, plan, ts, stats, first=pending.get(i),
+                    tracer=tracer, ctx=ctx,
                 )
             if partial is None:
                 missing.append(self._missing_range(i, plan))
@@ -460,6 +531,8 @@ class ShardCluster:
         ts: int,
         stats,
         first: Optional[Tuple[Any, int]] = None,
+        tracer=None,
+        ctx=None,
     ) -> Optional[ShardPartial]:
         """Deadline-bounded await of one shard, with restart + hedging.
 
@@ -480,13 +553,13 @@ class ShardCluster:
                 host = self._hosts[i]
                 if host is None or not host.alive():
                     try:
-                        self._restart(i, stats)
+                        self._restart(i, stats, tracer=tracer)
                     except WorkerTimeoutError:
                         continue  # burn the attempt, try again
                     host = self._hosts[i]
                 rid = self._rid()
-                if not host.send(("exec", rid, plan, ts, self._fence(i))):
-                    self._restart(i, stats)
+                if not host.send(self._exec_msg(i, rid, plan, ts, ctx)):
+                    self._restart(i, stats, tracer=tracer)
                     continue
                 stats.attempts += 1
                 self.stats.rpcs_total += 1
@@ -515,11 +588,35 @@ class ShardCluster:
                             stats.hedge_wins += 1
                             self.stats.hedge_wins_total += 1
                             self._promote(i, host)
+                            if self.journal is not None:
+                                self.journal.record(
+                                    EV_HEDGE_WIN,
+                                    shard=i,
+                                    incarnation=host.incarnation,
+                                )
+                        graft_partial(
+                            tracer, getattr(payload, "spans", None),
+                            remote_pid=2 + i,
+                            remote_tid=1 + host.incarnation,
+                            hedge_winner=is_hedge,
+                        )
+                        self._collect_losers(
+                            i, contenders, winner=host,
+                            valid_rids=valid_rids, tracer=tracer,
+                        )
                         self._reap_losers(i, contenders, winner=host)
                         return payload
                     if status == "stale":
                         stats.stale_fences += 1
                         self.stats.stale_fences_total += 1
+                        if self.journal is not None:
+                            self.journal.record(
+                                EV_SHARD_STALE,
+                                shard=i,
+                                incarnation=host.incarnation,
+                                applied_lsn=payload,
+                                expected_lsn=self._fence(i),
+                            )
                         contenders.remove(entry)
                         if not is_hedge:
                             # Force the restart-from-log on the next
@@ -540,7 +637,7 @@ class ShardCluster:
                     hedge = self._spawn_hedge(i)
                     if hedge is not None:
                         rid = self._rid()
-                        if hedge.send(("exec", rid, plan, ts, self._fence(i))):
+                        if hedge.send(self._exec_msg(i, rid, plan, ts, ctx)):
                             stats.hedges += 1
                             self.stats.hedges_total += 1
                             stats.attempts += 1
@@ -555,6 +652,14 @@ class ShardCluster:
                 # stalled or partitioned. Kill the suspects and restart.
                 stats.timeouts += 1
                 self.stats.timeouts_total += 1
+                if self.journal is not None:
+                    self.journal.record(
+                        EV_SHARD_TIMEOUT,
+                        shard=i,
+                        attempt=attempt,
+                        contenders=len(contenders),
+                        deadline_s=cfg.deadline_s,
+                    )
             for host, _rid, _h in contenders:
                 self._kill_host(i, host)
             contenders.clear()
@@ -575,6 +680,32 @@ class ShardCluster:
         """A hedge won: it becomes the shard's primary worker. The old
         primary is still in the contender list and is reaped there."""
         self._hosts[i] = winner
+
+    def _collect_losers(
+        self, i: int, contenders, winner, valid_rids, tracer
+    ) -> None:
+        """One non-blocking poll per hedge loser before the reap: a loser
+        that *also* finished gets its span batch grafted (tagged
+        ``hedge_loser=True``) so the trace shows the redundant work.
+        Grafted spans are counters-only, so losers never double-charge
+        the ledger — the winner's partial is the only one merged."""
+        if tracer is None or not tracer.enabled:
+            return
+        for host, rid, _is_hedge in contenders:
+            if host is winner:
+                continue
+            reply = host.poll(0.0)
+            if reply is None:
+                continue
+            tag, status, payload = reply
+            if tag not in valid_rids or status != "ok":
+                continue
+            graft_partial(
+                tracer, getattr(payload, "spans", None),
+                remote_pid=2 + i,
+                remote_tid=1 + host.incarnation,
+                hedge_loser=True,
+            )
 
     def _reap_losers(self, i: int, contenders, winner) -> None:
         for host, _rid, _is_hedge in contenders:

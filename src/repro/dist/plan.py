@@ -172,6 +172,10 @@ class ShardPartial:
     arrays: Optional[Dict[str, np.ndarray]] = None
     #: Replica LSN the fragment executed at (durable clusters).
     applied_lsn: int = 0
+    #: Wire-encoded worker span tree (:func:`repro.obs.span_to_wire`),
+    #: shipped back when the exec carried a TraceContext. Grafted by the
+    #: coordinator under its awaiting ``dist.shard_exec`` span.
+    spans: Optional[Dict] = None
 
 
 @dataclass
@@ -278,7 +282,11 @@ def _group_codes(
 
 
 def execute_fragment(
-    table: Table, plan: DistPlan, snapshot_ts: int = 0, shard_index: int = 0
+    table: Table,
+    plan: DistPlan,
+    snapshot_ts: int = 0,
+    shard_index: int = 0,
+    tracer=None,
 ) -> ShardPartial:
     """Evaluate ``plan`` over one shard's base table.
 
@@ -286,34 +294,57 @@ def execute_fragment(
     code runs inside shard workers and in the coordinator's serial
     reference path, which is what makes "byte-identical to serial"
     testable rather than aspirational.
+
+    ``tracer`` is the *worker-local* tracer of a traced distributed
+    statement: the fragment's stage spans (``frag.scan``/``frag.filter``/
+    ``frag.agg``/``frag.project``) record the same integer bucket charges
+    the coordinator will account through :func:`merge_partials`. The
+    coordinator's own paths (:func:`execute_plan`,
+    ``ShardCluster.run_serial``) must NOT pass their tracer here — the
+    charges would then appear twice in a replayed trace.
     """
     schema = table.schema
     n = table.nrows
     partial = ShardPartial(shard_index=shard_index, rows_scanned=n)
     buckets = partial.buckets
 
-    touched = _touched_columns(plan)
-    width = sum(schema.column(c).dtype.width for c in touched)
-    if schema.mvcc:
-        width += MVCC_STAMP_BYTES
-    buckets[CostLedger.DIST_SCAN] = n * width
+    with maybe_span(
+        tracer, "frag.scan", layer="dist", table=schema.name, rows_in=n
+    ):
+        touched = _touched_columns(plan)
+        width = sum(schema.column(c).dtype.width for c in touched)
+        if schema.mvcc:
+            width += MVCC_STAMP_BYTES
+        buckets[CostLedger.DIST_SCAN] = n * width
+        if tracer is not None:
+            tracer.record(CostLedger.DIST_SCAN, buckets[CostLedger.DIST_SCAN])
 
-    if schema.mvcc:
-        mask = visible_mask(table.begin_ts, table.end_ts, snapshot_ts)
-    else:
-        mask = np.ones(n, dtype=bool)
-    if plan.key_low is not None or plan.key_high is not None:
-        key = _raw_column(table, plan.key_column)
-        if plan.key_low is not None:
-            mask &= key >= plan.key_low
-        if plan.key_high is not None:
-            mask &= key <= plan.key_high
-    for pred in plan.predicates:
-        mask &= pred.op.apply(_raw_column(table, pred.column), pred.value)
-    buckets[CostLedger.DIST_FILTER] = n * FILTER_CYCLES_PER_TERM * plan.filter_terms
-
-    qualifying = int(np.count_nonzero(mask))
-    partial.rows_qualifying = qualifying
+    with maybe_span(
+        tracer, "frag.filter", layer="dist",
+        rows_in=n, terms=plan.filter_terms,
+    ) as fspan:
+        if schema.mvcc:
+            mask = visible_mask(table.begin_ts, table.end_ts, snapshot_ts)
+        else:
+            mask = np.ones(n, dtype=bool)
+        if plan.key_low is not None or plan.key_high is not None:
+            key = _raw_column(table, plan.key_column)
+            if plan.key_low is not None:
+                mask &= key >= plan.key_low
+            if plan.key_high is not None:
+                mask &= key <= plan.key_high
+        for pred in plan.predicates:
+            mask &= pred.op.apply(_raw_column(table, pred.column), pred.value)
+        buckets[CostLedger.DIST_FILTER] = (
+            n * FILTER_CYCLES_PER_TERM * plan.filter_terms
+        )
+        if tracer is not None:
+            tracer.record(
+                CostLedger.DIST_FILTER, buckets[CostLedger.DIST_FILTER]
+            )
+        qualifying = int(np.count_nonzero(mask))
+        partial.rows_qualifying = qualifying
+        fspan.set_attrs(rows_out=qualifying)
 
     if plan.aggregates:
         per_row = GROUP_CYCLES_PER_KEY * len(plan.group_by) + sum(
@@ -321,6 +352,16 @@ def execute_fragment(
             for a in plan.aggregates
         )
         buckets[CostLedger.DIST_AGG] = qualifying * per_row
+        with maybe_span(
+            tracer, "frag.agg", layer="dist",
+            rows_in=qualifying,
+            group_by=len(plan.group_by),
+            aggregates=len(plan.aggregates),
+        ):
+            if tracer is not None:
+                tracer.record(
+                    CostLedger.DIST_AGG, buckets[CostLedger.DIST_AGG]
+                )
         partial.groups = {}
         if qualifying:
             if plan.group_by:
@@ -362,6 +403,14 @@ def execute_fragment(
     else:
         out_bytes = sum(schema.column(c).dtype.width for c in plan.columns)
         buckets[CostLedger.DIST_AGG] = qualifying * out_bytes
+        with maybe_span(
+            tracer, "frag.project", layer="dist",
+            rows_out=qualifying, columns=len(plan.columns),
+        ):
+            if tracer is not None:
+                tracer.record(
+                    CostLedger.DIST_AGG, buckets[CostLedger.DIST_AGG]
+                )
         partial.arrays = {
             name: np.ascontiguousarray(_raw_column(table, name)[mask])
             for name in plan.columns

@@ -6,10 +6,13 @@ zero serialization) or a :class:`~repro.dist.replica.ShardReplica`
 booted from the shard's WAL image (durable mode). It answers a tiny
 message protocol over a duplex pipe:
 
-- ``("exec", req_id, plan, snapshot_ts, expected_lsn)`` — run
+- ``("exec", req_id, plan, snapshot_ts, expected_lsn[, ctx])`` — run
   :func:`~repro.dist.plan.execute_fragment`; replies ``(req_id, "ok",
   ShardPartial)``, or ``(req_id, "stale", applied_lsn)`` when the LSN
-  fence fails (a partitioned replica missed deltas).
+  fence fails (a partitioned replica missed deltas). The optional
+  trailing ``ctx`` (:class:`~repro.obs.TraceContext`) marks a traced
+  statement: the worker then records its own span tree under a local
+  tracer and ships it back wire-encoded on ``ShardPartial.spans``.
 - ``("apply", delta, base_lsn)`` — fire-and-forget WAL replication; no
   reply ever (loss is what the fence exists to catch).
 - ``("ping", req_id)`` — liveness + fence probe.
@@ -45,6 +48,8 @@ from repro.db.schema import TableSchema
 from repro.db.table import Table
 from repro.dist.plan import execute_fragment
 from repro.dist.replica import ShardReplica
+from repro.obs.distctx import span_to_wire
+from repro.obs.span import Tracer, maybe_span
 from repro.faults import (
     SHARD_CRASH,
     SHARD_PARTITION,
@@ -125,6 +130,25 @@ def _build_injector(boot: WorkerBoot) -> FaultInjector:
     )
 
 
+def _worker_span(tracer, ctx, runtime: "_ShardRuntime", expected_lsn):
+    """The per-attempt root span a traced exec records itself under.
+
+    Carries the fault-domain identity (shard, incarnation), the request's
+    trace id, and the LSN fence facts — everything the coordinator needs
+    to show *which* attempt of *which* incarnation produced the answer.
+    """
+    return maybe_span(
+        tracer,
+        "worker.exec",
+        layer="dist",
+        shard=runtime.boot.shard_index,
+        incarnation=runtime.boot.incarnation,
+        trace_id=ctx.trace_id if ctx is not None else "",
+        applied_lsn=runtime.applied_lsn,
+        expected_lsn=expected_lsn,
+    )
+
+
 class _ShardRuntime:
     """Transport-independent worker logic: state + message handling.
 
@@ -193,8 +217,12 @@ class _ShardRuntime:
                 self.replica.apply_delta(delta, base_lsn)
             return "reply", 0.0, None
         if kind == "exec":
-            _, req_id, plan, snapshot_ts, expected_lsn = msg
+            # The 6th element — a TraceContext — is optional so old
+            # coordinators (5-tuple senders) keep working unchanged.
+            _, req_id, plan, snapshot_ts, expected_lsn = msg[:5]
+            ctx = msg[5] if len(msg) > 5 else None
             delay = 0.0
+            stalled = False
             inj = self.injector
             if inj.armed:
                 if inj.should_fault(SHARD_PARTITION):
@@ -203,15 +231,26 @@ class _ShardRuntime:
                     return "crash", 0.0, None
                 if inj.should_fault(SHARD_STALL):
                     delay = self.boot.stall_s
+                    stalled = True
             if expected_lsn is not None and self.applied_lsn != expected_lsn:
                 return "reply", delay, (req_id, "stale", self.applied_lsn)
+            # A carried context means the coordinator is tracing: record
+            # this attempt's span tree on a worker-local tracer and ship
+            # it back with the partial for grafting.
+            tracer = Tracer() if ctx is not None else None
             try:
-                partial = execute_fragment(
-                    self.table,
-                    plan,
-                    snapshot_ts=snapshot_ts,
-                    shard_index=self.boot.shard_index,
-                )
+                with _worker_span(tracer, ctx, self, expected_lsn) as wspan:
+                    if stalled:
+                        wspan.set_attrs(stall_s=delay)
+                    if inj.armed:
+                        wspan.set_attrs(faults_fired=inj.total_fired)
+                    partial = execute_fragment(
+                        self.table,
+                        plan,
+                        snapshot_ts=snapshot_ts,
+                        shard_index=self.boot.shard_index,
+                        tracer=tracer,
+                    )
             except Exception as exc:  # typed errors travel as reprs
                 return "reply", delay, (
                     req_id,
@@ -219,6 +258,8 @@ class _ShardRuntime:
                     f"{type(exc).__name__}: {exc}",
                 )
             partial.applied_lsn = self.applied_lsn
+            if tracer is not None and tracer.last is not None:
+                partial.spans = span_to_wire(tracer.last)
             return "reply", delay, (req_id, "ok", partial)
         return "reply", 0.0, (msg[1] if len(msg) > 1 else BOOT_REQ_ID,
                               "error", f"unknown message kind {kind!r}")

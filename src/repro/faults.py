@@ -181,6 +181,9 @@ class FaultInjector:
         self._rng = random.Random(plan.seed)
         self.checks: Dict[str, int] = {}
         self.fired: Dict[str, int] = {}
+        #: Optional :class:`~repro.obs.FlightRecorder`; every fired fault
+        #: is journaled (kind ``fault.fired``) when one is attached.
+        self.journal = None
         #: True iff this plan can ever fire. Hot paths gate their check —
         #: including any detail-string formatting — behind
         #: ``inj is not None and inj.armed`` so a disarmed injector costs
@@ -212,6 +215,10 @@ class FaultInjector:
         if self._rng.random() >= rate:
             return False
         self.fired[site] = self.fired.get(site, 0) + 1
+        if self.journal is not None:
+            self.journal.record(
+                "fault.fired", site=site, count=self.fired[site]
+            )
         return True
 
     def check(self, site: str, detail: str = "") -> None:
@@ -307,6 +314,9 @@ class CircuitBreaker:
         self._denied_since_open = 0
         #: Times the breaker tripped CLOSED/HALF_OPEN → OPEN.
         self.times_opened = 0
+        #: Optional :class:`~repro.obs.FlightRecorder`; open/close
+        #: transitions are journaled when one is attached.
+        self.journal = None
 
     def allow(self) -> bool:
         """May the protected device be attempted right now?"""
@@ -320,7 +330,12 @@ class CircuitBreaker:
     def record_success(self) -> None:
         """The protected device answered: close and reset."""
         self._consecutive_failures = 0
-        self.state = BreakerState.CLOSED
+        if self.state is not BreakerState.CLOSED:
+            if self.journal is not None:
+                self.journal.record(
+                    "breaker.close", from_state=self.state.value
+                )
+            self.state = BreakerState.CLOSED
 
     def record_failure(self) -> None:
         """The protected device faulted; may trip the breaker open."""
@@ -334,6 +349,12 @@ class CircuitBreaker:
             self._trip()
 
     def _trip(self) -> None:
+        if self.journal is not None:
+            self.journal.record(
+                "breaker.open",
+                from_state=self.state.value,
+                consecutive_failures=self._consecutive_failures,
+            )
         self.state = BreakerState.OPEN
         self._denied_since_open = 0
         self.times_opened += 1

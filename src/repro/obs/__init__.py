@@ -23,6 +23,15 @@ use::
     open("metrics.json", "w").write(metrics.sampler.series.to_json())
 """
 
+from repro.obs.distctx import (
+    TraceContext,
+    graft,
+    graft_partial,
+    new_trace_id,
+    span_to_wire,
+    wire_to_span,
+)
+from repro.obs.journal import FlightRecorder, JournalEvent, active_journal
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -33,23 +42,36 @@ from repro.obs.metrics import (
     active_metrics,
     fmt_name,
 )
+from repro.obs.slo import SloMonitor, SloObjective, windowed_burn_rates
 from repro.obs.span import NULL_SPAN, Probe, Span, Tracer, active, maybe_span
 from repro.obs.trace import Trace
 
 __all__ = [
     "NULL_SPAN",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "JournalEvent",
     "MetricsRegistry",
     "MetricsTimeSeries",
     "Probe",
     "Sampler",
+    "SloMonitor",
+    "SloObjective",
     "Span",
     "Trace",
+    "TraceContext",
     "Tracer",
     "active",
+    "active_journal",
     "active_metrics",
     "fmt_name",
+    "graft",
+    "graft_partial",
     "maybe_span",
+    "new_trace_id",
+    "span_to_wire",
+    "wire_to_span",
+    "windowed_burn_rates",
 ]

@@ -415,6 +415,51 @@ def register_sql(registry: MetricsRegistry, session, **labels: Any) -> None:
 
 
 # ----------------------------------------------------------------------
+# obs: SLO monitor and the flight recorder.
+# ----------------------------------------------------------------------
+def register_slo(registry: MetricsRegistry, monitor, **labels: Any) -> None:
+    """Burn rates and breach state of a :class:`~repro.obs.slo.SloMonitor`.
+
+    One labeled series group per ``(tenant, objective)``: the fast/slow
+    window burn rates, a 0/1 in-breach gauge, the monotone breach
+    counter, and the event/bad totals the burn rates are computed from.
+    """
+
+    def collect() -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for (tenant, objective), s in monitor.states.items():
+            kw = dict(tenant=tenant, objective=objective, **labels)
+            out[fmt_name("slo_burn_rate_fast", **kw)] = s.burn_fast
+            out[fmt_name("slo_burn_rate_slow", **kw)] = s.burn_slow
+            out[fmt_name("slo_in_breach", **kw)] = float(s.in_breach)
+            out[fmt_name("slo_breaches_total", **kw)] = float(s.breaches_total)
+            out[fmt_name("slo_events_total", **kw)] = float(s.events_total)
+            out[fmt_name("slo_bad_total", **kw)] = float(s.bad_total)
+        return out
+
+    registry.register_collector(collect)
+
+
+def register_journal(registry: MetricsRegistry, journal, **labels: Any) -> None:
+    """Flight-recorder totals: monotone event counters (overall and per
+    kind), the drop counter, and the current ring occupancy gauge."""
+
+    def collect() -> Dict[str, float]:
+        out: Dict[str, float] = {
+            fmt_name("journal_events_total", **labels): float(
+                journal.events_total
+            ),
+            fmt_name("journal_dropped_total", **labels): float(journal.dropped),
+            fmt_name("journal_ring_occupancy", **labels): float(len(journal)),
+        }
+        for kind, n in journal.counts.items():
+            out[fmt_name("journal_kind_total", kind=kind, **labels)] = float(n)
+        return out
+
+    registry.register_collector(collect)
+
+
+# ----------------------------------------------------------------------
 # dist: the scatter-gather shard cluster.
 # ----------------------------------------------------------------------
 def register_dist(registry: MetricsRegistry, cluster, **labels: Any) -> None:

@@ -1,0 +1,273 @@
+"""Service-level objectives: multi-window burn-rate monitoring.
+
+An :class:`SloObjective` declares a per-tenant contract — "99% of
+answered requests under 1M cycles", "99.9% of submitted requests
+answered at all" — and :class:`SloMonitor` evaluates it online as the
+serving front door resolves requests, using the multi-window
+burn-rate method (Google SRE workbook): the *burn rate* is the fraction
+of bad events divided by the error budget (``1 - target``), so a burn
+of 1.0 spends the budget exactly at the sustainable pace and 14.4
+exhausts a 30-day budget in 50 hours. A breach fires only when **both**
+a fast window (is it happening *now*?) and a slow window (is it
+*sustained*?) exceed their thresholds, which suppresses both blips and
+stale alerts; it clears when the fast window cools (hysteresis — the
+slow window's long memory never holds an alert open on its own).
+
+Everything runs on simulated cycles: windows are cycle spans, events are
+stamped with the serve clock, and the whole evaluation is deterministic.
+Breaches land in the flight recorder
+(:data:`~repro.obs.journal.EV_SLO_BREACH`) and in the ``slo_*`` metric
+series (:func:`repro.obs.collectors.register_slo`).
+
+:func:`windowed_burn_rates` is the offline twin: the same arithmetic
+over a sampled :class:`~repro.obs.metrics.MetricsTimeSeries` pair of
+cumulative counters, for charts and the schema checker's cross-checks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.journal import EV_SLO_BREACH, EV_SLO_RECOVER, FlightRecorder
+
+__all__ = [
+    "SloObjective",
+    "SloState",
+    "SloMonitor",
+    "windowed_burn_rates",
+    "LATENCY",
+    "AVAILABILITY",
+]
+
+#: The two objective kinds the monitor evaluates.
+LATENCY = "latency"
+AVAILABILITY = "availability"
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One tenant's declared objective, validated eagerly."""
+
+    tenant: str
+    #: ``"latency"`` (answered requests under the threshold) or
+    #: ``"availability"`` (submitted requests answered at all).
+    objective: str = LATENCY
+    #: Good fraction promised, e.g. 0.99. The error budget is
+    #: ``1 - target``.
+    target: float = 0.99
+    #: Latency objectives: answered slower than this is a bad event.
+    latency_threshold_cycles: float = 1_000_000.0
+    #: The "is it happening now" window (simulated cycles).
+    fast_window_cycles: float = 2_000_000.0
+    #: The "is it sustained" window (simulated cycles).
+    slow_window_cycles: float = 16_000_000.0
+    #: Burn-rate thresholds per window (SRE-workbook page-alert shape).
+    fast_burn: float = 14.4
+    slow_burn: float = 6.0
+
+    def __post_init__(self):
+        if not 0.0 < self.target < 1.0:
+            raise ConfigurationError(
+                f"SLO target must be in (0, 1), got {self.target}"
+            )
+        if self.objective not in (LATENCY, AVAILABILITY):
+            raise ConfigurationError(
+                f"objective must be {LATENCY!r} or {AVAILABILITY!r}, "
+                f"got {self.objective!r}"
+            )
+        if self.fast_window_cycles <= 0 or self.slow_window_cycles <= 0:
+            raise ConfigurationError("SLO windows must be positive")
+        if self.fast_window_cycles >= self.slow_window_cycles:
+            raise ConfigurationError(
+                f"fast window ({self.fast_window_cycles:g}) must be shorter "
+                f"than the slow window ({self.slow_window_cycles:g})"
+            )
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise ConfigurationError("burn thresholds must be positive")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.tenant, self.objective)
+
+
+class SloState:
+    """Online evaluation state of one objective."""
+
+    __slots__ = (
+        "objective",
+        "window",
+        "events_total",
+        "bad_total",
+        "breaches_total",
+        "in_breach",
+        "burn_fast",
+        "burn_slow",
+    )
+
+    def __init__(self, objective: SloObjective):
+        self.objective = objective
+        #: ``(cycles, bad)`` events inside the slow window, oldest first.
+        self.window: Deque[Tuple[float, bool]] = deque()
+        self.events_total = 0
+        self.bad_total = 0
+        self.breaches_total = 0
+        self.in_breach = False
+        self.burn_fast = 0.0
+        self.burn_slow = 0.0
+
+    def observe(self, now: float, bad: bool) -> None:
+        self.events_total += 1
+        if bad:
+            self.bad_total += 1
+        self.window.append((now, bad))
+
+    def evaluate(self, now: float) -> Tuple[bool, bool]:
+        """Refresh burn rates; returns ``(entered, exited)`` transitions."""
+        obj = self.objective
+        horizon = now - obj.slow_window_cycles
+        while self.window and self.window[0][0] < horizon:
+            self.window.popleft()
+        fast_horizon = now - obj.fast_window_cycles
+        slow_n = slow_bad = fast_n = fast_bad = 0
+        for t, bad in self.window:
+            slow_n += 1
+            slow_bad += bad
+            if t >= fast_horizon:
+                fast_n += 1
+                fast_bad += bad
+        budget = obj.error_budget
+        self.burn_fast = (fast_bad / fast_n / budget) if fast_n else 0.0
+        self.burn_slow = (slow_bad / slow_n / budget) if slow_n else 0.0
+        entered = exited = False
+        if not self.in_breach:
+            if (
+                self.burn_fast >= obj.fast_burn
+                and self.burn_slow >= obj.slow_burn
+            ):
+                self.in_breach = True
+                self.breaches_total += 1
+                entered = True
+        elif self.burn_fast < obj.fast_burn:
+            self.in_breach = False
+            exited = True
+        return entered, exited
+
+
+class SloMonitor:
+    """Evaluates a set of objectives as the front door resolves work."""
+
+    def __init__(
+        self,
+        objectives: List[SloObjective],
+        journal: Optional[FlightRecorder] = None,
+    ):
+        self.states: Dict[Tuple[str, str], SloState] = {}
+        for obj in objectives:
+            if obj.key in self.states:
+                raise ConfigurationError(
+                    f"duplicate SLO objective {obj.key!r}"
+                )
+            self.states[obj.key] = SloState(obj)
+        self.journal = journal
+
+    @property
+    def objectives(self) -> List[SloObjective]:
+        return [s.objective for s in self.states.values()]
+
+    def state(self, tenant: str, objective: str) -> Optional[SloState]:
+        return self.states.get((tenant, objective))
+
+    def in_breach(self, tenant: str, objective: str) -> bool:
+        s = self.states.get((tenant, objective))
+        return bool(s is not None and s.in_breach)
+
+    @property
+    def breaches_total(self) -> int:
+        return sum(s.breaches_total for s in self.states.values())
+
+    def observe(
+        self,
+        tenant: str,
+        now_cycles: float,
+        latency_cycles: float = 0.0,
+        answered: bool = True,
+    ) -> None:
+        """Feed one resolved request into every matching objective.
+
+        Latency objectives see only *answered* requests (an unanswered
+        request has no latency); availability objectives see everything,
+        bad iff unanswered.
+        """
+        for key, state in self.states.items():
+            if key[0] != tenant:
+                continue
+            obj = state.objective
+            if obj.objective == LATENCY:
+                if not answered:
+                    continue
+                bad = latency_cycles > obj.latency_threshold_cycles
+            else:
+                bad = not answered
+            state.observe(now_cycles, bad)
+            entered, exited = state.evaluate(now_cycles)
+            if self.journal is not None and (entered or exited):
+                self.journal.record(
+                    EV_SLO_BREACH if entered else EV_SLO_RECOVER,
+                    cycles=now_cycles,
+                    tenant=tenant,
+                    objective=obj.objective,
+                    burn_fast=round(state.burn_fast, 4),
+                    burn_slow=round(state.burn_slow, 4),
+                    target=obj.target,
+                )
+
+
+def windowed_burn_rates(
+    series,
+    bad_name: str,
+    total_name: str,
+    target: float,
+    window_cycles: float,
+) -> List[Optional[float]]:
+    """Burn rates from a sampled pair of cumulative counters.
+
+    For each tick, the bad fraction over the trailing ``window_cycles``
+    is computed from the deltas of ``bad_name``/``total_name`` columns of
+    a :class:`~repro.obs.metrics.MetricsTimeSeries`, then divided by the
+    error budget. Ticks with no traffic in the window yield ``None``.
+    """
+    if not 0.0 < target < 1.0:
+        raise ConfigurationError(
+            f"SLO target must be in (0, 1), got {target}"
+        )
+    bad = series.series.get(bad_name)
+    total = series.series.get(total_name)
+    if bad is None or total is None:
+        return [None] * len(series.ticks)
+    budget = 1.0 - target
+    out: List[Optional[float]] = []
+    for i, tick in enumerate(series.ticks):
+        if bad[i] is None or total[i] is None:
+            out.append(None)
+            continue
+        # The youngest sample at or before the window start (0 counts
+        # before the counter's first sample).
+        base_bad = base_total = 0.0
+        for j in range(i, -1, -1):
+            if series.ticks[j] <= tick - window_cycles:
+                base_bad = bad[j] if bad[j] is not None else 0.0
+                base_total = total[j] if total[j] is not None else 0.0
+                break
+        d_total = total[i] - base_total
+        if d_total <= 0:
+            out.append(None)
+            continue
+        out.append((bad[i] - base_bad) / d_total / budget)
+    return out

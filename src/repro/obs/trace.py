@@ -93,10 +93,18 @@ class Trace:
                 and span.total_cycles >= _HOT_FRACTION * root_cycles
             ):
                 label += " *"
+            # Grafted remote spans (repro.obs.distctx) carry no ledger
+            # events — their cycles live in the shipped duration, marked
+            # "~" because they are the worker's accounting, not replayed
+            # into this trace's ledger.
+            if span.attrs.get("remote") and span.total_cycles == 0:
+                shown = "~" + _fmt_cycles(span.duration_cycles)
+            else:
+                shown = _fmt_cycles(span.total_cycles)
             rows.append(
                 (
                     label,
-                    _fmt_cycles(span.total_cycles),
+                    shown,
                     _fmt_rows(span),
                     _fmt_bytes(span.total_dram_bytes),
                     _fmt_hits(span) if counters else "",
@@ -129,6 +137,12 @@ class Trace:
         Each span becomes one complete ("X") event. One ledger cycle maps
         to one trace microsecond; children are placed head-to-tail from
         their parent's start so nesting renders as stacked slices.
+
+        Spans grafted from shard workers (``remote_pid``/``remote_tid``
+        attrs, set by :mod:`repro.obs.distctx`) land on their own
+        process/thread tracks — one pid per shard, one tid per worker
+        incarnation — so a distributed statement renders as genuinely
+        cross-process lanes, time-aligned with the coordinator's track.
         """
         events: List[Dict[str, Any]] = [
             {
@@ -139,8 +153,43 @@ class Trace:
                 "args": {"name": "repro.obs"},
             }
         ]
+        seen_tracks = {(pid, tid)}
 
         def place(span: Span, start: float) -> None:
+            span_pid = int(span.attrs.get("remote_pid", pid))
+            span_tid = int(span.attrs.get("remote_tid", tid))
+            if (span_pid, span_tid) not in seen_tracks:
+                seen_tracks.add((span_pid, span_tid))
+                shard = span.attrs.get("shard")
+                inc = span.attrs.get("incarnation")
+                events.append(
+                    {
+                        "name": "process_name",
+                        "ph": "M",
+                        "pid": span_pid,
+                        "tid": span_tid,
+                        "args": {
+                            "name": (
+                                f"shard {shard}" if shard is not None
+                                else f"remote pid {span_pid}"
+                            )
+                        },
+                    }
+                )
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": span_pid,
+                        "tid": span_tid,
+                        "args": {
+                            "name": (
+                                f"incarnation {inc}" if inc is not None
+                                else f"tid {span_tid}"
+                            )
+                        },
+                    }
+                )
             args: Dict[str, Any] = {}
             if span.attrs:
                 args.update(
@@ -159,8 +208,8 @@ class Trace:
                     "ph": "X",
                     "ts": start,
                     "dur": max(span.duration_cycles, 0.0),
-                    "pid": pid,
-                    "tid": tid,
+                    "pid": span_pid,
+                    "tid": span_tid,
                     "cat": span.attrs.get("layer", "sim"),
                     "args": args,
                 }

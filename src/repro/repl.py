@@ -166,12 +166,19 @@ class Repl:
             self.write(render_table(("column", "type", "bytes"), rows))
             if table.schema.mvcc:
                 self.write("MVCC: versioned rows (begin_ts/end_ts stamps)")
+        elif name == "\\trace":
+            trace = self.session.last_trace
+            if trace is None:
+                self.write("No trace recorded.")
+            else:
+                self.write(trace.render())
         elif name in ("\\help", "\\?"):
             self.write(
                 "\\q           quit\n"
                 "\\dt          list tables\n"
                 "\\d TABLE     describe a table\n"
                 "\\timing      toggle simulated-cycle timing\n"
+                "\\trace       span tree of the last statement\n"
                 "\\help        this help\n"
                 "Statements end with ';'. EXPLAIN / EXPLAIN ANALYZE work."
             )

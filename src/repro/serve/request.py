@@ -69,6 +69,10 @@ class Request:
     deadline: Optional[float] = None
     #: Opaque payload handed to the executor (a SQL string, txn spec...).
     payload: Any = None
+    #: Distributed trace identity (:class:`repro.obs.TraceContext`), or
+    #: None — the scheduler stamps one at submit when tracing is on, so
+    #: serve.* spans and downstream shard executions share a trace_id.
+    ctx: Any = None
 
 
 @dataclass

@@ -47,7 +47,16 @@ from repro.errors import (
     ExecutionError,
 )
 from repro.faults import SERVE_CLOCK_SKEW, SERVE_SHED, FaultInjector, RetryPolicy
-from repro.obs import MetricsRegistry, Tracer, active, active_metrics, fmt_name
+from repro.obs import (
+    MetricsRegistry,
+    TraceContext,
+    Tracer,
+    active,
+    active_metrics,
+    fmt_name,
+    new_trace_id,
+)
+from repro.obs.journal import EV_ADMISSION, active_journal
 from repro.obs.span import maybe_span
 from repro.serve.admission import ADMIT, THROTTLE, AdmissionController, Verdict
 from repro.serve.queue import WeightedFairQueue
@@ -187,11 +196,25 @@ class ServeScheduler:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         fault_injector: Optional[FaultInjector] = None,
+        journal=None,
+        slo=None,
     ):
         self.config = config
         self.executor = executor
         self.tracer = tracer
         self.metrics = active_metrics(metrics)
+        #: Flight recorder for admission verdicts and SLO transitions.
+        self.journal = active_journal(journal)
+        #: Optional :class:`~repro.obs.SloMonitor`; fed on every terminal
+        #: outcome (answered → latency objectives, rejected/expired →
+        #: availability objectives). Breaches land in the journal.
+        self.slo = slo
+        if (
+            self.slo is not None
+            and self.journal is not None
+            and getattr(self.slo, "journal", None) is None
+        ):
+            self.slo.journal = self.journal
         #: The serve clock: advanced only through this ledger, so the
         #: metrics sampler ticks on the same simulated grid.
         self.ledger = CostLedger(tracer=active(tracer), metrics=self.metrics)
@@ -227,8 +250,16 @@ class ServeScheduler:
     # Metrics wiring (satellite: serve collectors).
     # ------------------------------------------------------------------
     def _register_metrics(self) -> None:
-        from repro.obs.collectors import register_serve
+        from repro.obs.collectors import (
+            register_journal,
+            register_serve,
+            register_slo,
+        )
 
+        if self.slo is not None:
+            register_slo(self.metrics, self.slo)
+        if self.journal is not None:
+            register_journal(self.metrics, self.journal)
         for t in self.config.tenant_ids:
             for lane in LANES:
                 self._m_latency[(t, lane)] = self.metrics.histogram(
@@ -305,9 +336,15 @@ class ServeScheduler:
         arrival: Optional[float] = None,
         deadline_budget: Optional[float] = None,
         payload: Any = None,
+        ctx: Any = None,
     ) -> Request:
         """Register one request; admission happens when the clock reaches
-        its arrival. ``deadline_budget`` is relative to the arrival."""
+        its arrival. ``deadline_budget`` is relative to the arrival.
+
+        ``ctx`` is an optional :class:`~repro.obs.TraceContext`; when
+        tracing is on and none is given, a fresh one is stamped so every
+        serve.* span (and anything the executor fans out to) shares one
+        trace_id end to end."""
         if lane not in LANES:
             raise ConfigurationError(f"unknown lane {lane!r}; known: {LANES}")
         self.config.tenant(tenant)  # validates the tenant id
@@ -324,6 +361,14 @@ class ServeScheduler:
             raise ConfigurationError(
                 f"deadline_budget must be > 0, got {deadline_budget}"
             )
+        if (
+            ctx is None
+            and self.tracer is not None
+            and self.tracer.enabled
+        ):
+            ctx = TraceContext(
+                trace_id=new_trace_id("s"), parent="serve.execute"
+            )
         req = Request(
             req_id=self._next_id,
             tenant=tenant,
@@ -332,6 +377,7 @@ class ServeScheduler:
             cost_estimate=float(cost_estimate),
             deadline=None if deadline_budget is None else at + deadline_budget,
             payload=payload,
+            ctx=ctx,
         )
         self._next_id += 1
         heapq.heappush(self._arrivals, (at, req.req_id, req))
@@ -410,11 +456,22 @@ class ServeScheduler:
         with maybe_span(
             self.tracer, "serve.admit",
             tenant=req.tenant, lane=req.lane, request=req.req_id,
+            trace_id=req.ctx.trace_id if req.ctx is not None else "",
         ) as span:
             verdict: Verdict = self.admission.decide(
                 req, self.clock, depth, forced_shed=forced
             )
             span.set_attrs(action=verdict.action)
+        if self.journal is not None:
+            self.journal.record(
+                EV_ADMISSION,
+                cycles=self.clock,
+                tenant=req.tenant,
+                lane=req.lane,
+                request=req.req_id,
+                action=verdict.action,
+                forced=forced,
+            )
         if verdict.action == ADMIT:
             s.admitted += 1
             self.queue.push(
@@ -446,6 +503,8 @@ class ServeScheduler:
                 depth=float(depth),
             )
             self._resolve(req, Outcome.SHED, error=error)
+        if self.slo is not None:
+            self.slo.observe(req.tenant, self.clock, answered=False)
 
     def _sweep_deadlines(self) -> None:
         """Expire queued requests whose deadline already passed (no skew
@@ -474,6 +533,8 @@ class ServeScheduler:
                 + (f" (+{skew:.0f} skew) [site=serve.clock_skew]" if skew else "")
             ),
         )
+        if self.slo is not None:
+            self.slo.observe(req.tenant, self.clock, answered=False)
 
     @property
     def running_count(self) -> int:
@@ -530,6 +591,7 @@ class ServeScheduler:
                 self.tracer, "serve.execute",
                 tenant=req.tenant, lane=req.lane, request=req.req_id,
                 degraded=degrade,
+                trace_id=req.ctx.trace_id if req.ctx is not None else "",
             ) as espan:
                 out = self.executor(req, degrade)
                 if not isinstance(out, ExecOutcome) or out.cycles < 0:
@@ -567,6 +629,11 @@ class ServeScheduler:
             service_cycles=out.cycles,
             answer=out.payload,
         )
+        if self.slo is not None:
+            self.slo.observe(
+                req.tenant, self.clock,
+                latency_cycles=latency, answered=True,
+            )
         # A finished request frees capacity mid-advance; fill it before
         # time moves again so the queue never idles with a free slot.
         self._process_arrivals()

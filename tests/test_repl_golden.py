@@ -46,6 +46,14 @@ COMMIT;
 SELECT id AS id, bal AS bal FROM acct ORDER BY id;
 COMMIT;
 """,
+    "trace": """\
+\\trace
+CREATE TABLE t (id INT32, v INT32);
+INSERT INTO t (id, v) VALUES (1, 10), (2, 20), (3, 30);
+SELECT sum(v) AS total FROM t;
+\\trace
+\\q
+""",
     "explain": """\
 CREATE TABLE t (id INT32, v INT32, tag CHAR(4));
 INSERT INTO t (id, v, tag) VALUES (1, 10, 'oak'), (2, 20, 'elm'), (3, 30, 'oak');

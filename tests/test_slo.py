@@ -1,0 +1,237 @@
+"""SLO burn-rate monitoring: the multi-window alert logic, event
+routing, the offline twin, and the serving front-door integration."""
+
+import pytest
+
+from repro.chaos import overload_config, overload_specs
+from repro.errors import ConfigurationError
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    SloMonitor,
+    SloObjective,
+    windowed_burn_rates,
+)
+from repro.obs.journal import EV_SLO_BREACH, EV_SLO_RECOVER
+from repro.obs.slo import AVAILABILITY, LATENCY
+from repro.serve import ServeScheduler, submit_open_loop, synthetic_executor
+
+
+def small_objective(**overrides):
+    """An availability objective with toy windows for hand-driven tests:
+    10% error budget, fast window 10 cycles, slow window 100."""
+    kw = dict(
+        tenant="a",
+        objective=AVAILABILITY,
+        target=0.9,
+        fast_window_cycles=10.0,
+        slow_window_cycles=100.0,
+        fast_burn=5.0,
+        slow_burn=2.0,
+    )
+    kw.update(overrides)
+    return SloObjective(**kw)
+
+
+# ----------------------------------------------------------------------
+# Objective validation.
+# ----------------------------------------------------------------------
+class TestObjectiveValidation:
+    def test_target_must_be_a_fraction(self):
+        for bad in (0.0, 1.0, 1.2, -0.1):
+            with pytest.raises(ConfigurationError):
+                SloObjective(tenant="a", target=bad)
+
+    def test_objective_kind_checked(self):
+        with pytest.raises(ConfigurationError):
+            SloObjective(tenant="a", objective="throughput")
+
+    def test_fast_window_must_be_shorter(self):
+        with pytest.raises(ConfigurationError):
+            small_objective(fast_window_cycles=100.0, slow_window_cycles=100.0)
+
+    def test_burn_thresholds_positive(self):
+        with pytest.raises(ConfigurationError):
+            small_objective(fast_burn=0.0)
+
+    def test_duplicate_objectives_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SloMonitor([small_objective(), small_objective()])
+
+    def test_error_budget(self):
+        assert small_objective(target=0.99).error_budget == pytest.approx(0.01)
+
+
+# ----------------------------------------------------------------------
+# The multi-window alert logic.
+# ----------------------------------------------------------------------
+class TestBurnRateWindows:
+    def test_fast_window_alone_does_not_breach(self):
+        monitor = SloMonitor([small_objective()])
+        state = monitor.state("a", AVAILABILITY)
+        # A long healthy history fills the slow window...
+        for t in range(40):
+            monitor.observe("a", float(t), answered=True)
+        # ...then a short burst of failures saturates the fast window.
+        for t in range(95, 100):
+            monitor.observe("a", float(t), answered=False)
+        assert state.burn_fast >= 5.0  # "it is happening now"
+        assert state.burn_slow < 2.0   # "but it is not sustained"
+        assert not state.in_breach
+        assert state.breaches_total == 0
+
+    def test_breach_enters_when_both_windows_burn(self):
+        journal = FlightRecorder()
+        monitor = SloMonitor([small_objective()], journal=journal)
+        state = monitor.state("a", AVAILABILITY)
+        for t in range(40):
+            monitor.observe("a", float(t), answered=True)
+        # Sustained failure: the good history ages out of the slow
+        # window while bad events keep landing.
+        for t in range(95, 145):
+            monitor.observe("a", float(t), answered=False)
+        assert state.in_breach
+        assert state.breaches_total == 1
+        breach = next(
+            e for e in journal.events() if e.kind == EV_SLO_BREACH
+        )
+        assert breach.attrs["tenant"] == "a"
+        assert breach.attrs["objective"] == AVAILABILITY
+        assert breach.attrs["burn_fast"] >= 5.0
+
+    def test_breach_exits_on_fast_window_hysteresis(self):
+        journal = FlightRecorder()
+        monitor = SloMonitor([small_objective()], journal=journal)
+        state = monitor.state("a", AVAILABILITY)
+        for t in range(40):
+            monitor.observe("a", float(t), answered=True)
+        for t in range(95, 145):
+            monitor.observe("a", float(t), answered=False)
+        assert state.in_breach
+        # Recovery: the fast window cools; the slow window's long memory
+        # is still hot, but it never holds an alert open on its own.
+        for t in range(145, 165):
+            monitor.observe("a", float(t), answered=True)
+        assert not state.in_breach
+        assert state.burn_slow >= 2.0  # sustained damage still visible
+        assert any(e.kind == EV_SLO_RECOVER for e in journal.events())
+        # Re-entering later counts a fresh breach.
+        for t in range(165, 215):
+            monitor.observe("a", float(t), answered=False)
+        assert state.in_breach and state.breaches_total == 2
+
+
+class TestEventRouting:
+    def test_latency_objective_sees_only_answered(self):
+        monitor = SloMonitor(
+            [small_objective(objective=LATENCY, latency_threshold_cycles=100.0)]
+        )
+        state = monitor.state("a", LATENCY)
+        monitor.observe("a", 1.0, latency_cycles=50.0, answered=True)
+        monitor.observe("a", 2.0, latency_cycles=500.0, answered=True)
+        monitor.observe("a", 3.0, answered=False)  # no latency to judge
+        assert state.events_total == 2
+        assert state.bad_total == 1
+
+    def test_availability_objective_sees_everything(self):
+        monitor = SloMonitor([small_objective()])
+        state = monitor.state("a", AVAILABILITY)
+        monitor.observe("a", 1.0, latency_cycles=10.0**9, answered=True)
+        monitor.observe("a", 2.0, answered=False)
+        assert state.events_total == 2
+        assert state.bad_total == 1  # slow-but-answered is not bad here
+
+    def test_unknown_tenant_ignored(self):
+        monitor = SloMonitor([small_objective()])
+        monitor.observe("nobody", 1.0, answered=False)
+        assert monitor.state("a", AVAILABILITY).events_total == 0
+        assert not monitor.in_breach("nobody", AVAILABILITY)
+
+    def test_breaches_total_aggregates(self):
+        monitor = SloMonitor(
+            [small_objective(), small_objective(tenant="b")]
+        )
+        for tenant in ("a", "b"):
+            for t in range(300, 350):
+                monitor.observe(tenant, float(t), answered=False)
+        assert monitor.breaches_total == 2
+
+
+# ----------------------------------------------------------------------
+# The offline twin.
+# ----------------------------------------------------------------------
+class _Series:
+    def __init__(self, ticks, series):
+        self.ticks = ticks
+        self.series = series
+
+
+class TestWindowedBurnRates:
+    def test_matches_hand_computation(self):
+        series = _Series(
+            ticks=[0.0, 10.0, 20.0, 30.0],
+            series={
+                "bad": [0.0, 5.0, 5.0, 10.0],
+                "total": [0.0, 10.0, 20.0, 30.0],
+            },
+        )
+        out = windowed_burn_rates(series, "bad", "total", 0.9, 15.0)
+        assert out[0] is None  # no traffic yet
+        assert out[1] == pytest.approx(5.0)   # 5/10 bad over 10% budget
+        assert out[2] == pytest.approx(2.5)
+        assert out[3] == pytest.approx(2.5)   # windowed: deltas past t=10
+
+    def test_missing_series_yields_nones(self):
+        series = _Series(ticks=[0.0, 1.0], series={"total": [1.0, 2.0]})
+        assert windowed_burn_rates(series, "bad", "total", 0.9, 10.0) == [
+            None,
+            None,
+        ]
+
+    def test_target_validated(self):
+        series = _Series(ticks=[], series={})
+        with pytest.raises(ConfigurationError):
+            windowed_burn_rates(series, "b", "t", 1.5, 10.0)
+
+
+# ----------------------------------------------------------------------
+# Front-door integration: every resolved request feeds the monitor and
+# the slo_* series land in the sampled metrics.
+# ----------------------------------------------------------------------
+class TestServeIntegration:
+    def test_storm_feeds_monitor_and_metrics(self):
+        config = overload_config()
+        journal = FlightRecorder()
+        slo = SloMonitor(
+            [
+                SloObjective(tenant="app1", objective=LATENCY),
+                SloObjective(tenant="app1", objective=AVAILABILITY),
+            ]
+        )
+        metrics = MetricsRegistry()
+        sampler = metrics.attach_sampler(interval_cycles=1_000_000.0)
+        scheduler = ServeScheduler(
+            config,
+            synthetic_executor(seed=11),
+            metrics=metrics,
+            journal=journal,
+            slo=slo,
+        )
+        # The scheduler backfills its journal into the monitor so SLO
+        # transitions land in the same flight recorder.
+        assert slo.journal is journal
+        submit_open_loop(
+            scheduler, overload_specs(), 4_000_000.0, seed=11
+        )
+        scheduler.run_until_drained()
+        sampler.sample_now()
+        lat = slo.state("app1", LATENCY)
+        avail = slo.state("app1", AVAILABILITY)
+        assert lat.events_total > 0
+        assert avail.events_total >= lat.events_total  # sees unanswered too
+        names = set(sampler.series.series)
+        assert any(n.startswith("slo_burn_rate_fast{") for n in names)
+        assert any(n.startswith("slo_in_breach{") for n in names)
+        assert any(n.startswith("journal_events_total") for n in names)
+        # Admission decisions were journaled with the serve clock.
+        assert journal.counts.get("serve.admission", 0) > 0
